@@ -1,0 +1,35 @@
+# hvscan — reproduction of "HTML Violations and Where to Find Them" (IMC '22)
+
+GO ?= go
+
+.PHONY: all build test vet bench study report fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Regenerates every table/figure as benchmark metrics (paper values inline).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The full eight-snapshot study at laptop scale, then the report.
+study:
+	$(GO) run ./cmd/hvcrawl -domains 2400 -pages 10 -out results.jsonl -stats stats.json
+
+report: 
+	$(GO) run ./cmd/hvreport -store results.jsonl -stats stats.json -experiment all
+
+# Continuous fuzzing entry points (Ctrl-C to stop).
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 60s ./internal/htmlparse
+
+clean:
+	rm -f results.jsonl stats.json
+	rm -rf archive

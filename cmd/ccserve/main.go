@@ -1,0 +1,59 @@
+// Command ccserve serves a Common Crawl-shaped archive over HTTP: the CDX
+// index endpoint plus ranged WARC reads (see internal/commoncrawl.Server).
+// It serves either a directory written by hvgen (-dir) or the synthetic
+// archive directly from the generator (default).
+//
+// Usage:
+//
+//	ccserve [-addr :8087] [-dir ./archive | -domains 2400 -pages 20 -seed 22]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/hvscan/hvscan/internal/commoncrawl"
+	"github.com/hvscan/hvscan/internal/corpus"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8087", "listen address")
+		dir     = flag.String("dir", "", "serve an hvgen-written archive directory")
+		domains = flag.Int("domains", 2400, "synthetic: domain universe size")
+		pages   = flag.Int("pages", 20, "synthetic: max pages per domain")
+		seed    = flag.Int64("seed", 22, "synthetic: generator seed")
+	)
+	flag.Parse()
+
+	var archive commoncrawl.Archive
+	if *dir != "" {
+		disk, err := commoncrawl.OpenDisk(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccserve:", err)
+			os.Exit(1)
+		}
+		defer disk.Close()
+		archive = disk
+		log.Printf("serving disk archive %s (%d crawls)", *dir, len(disk.Crawls()))
+	} else {
+		g := corpus.New(corpus.Config{Seed: *seed, Domains: *domains, MaxPages: *pages})
+		archive = commoncrawl.NewSynthetic(g)
+		log.Printf("serving synthetic archive (seed=%d, %d domains, <=%d pages)",
+			*seed, *domains, *pages)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           commoncrawl.NewServer(archive),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Command hvcrawl runs the longitudinal study end to end: derive the
+// dataset from Tranco-style lists (the paper's top-50K intersection rule),
+// query every snapshot for every domain, fetch and check all pages, and
+// persist the per-domain results plus crawl statistics.
+//
+// The archive comes either from a ccserve instance (-server, the network
+// path) or is generated in-process (the fast path).
+//
+// Usage:
+//
+//	hvcrawl -out results.jsonl -stats stats.json [-server http://...]
+//	        [-domains 2400 -pages 20 -seed 22] [-workers N] [-snapshots 8]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/hvscan/hvscan/internal/commoncrawl"
+	"github.com/hvscan/hvscan/internal/core"
+	"github.com/hvscan/hvscan/internal/corpus"
+	"github.com/hvscan/hvscan/internal/crawler"
+	"github.com/hvscan/hvscan/internal/store"
+	"github.com/hvscan/hvscan/internal/tranco"
+)
+
+func main() {
+	var (
+		server    = flag.String("server", "", "ccserve base URL (default: in-process synthetic archive)")
+		out       = flag.String("out", "results.jsonl", "result store output path")
+		statsOut  = flag.String("stats", "stats.json", "crawl statistics output path")
+		domains   = flag.Int("domains", 2400, "synthetic: domain universe size")
+		pages     = flag.Int("pages", 20, "pages per domain to analyze (paper: 100)")
+		seed      = flag.Int64("seed", 22, "synthetic: generator seed")
+		workers   = flag.Int("workers", 0, "concurrent domain workers (default: NumCPU)")
+		snapshots = flag.Int("snapshots", 8, "number of snapshots to crawl (oldest first)")
+		lists     = flag.Int("lists", 5, "Tranco-style lists for the dataset intersection")
+		cutoff    = flag.Int("cutoff", 0, "rank cutoff for the intersection (default: universe size)")
+	)
+	flag.Parse()
+	if err := run(*server, *out, *statsOut, *domains, *pages, *seed, *workers, *snapshots, *lists, *cutoff); err != nil {
+		fmt.Fprintln(os.Stderr, "hvcrawl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server, out, statsOut string, domains, pages int, seed int64, workers, snapshots, lists, cutoff int) error {
+	g := corpus.New(corpus.Config{Seed: seed, Domains: domains, MaxPages: pages})
+
+	// Dataset derivation (paper §4.1): intersect the top cutoff of every
+	// list, order by average rank.
+	if cutoff <= 0 {
+		cutoff = domains
+	}
+	stable := tranco.IntersectTop(g.TrancoLists(lists), cutoff)
+	dataset := make([]string, len(stable))
+	for i, e := range stable {
+		dataset[i] = e.Domain
+	}
+	log.Printf("dataset: %d domains (intersection of %d lists at rank <= %d, avg rank %.0f)",
+		len(dataset), lists, cutoff, tranco.AverageRank(stable))
+
+	var archive commoncrawl.Archive
+	if server != "" {
+		archive = commoncrawl.NewClient(server)
+		log.Printf("archive: %s", server)
+	} else {
+		archive = commoncrawl.NewSynthetic(g)
+		log.Printf("archive: in-process synthetic (seed=%d)", seed)
+	}
+
+	crawls := archive.Crawls()
+	if snapshots > 0 && snapshots < len(crawls) {
+		crawls = crawls[:snapshots]
+	}
+
+	st := store.New()
+	pipe := crawler.New(archive, core.NewChecker(), st, crawler.Config{
+		Workers:        workers,
+		PagesPerDomain: pages,
+	})
+
+	// Ctrl-C finishes the in-flight domains, saves what was measured and
+	// exits cleanly — a multi-day crawl must never lose its progress.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var allStats []store.CrawlStats
+	for _, crawl := range crawls {
+		start := time.Now()
+		stats, err := pipe.RunSnapshot(ctx, crawl, dataset)
+		if err != nil {
+			if ctx.Err() != nil {
+				log.Printf("interrupted during %s; saving partial results", crawl)
+				break
+			}
+			return err
+		}
+		allStats = append(allStats, stats)
+		elapsed := time.Since(start)
+		ppm := float64(stats.PagesAnalyzed) / elapsed.Minutes()
+		log.Printf("%s: %d/%d domains analyzed, %d pages (avg %.1f/domain) in %s (%.0f pages/min)",
+			crawl, stats.Analyzed, stats.Found, stats.PagesAnalyzed, stats.AvgPages(),
+			elapsed.Round(time.Millisecond), ppm)
+	}
+
+	if err := st.Save(out); err != nil {
+		return err
+	}
+	log.Printf("results: %s (%d domain records)", out, st.Len())
+
+	f, err := os.Create(statsOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(allStats); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("stats: %s", statsOut)
+	return nil
+}

@@ -1,0 +1,81 @@
+// Command hvfix applies the automatic repairs of paper §4.4 to HTML
+// documents: syntax normalization (FB1/FB2), duplicate-attribute removal
+// (DM3), and meta/base relocation (DM1/DM2).
+//
+// Usage:
+//
+//	hvfix [-w] [file ...]
+//
+// Without -w the repaired document goes to standard output; with -w files
+// are rewritten in place. Applied fixes are listed on standard error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/hvscan/hvscan/internal/autofix"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hvfix", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		write = fs.Bool("w", false, "rewrite files in place instead of printing")
+		diff  = fs.Bool("summary", false, "only print the fix summary, not the document")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	inputs := fs.Args()
+	if len(inputs) == 0 {
+		data, err := io.ReadAll(stdin)
+		if err != nil {
+			fmt.Fprintf(stderr, "hvfix: stdin: %v\n", err)
+			return 2
+		}
+		return fixOne("<stdin>", data, false, *diff, stdout, stderr)
+	}
+	exit := 0
+	for _, path := range inputs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "hvfix: %v\n", err)
+			exit = 2
+			continue
+		}
+		if c := fixOne(path, data, *write, *diff, stdout, stderr); c > exit {
+			exit = c
+		}
+	}
+	return exit
+}
+
+func fixOne(name string, data []byte, write, summaryOnly bool, stdout, stderr io.Writer) int {
+	res, err := autofix.Repair(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "hvfix: %s: %v\n", name, err)
+		return 2
+	}
+	for _, f := range res.Applied {
+		fmt.Fprintf(stderr, "%s:%d:%d: fixed %s\n", name, f.Pos.Line, f.Pos.Col, f)
+	}
+	switch {
+	case write && name != "<stdin>":
+		if err := os.WriteFile(name, res.Output, 0o644); err != nil {
+			fmt.Fprintf(stderr, "hvfix: %v\n", err)
+			return 2
+		}
+	case !summaryOnly:
+		if _, err := stdout.Write(res.Output); err != nil {
+			return 2
+		}
+	}
+	return 0
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runFix(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestFixStdin(t *testing.T) {
+	code, out, errb := runFix(t, `<!DOCTYPE html><html><head><title>t</title></head><body><img/src="x"/alt="y"></body></html>`)
+	if code != 0 {
+		t.Fatalf("exit = %d (%s)", code, errb)
+	}
+	if !strings.Contains(out, `<img src="x" alt="y">`) {
+		t.Fatalf("out = %q", out)
+	}
+	if !strings.Contains(errb, "FB1") {
+		t.Fatalf("fix summary missing: %q", errb)
+	}
+}
+
+func TestFixInPlace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "page.html")
+	os.WriteFile(path, []byte(`<!DOCTYPE html><html><head><title>t</title></head><body><div id=a id=b>x</div></body></html>`), 0o644)
+	code, out, _ := runFix(t, "", "-w", path)
+	if code != 0 || out != "" {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `id="b"`) {
+		t.Fatalf("duplicate attribute survived: %s", data)
+	}
+}
+
+func TestFixSummaryOnly(t *testing.T) {
+	code, out, errb := runFix(t, `<body><a href="x"title="t">l</a>`, "-summary")
+	if code != 0 || out != "" {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+	if !strings.Contains(errb, "fixed") {
+		t.Fatalf("summary = %q", errb)
+	}
+}
+
+func TestFixMissingFile(t *testing.T) {
+	code, _, errb := runFix(t, "", filepath.Join(t.TempDir(), "nope.html"))
+	if code != 2 || !strings.Contains(errb, "nope.html") {
+		t.Fatalf("code=%d err=%q", code, errb)
+	}
+}

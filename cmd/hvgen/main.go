@@ -1,0 +1,185 @@
+// Command hvgen materializes the synthetic longitudinal archive to disk as
+// per-crawl WARC files with CDXJ indexes — the layout cmd/ccserve and the
+// DiskArchive reader consume. It also writes the Tranco-style daily lists
+// the dataset derivation uses.
+//
+// Usage:
+//
+//	hvgen -out ./archive [-domains 2400] [-pages 20] [-seed 22] [-lists 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/hvscan/hvscan/internal/cdx"
+	"github.com/hvscan/hvscan/internal/corpus"
+	"github.com/hvscan/hvscan/internal/warc"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "archive", "output directory")
+		domains = flag.Int("domains", 2400, "domain universe size (paper scale: 24915)")
+		pages   = flag.Int("pages", 20, "max pages per domain per snapshot (paper: 100)")
+		seed    = flag.Int64("seed", 22, "generator seed")
+		lists   = flag.Int("lists", 5, "number of Tranco-style lists to write")
+		segSize = flag.Int64("segment-bytes", 64<<20, "rotate WARC segments at this size")
+	)
+	flag.Parse()
+
+	g := corpus.New(corpus.Config{Seed: *seed, Domains: *domains, MaxPages: *pages})
+	if err := generate(g, *out, *lists, *segSize); err != nil {
+		fmt.Fprintln(os.Stderr, "hvgen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(g *corpus.Generator, out string, lists int, segSize int64) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	for li, l := range g.TrancoLists(lists) {
+		path := filepath.Join(out, fmt.Sprintf("tranco-%02d.csv", li+1))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := l.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	universe := g.Universe()
+	for _, snap := range corpus.Snapshots {
+		if err := generateSnapshot(g, out, snap, universe, segSize); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", snap.ID)
+	}
+	return nil
+}
+
+// segmentWriter rotates WARC segment files as they fill.
+type segmentWriter struct {
+	dir     string
+	crawl   string
+	maxSize int64
+	seq     int
+	file    *os.File
+	w       *warc.Writer
+}
+
+func (s *segmentWriter) current() (string, *warc.Writer, error) {
+	if s.w != nil && s.w.Offset() < s.maxSize {
+		return s.name(), s.w, nil
+	}
+	if err := s.closeCurrent(); err != nil {
+		return "", nil, err
+	}
+	s.seq++
+	f, err := os.Create(filepath.Join(s.dir, fmt.Sprintf("segment-%04d.warc.gz", s.seq)))
+	if err != nil {
+		return "", nil, err
+	}
+	s.file = f
+	s.w = warc.NewWriter(f)
+	date := time.Now().UTC()
+	if snap, ok := corpus.SnapshotByID(s.crawl); ok {
+		date = snap.Date
+	}
+	info := warc.NewWarcinfo(s.name(), date, map[string]string{
+		"software":  "hvgen (github.com/hvscan/hvscan)",
+		"format":    "WARC File Format 1.0",
+		"isPartOf":  s.crawl,
+		"generator": "synthetic corpus; see DESIGN.md",
+	})
+	if _, _, err := s.w.Write(info); err != nil {
+		return "", nil, err
+	}
+	return s.name(), s.w, nil
+}
+
+func (s *segmentWriter) name() string {
+	return fmt.Sprintf("%s/segment-%04d.warc.gz", s.crawl, s.seq)
+}
+
+func (s *segmentWriter) closeCurrent() error {
+	if s.file == nil {
+		return nil
+	}
+	err := s.file.Close()
+	s.file = nil
+	s.w = nil
+	return err
+}
+
+func generateSnapshot(g *corpus.Generator, out string, snap corpus.Snapshot, universe []string, segSize int64) error {
+	dir := filepath.Join(out, snap.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	seg := &segmentWriter{dir: dir, crawl: snap.ID, maxSize: segSize}
+	defer seg.closeCurrent()
+	index := &cdx.Index{}
+	for _, domain := range universe {
+		n := g.PageCount(domain, snap)
+		for i := 0; i < n; i++ {
+			status, ctype, body := g.PageHTTP(domain, snap, i)
+			url := g.PageURL(domain, i)
+			name, w, err := seg.current()
+			if err != nil {
+				return err
+			}
+			rec := warc.NewResponse(url, snap.Date, warc.BuildHTTPResponse(status, ctype, body))
+			// Common Crawl stores the request alongside each response; the
+			// CDX index points only at the response record.
+			req := warc.NewRequest(url, snap.Date, warc.BuildHTTPRequest(url),
+				rec.Headers.Get(warc.HeaderRecordID))
+			if _, _, err := w.Write(req); err != nil {
+				return err
+			}
+			off, length, err := w.Write(rec)
+			if err != nil {
+				return err
+			}
+			index.Add(&cdx.Record{
+				SURT:      cdx.SURT(url),
+				Timestamp: cdx.Timestamp(snap.Date),
+				URL:       url,
+				MIME:      mimeOf(ctype),
+				Status:    status,
+				Length:    length,
+				Offset:    off,
+				Filename:  name,
+			})
+		}
+	}
+	if err := seg.closeCurrent(); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "index.cdxj"))
+	if err != nil {
+		return err
+	}
+	if _, err := index.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func mimeOf(contentType string) string {
+	for i := 0; i < len(contentType); i++ {
+		if contentType[i] == ';' {
+			return contentType[:i]
+		}
+	}
+	return contentType
+}

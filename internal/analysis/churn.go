@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"sort"
+
+	"github.com/hvscan/hvscan/internal/core"
+	"github.com/hvscan/hvscan/internal/store"
+)
+
+// Churn quantifies the paper's §4.4/§5.2 observation that refactoring both
+// removes and introduces violations: between two snapshots, which domains
+// got fixed, which newly violate, and how each rule's domain set turned
+// over. This is the mechanism behind the all-years union (92%) exceeding
+// every single year (68–74%).
+type Churn struct {
+	FromCrawl, ToCrawl string
+	// Common is the number of domains analyzed in both snapshots.
+	Common int
+	// Fixed: violating in From, clean in To.
+	Fixed int
+	// NewlyViolating: clean in From, violating in To.
+	NewlyViolating int
+	// StillViolating / StillClean complete the 2×2 table.
+	StillViolating int
+	StillClean     int
+	// PerRule lists each rule's turnover, catalogue-ordered.
+	PerRule []RuleChurn
+}
+
+// RuleChurn is one rule's domain-set turnover between two snapshots.
+type RuleChurn struct {
+	Rule   string
+	Lost   int // had it, lost it
+	Gained int // gained it
+	Kept   int // had it both times
+	// TurnoverPct is (Lost+Gained) / (Kept+Lost+Gained), the share of the
+	// involved domains that changed state.
+	TurnoverPct float64
+}
+
+// ChurnBetween compares two crawls over the domains analyzed in both.
+func (a *Analyzer) ChurnBetween(fromCrawl, toCrawl string) Churn {
+	c := Churn{FromCrawl: fromCrawl, ToCrawl: toCrawl}
+	from := map[string]*store.DomainResult{}
+	for _, d := range a.analyzedDomains(fromCrawl) {
+		from[d.Domain] = d
+	}
+	type counts struct{ lost, gained, kept int }
+	perRule := map[string]*counts{}
+	for _, rule := range core.RuleIDs() {
+		perRule[rule] = &counts{}
+	}
+	for _, to := range a.analyzedDomains(toCrawl) {
+		fd, ok := from[to.Domain]
+		if !ok {
+			continue
+		}
+		c.Common++
+		switch {
+		case fd.Violated() && !to.Violated():
+			c.Fixed++
+		case !fd.Violated() && to.Violated():
+			c.NewlyViolating++
+		case fd.Violated() && to.Violated():
+			c.StillViolating++
+		default:
+			c.StillClean++
+		}
+		for _, rule := range core.RuleIDs() {
+			had := fd.Violations[rule] > 0
+			has := to.Violations[rule] > 0
+			switch {
+			case had && !has:
+				perRule[rule].lost++
+			case !had && has:
+				perRule[rule].gained++
+			case had && has:
+				perRule[rule].kept++
+			}
+		}
+	}
+	for _, rule := range core.RuleIDs() {
+		pc := perRule[rule]
+		rc := RuleChurn{Rule: rule, Lost: pc.lost, Gained: pc.gained, Kept: pc.kept}
+		if total := pc.lost + pc.gained + pc.kept; total > 0 {
+			rc.TurnoverPct = 100 * float64(pc.lost+pc.gained) / float64(total)
+		}
+		c.PerRule = append(c.PerRule, rc)
+	}
+	sort.SliceStable(c.PerRule, func(i, j int) bool {
+		return c.PerRule[i].Kept+c.PerRule[i].Lost+c.PerRule[i].Gained >
+			c.PerRule[j].Kept+c.PerRule[j].Lost+c.PerRule[j].Gained
+	})
+	return c
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"github.com/hvscan/hvscan/internal/core"
+	"github.com/hvscan/hvscan/internal/store"
+)
+
+// Analyses backing the paper's Discussion section: the popularity
+// generalization of §5.2 and the deprecation roadmap of §5.3.2 turned
+// into a projection. (§5.1's dynamic-content pre-study lives in
+// internal/prestudy because it needs the generator, not the store.)
+
+// Generalization compares the most popular stratum of the dataset against
+// the least popular one within a crawl (paper §5.2: top sites are larger,
+// more complex and carry more violations on average than the tail).
+type Generalization struct {
+	Crawl string
+	Top   Stratum
+	Tail  Stratum
+}
+
+// Stratum summarizes one rank band.
+type Stratum struct {
+	Domains       int
+	ViolatingPct  float64
+	AvgViolations float64 // distinct rules per violating domain
+	TopRules      []string
+}
+
+// GeneralizationFor splits the crawl's analyzed domains into the top and
+// bottom third by rank and summarizes each.
+func (a *Analyzer) GeneralizationFor(crawl string) Generalization {
+	doms := a.analyzedDomains(crawl)
+	ranked := make([]*store.DomainResult, 0, len(doms))
+	for _, d := range doms {
+		if d.Rank > 0 {
+			ranked = append(ranked, d)
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].Rank < ranked[j].Rank })
+	g := Generalization{Crawl: crawl}
+	third := len(ranked) / 3
+	if third == 0 {
+		return g
+	}
+	g.Top = summarizeStratum(ranked[:third])
+	g.Tail = summarizeStratum(ranked[len(ranked)-third:])
+	return g
+}
+
+func summarizeStratum(doms []*store.DomainResult) Stratum {
+	s := Stratum{Domains: len(doms)}
+	violating := 0
+	totalRules := 0
+	ruleCounts := map[string]int{}
+	for _, d := range doms {
+		rules := 0
+		for rule, n := range d.Violations {
+			if n > 0 {
+				rules++
+				ruleCounts[rule]++
+			}
+		}
+		if rules > 0 {
+			violating++
+			totalRules += rules
+		}
+	}
+	if len(doms) > 0 {
+		s.ViolatingPct = 100 * float64(violating) / float64(len(doms))
+	}
+	if violating > 0 {
+		s.AvgViolations = float64(totalRules) / float64(violating)
+	}
+	type rc struct {
+		rule string
+		n    int
+	}
+	var rcs []rc
+	for rule, n := range ruleCounts {
+		rcs = append(rcs, rc{rule, n})
+	}
+	sort.Slice(rcs, func(i, j int) bool {
+		if rcs[i].n != rcs[j].n {
+			return rcs[i].n > rcs[j].n
+		}
+		return rcs[i].rule < rcs[j].rule
+	})
+	for i := 0; i < len(rcs) && i < 3; i++ {
+		s.TopRules = append(s.TopRules, rcs[i].rule)
+	}
+	return s
+}
+
+// DeprecationStage is one step of the §5.3.2 roadmap: the rules whose
+// prevalence is (projected to be) below the threshold by the given year
+// join the enforced list then.
+type DeprecationStage struct {
+	Year  int
+	Rules []string
+}
+
+// DeprecationPlan projects each rule's yearly trend forward linearly (least
+// squares over the measured series) and schedules it for enforcement in
+// the first year its rate falls below thresholdPct. Rules already below
+// the threshold in the final measured year form the first stage — exactly
+// the violations the paper proposes enforcing immediately (math-related
+// and dangling markup). Rules whose trend never reaches the threshold
+// within horizon years are reported under Year -1 ("needs developer
+// action first").
+func (a *Analyzer) DeprecationPlan(thresholdPct float64, horizon int) []DeprecationStage {
+	trends := a.RuleTrends()
+	crawls := a.Crawls()
+	if len(crawls) == 0 {
+		return nil
+	}
+	lastYear := 2015 + len(crawls) - 1
+	stageRules := map[int][]string{}
+	for _, rule := range core.RuleIDs() {
+		series := trends[rule]
+		year := enforceYear(series, thresholdPct, lastYear, horizon)
+		stageRules[year] = append(stageRules[year], rule)
+	}
+	years := make([]int, 0, len(stageRules))
+	for y := range stageRules {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	// Never-reached (-1) sorts first; move it last.
+	if len(years) > 0 && years[0] == -1 {
+		years = append(years[1:], -1)
+	}
+	var plan []DeprecationStage
+	for _, y := range years {
+		rules := stageRules[y]
+		sort.Strings(rules)
+		plan = append(plan, DeprecationStage{Year: y, Rules: rules})
+	}
+	return plan
+}
+
+// enforceYear computes the first year the linear trend drops below the
+// threshold.
+func enforceYear(series []YearlyPoint, threshold float64, lastYear, horizon int) int {
+	if len(series) == 0 {
+		return -1
+	}
+	last := series[len(series)-1].Pct
+	if last < threshold {
+		return lastYear
+	}
+	slope, intercept := linearFit(series)
+	if slope >= 0 {
+		return -1 // flat or growing: deprecation needs intervention
+	}
+	// Solve intercept + slope*x < threshold for the year index x.
+	x := (threshold - intercept) / slope
+	year := 2015 + int(math.Ceil(x))
+	if year <= lastYear {
+		year = lastYear + 1
+	}
+	if year > lastYear+horizon {
+		return -1
+	}
+	return year
+}
+
+// linearFit returns the least-squares slope and intercept of the series
+// over year indexes 0..n-1.
+func linearFit(series []YearlyPoint) (slope, intercept float64) {
+	n := float64(len(series))
+	var sumX, sumY, sumXY, sumXX float64
+	for i, p := range series {
+		x := float64(i)
+		sumX += x
+		sumY += p.Pct
+		sumXY += x * p.Pct
+		sumXX += x * x
+	}
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return 0, sumY / n
+	}
+	slope = (n*sumXY - sumX*sumY) / den
+	intercept = (sumY - slope*sumX) / n
+	return slope, intercept
+}

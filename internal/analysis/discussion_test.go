@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/corpus"
+	"github.com/hvscan/hvscan/internal/store"
+)
+
+// rankedStore builds a crawl where low ranks (popular) violate more.
+func rankedStore() *store.Store {
+	st := store.New()
+	for rank := 1; rank <= 90; rank++ {
+		v := map[string]int{}
+		switch {
+		case rank <= 30: // top stratum: two violations each
+			v["FB2"] = 1
+			v["HF4"] = 1
+		case rank <= 60: // middle
+			if rank%2 == 0 {
+				v["FB2"] = 1
+			}
+		default: // tail: one in three violates with one rule
+			if rank%3 == 0 {
+				v["DM3"] = 1
+			}
+		}
+		st.Put(&store.DomainResult{
+			Crawl: "c1", Domain: fmt.Sprintf("d%03d.example", rank), Rank: rank,
+			PagesFound: 2, PagesAnalyzed: 2, Violations: v,
+		})
+	}
+	return st
+}
+
+func TestGeneralization(t *testing.T) {
+	a := New(rankedStore())
+	g := a.GeneralizationFor("c1")
+	if g.Top.Domains != 30 || g.Tail.Domains != 30 {
+		t.Fatalf("strata = %+v", g)
+	}
+	if g.Top.ViolatingPct != 100 {
+		t.Fatalf("top violating = %f", g.Top.ViolatingPct)
+	}
+	if g.Tail.ViolatingPct >= g.Top.ViolatingPct {
+		t.Fatalf("tail (%f) not below top (%f)", g.Tail.ViolatingPct, g.Top.ViolatingPct)
+	}
+	if g.Top.AvgViolations <= g.Tail.AvgViolations {
+		t.Fatalf("avg violations: top %f vs tail %f", g.Top.AvgViolations, g.Tail.AvgViolations)
+	}
+	if len(g.Top.TopRules) == 0 || g.Top.TopRules[0] != "FB2" {
+		t.Fatalf("top rules = %v", g.Top.TopRules)
+	}
+}
+
+func TestGeneralizationEmpty(t *testing.T) {
+	a := New(store.New())
+	g := a.GeneralizationFor("missing")
+	if g.Top.Domains != 0 || g.Tail.Domains != 0 {
+		t.Fatalf("empty store produced strata: %+v", g)
+	}
+}
+
+// trendStore builds eight crawls with controlled trends: "DE9X" ... we use
+// real rule IDs with synthetic rates.
+func trendStore() *store.Store {
+	st := store.New()
+	crawls := []string{
+		"CC-MAIN-2015-14", "CC-MAIN-2016-07", "CC-MAIN-2017-04",
+		"CC-MAIN-2018-05", "CC-MAIN-2019-04", "CC-MAIN-2020-05",
+		"CC-MAIN-2021-04", "CC-MAIN-2022-05",
+	}
+	for ci, crawl := range crawls {
+		for d := 0; d < 100; d++ {
+			v := map[string]int{}
+			// FB2: flat at 50% — never enforceable by projection.
+			if d < 50 {
+				v["FB2"] = 1
+			}
+			// DE1: already rare (<1%) — stage 1.
+			if d == 0 && ci < 2 {
+				v["DE1"] = 1
+			}
+			// HF3: declining 16% -> 2%: crosses 1% soon after the window.
+			if d < 16-2*ci {
+				v["HF3"] = 1
+			}
+			st.Put(&store.DomainResult{
+				Crawl: crawl, Domain: fmt.Sprintf("d%03d.example", d), Rank: d + 1,
+				PagesFound: 1, PagesAnalyzed: 1, Violations: v,
+			})
+		}
+	}
+	return st
+}
+
+func TestDeprecationPlan(t *testing.T) {
+	a := New(trendStore())
+	plan := a.DeprecationPlan(1.0, 15)
+	if len(plan) == 0 {
+		t.Fatal("empty plan")
+	}
+	stageOf := map[string]int{}
+	for _, stage := range plan {
+		for _, r := range stage.Rules {
+			stageOf[r] = stage.Year
+		}
+	}
+	// Every rule must be scheduled somewhere.
+	if len(stageOf) != 20 {
+		t.Fatalf("%d rules scheduled", len(stageOf))
+	}
+	// DE1 is already below 1% in 2022: first stage.
+	if stageOf["DE1"] != 2022 {
+		t.Fatalf("DE1 scheduled for %d", stageOf["DE1"])
+	}
+	// HF3 declines 2 points/year from 2%: below 1% within a year or two.
+	if y := stageOf["HF3"]; y < 2023 || y > 2026 {
+		t.Fatalf("HF3 scheduled for %d", y)
+	}
+	// FB2 is flat at 50%: never enforceable by trend alone.
+	if stageOf["FB2"] != -1 {
+		t.Fatalf("FB2 scheduled for %d, want -1 (needs intervention)", stageOf["FB2"])
+	}
+	// Stages are year-ordered with -1 last.
+	for i := 1; i < len(plan); i++ {
+		if plan[i-1].Year == -1 {
+			t.Fatalf("-1 stage not last: %v", plan)
+		}
+		if plan[i].Year != -1 && plan[i].Year < plan[i-1].Year {
+			t.Fatalf("stages out of order: %v", plan)
+		}
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	series := []YearlyPoint{{Pct: 10}, {Pct: 8}, {Pct: 6}, {Pct: 4}}
+	slope, intercept := linearFit(series)
+	if slope > -1.99 || slope < -2.01 {
+		t.Fatalf("slope = %f", slope)
+	}
+	if intercept > 10.01 || intercept < 9.99 {
+		t.Fatalf("intercept = %f", intercept)
+	}
+}
+
+func TestChurnBetween(t *testing.T) {
+	st := store.New()
+	put := func(crawl, domain string, v map[string]int) {
+		st.Put(&store.DomainResult{
+			Crawl: crawl, Domain: domain, PagesFound: 1, PagesAnalyzed: 1, Violations: v,
+		})
+	}
+	// a: fixed; b: newly violating; c: still violating with rule churn
+	// (FB2 lost, DM3 gained, HF4 kept); d: still clean; e: only in c2.
+	put("c1", "a", map[string]int{"FB2": 1})
+	put("c1", "b", nil)
+	put("c1", "c", map[string]int{"FB2": 1, "HF4": 1})
+	put("c1", "d", nil)
+	put("c2", "a", nil)
+	put("c2", "b", map[string]int{"DM3": 1})
+	put("c2", "c", map[string]int{"DM3": 1, "HF4": 2})
+	put("c2", "d", nil)
+	put("c2", "e", map[string]int{"FB1": 1})
+
+	a := New(st)
+	ch := a.ChurnBetween("c1", "c2")
+	if ch.Common != 4 {
+		t.Fatalf("common = %d", ch.Common)
+	}
+	if ch.Fixed != 1 || ch.NewlyViolating != 1 || ch.StillViolating != 1 || ch.StillClean != 1 {
+		t.Fatalf("churn = %+v", ch)
+	}
+	get := func(rule string) RuleChurn {
+		for _, rc := range ch.PerRule {
+			if rc.Rule == rule {
+				return rc
+			}
+		}
+		t.Fatalf("rule %s missing", rule)
+		return RuleChurn{}
+	}
+	if fb2 := get("FB2"); fb2.Lost != 2 || fb2.Gained != 0 || fb2.Kept != 0 || fb2.TurnoverPct != 100 {
+		t.Fatalf("FB2 churn = %+v", fb2)
+	}
+	if dm3 := get("DM3"); dm3.Gained != 2 || dm3.Lost != 0 {
+		t.Fatalf("DM3 churn = %+v", dm3)
+	}
+	if hf4 := get("HF4"); hf4.Kept != 1 || hf4.TurnoverPct != 0 {
+		t.Fatalf("HF4 churn = %+v", hf4)
+	}
+	// e is not common to both snapshots: FB1 must not count.
+	if fb1 := get("FB1"); fb1.Gained != 0 {
+		t.Fatalf("FB1 churn = %+v", fb1)
+	}
+}
+
+// TestChurnOnGeneratedCorpus ties the churn mechanism to the headline
+// union effect: turnover must be substantial for the high-churn rules.
+func TestChurnOnGeneratedCorpus(t *testing.T) {
+	a := New(corpusForChurn())
+	ch := a.ChurnBetween("CC-MAIN-2015-14", "CC-MAIN-2022-05")
+	if ch.Common < 500 {
+		t.Fatalf("common = %d", ch.Common)
+	}
+	if ch.Fixed == 0 || ch.NewlyViolating == 0 {
+		t.Fatalf("no churn observed: %+v", ch)
+	}
+	for _, rc := range ch.PerRule {
+		if rc.Rule == "FB2" {
+			// FB2 churns fast (ruleChurn 0.43/yr over 7 years).
+			if rc.TurnoverPct < 40 {
+				t.Fatalf("FB2 turnover %.1f%%, want substantial", rc.TurnoverPct)
+			}
+		}
+	}
+}
+
+// corpusForChurn builds a store from generator ground truth (no parsing).
+func corpusForChurn() *store.Store {
+	g := corpus.New(corpus.Config{Seed: 31, Domains: 800, MaxPages: 1})
+	st := store.New()
+	for _, snap := range []corpus.Snapshot{corpus.Snapshots[0], corpus.Snapshots[7]} {
+		for rank, d := range g.Universe() {
+			if !g.Present(d, snap) || !g.Succeeds(d, snap) {
+				continue
+			}
+			v := map[string]int{}
+			for _, r := range g.ActiveRules(d, snap) {
+				v[r] = 1
+			}
+			st.Put(&store.DomainResult{
+				Crawl: snap.ID, Domain: d, Rank: rank + 1,
+				PagesFound: 1, PagesAnalyzed: 1, Violations: v,
+			})
+		}
+	}
+	return st
+}

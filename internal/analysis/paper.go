@@ -1,0 +1,128 @@
+package analysis
+
+// Reference values published in the paper, used by the report layer and
+// the benchmarks to print paper-vs-measured comparisons. Figure series
+// are transcribed from the plotted lines; in-text numbers are exact.
+
+// PaperYears are the study years, aligned with all series below.
+var PaperYears = []int{2015, 2016, 2017, 2018, 2019, 2020, 2021, 2022}
+
+// PaperFigure9 is the percentage of analyzed domains with at least one
+// violation per year (exact, printed on the figure).
+var PaperFigure9 = []float64{74.31, 73.57, 74.85, 71.68, 71.71, 70.29, 69.22, 68.38}
+
+// PaperFigure8 is the all-years distribution: percentage of the 23,983
+// dataset domains on which each violation appeared at least once (exact,
+// printed on the figure).
+var PaperFigure8 = map[string]float64{
+	"FB2": 78.54, "DM3": 75.14, "FB1": 42.84, "HF4": 39.64,
+	"HF1": 36.13, "HF2": 32.81, "HF3": 28.52, "DM1": 21.02,
+	"DM2_3": 13.28, "HF5_1": 10.12, "DE4": 7.03, "DE3_2": 5.25,
+	"DE3_1": 4.46, "DM2_1": 1.79, "DM2_2": 1.31, "HF5_2": 1.22,
+	"DE3_3": 0.93, "DE2": 0.27, "DE1": 0.10, "HF5_3": 0.01,
+}
+
+// PaperFigure8Order is the figure's x-axis order (descending prevalence).
+var PaperFigure8Order = []string{
+	"FB2", "DM3", "FB1", "HF4", "HF1", "HF2", "HF3", "DM1", "DM2_3",
+	"HF5_1", "DE4", "DE3_2", "DE3_1", "DM2_1", "DM2_2", "HF5_2",
+	"DE3_3", "DE2", "DE1", "HF5_3",
+}
+
+// PaperFigure10 carries the problem-group trend endpoints stated in §4.3
+// (full series are only plotted; endpoints are in the text).
+var PaperFigure10 = map[string][2]float64{
+	"FB": {52, 43},
+	"DM": {47, 44},
+	"HF": {42, 33},
+	"DE": {5, 4},
+}
+
+// PaperTable2 rows: analyzed domains and average pages per crawl.
+type PaperTable2Row struct {
+	Crawl      string
+	Domains    int
+	Analyzed   int
+	SuccessPct float64
+	AvgPages   float64
+}
+
+// PaperTable2 is Table 2 of the paper.
+var PaperTable2 = []PaperTable2Row{
+	{"CC-MAIN-2015-14", 21068, 20579, 97.7, 78.8},
+	{"CC-MAIN-2016-07", 21156, 20705, 97.9, 77.9},
+	{"CC-MAIN-2017-04", 22311, 22038, 98.8, 87.3},
+	{"CC-MAIN-2018-05", 22504, 22271, 99.0, 88.3},
+	{"CC-MAIN-2019-04", 23049, 22830, 99.1, 90.1},
+	{"CC-MAIN-2020-05", 22923, 22736, 99.2, 89.7},
+	{"CC-MAIN-2021-04", 22843, 22668, 99.3, 89.8},
+	{"CC-MAIN-2022-05", 22583, 22429, 99.3, 89.7},
+}
+
+// Headline in-text numbers.
+const (
+	// PaperUnionViolatingPct: 22,187 of 23,983 domains (92%) violated at
+	// least once over the eight years (§4.2).
+	PaperUnionViolatingPct = 92.0
+	// PaperViolating2022Pct: 68% of domains still violate in 2022.
+	PaperViolating2022Pct = 68.38
+	// PaperFixableOfViolatingPct: automation would repair 46% of violating
+	// sites (15,337 → 8,298; §4.4).
+	PaperFixableOfViolatingPct = 46.0
+	// PaperRemainingAfterFixPct: 37% of all domains would still violate
+	// after automatic fixes (§4.4).
+	PaperRemainingAfterFixPct = 37.0
+	// PaperScriptInAttr2015Pct / 2022: the nonce-stealing mitigation
+	// signal (§4.5).
+	PaperScriptInAttr2015Pct = 1.5
+	PaperScriptInAttr2022Pct = 1.4
+	// PaperNewlineURL2015Pct / 2022: URLs with a raw newline (§4.5).
+	PaperNewlineURL2015Pct = 11.2
+	PaperNewlineURL2022Pct = 11.0
+	// PaperNewlineLt2015Pct / 2022: URLs with newline and '<' (§4.5).
+	PaperNewlineLt2015Pct = 1.37
+	PaperNewlineLt2022Pct = 0.76
+	// PaperMathDomains2015 / 2022: benign math element adoption (§4.2).
+	PaperMathDomains2015 = 42
+	PaperMathDomains2022 = 224
+)
+
+// PaperRuleTrends carries the per-violation yearly series of Appendix B
+// (Figures 16–21), transcribed from the plots; values are percentages of
+// analyzed domains.
+var PaperRuleTrends = map[string][]float64{
+	"FB2":   {50.0, 49.0, 50.0, 47.0, 46.0, 45.0, 44.0, 43.0},
+	"FB1":   {28.0, 27.0, 27.0, 24.0, 22.0, 21.0, 19.0, 17.0},
+	"DM3":   {42.0, 41.0, 42.0, 40.0, 39.0, 39.0, 38.5, 38.0},
+	"DM1":   {11.0, 11.0, 10.5, 10.0, 9.5, 9.0, 8.8, 8.5},
+	"DM2_1": {0.9, 0.9, 0.85, 0.8, 0.75, 0.7, 0.65, 0.6},
+	"DM2_2": {0.7, 0.7, 0.65, 0.6, 0.55, 0.5, 0.48, 0.45},
+	"DM2_3": {7.0, 7.0, 6.8, 6.4, 6.0, 5.7, 5.4, 5.2},
+	"HF1":   {17.0, 16.5, 16.0, 15.0, 14.0, 13.0, 12.0, 11.0},
+	"HF2":   {16.0, 15.5, 15.0, 14.0, 13.5, 13.0, 12.5, 12.0},
+	"HF3":   {12.0, 11.5, 11.0, 10.0, 9.5, 9.0, 8.5, 8.0},
+	"HF4":   {25.0, 24.0, 24.0, 22.0, 20.0, 19.0, 18.0, 17.0},
+	"HF5_1": {5.0, 5.0, 4.8, 4.6, 4.4, 4.2, 4.0, 3.8},
+	"HF5_2": {1.30, 1.25, 1.20, 1.15, 1.10, 1.05, 1.00, 0.95},
+	"HF5_3": {0.005, 0.005, 0.005, 0.006, 0.006, 0.007, 0.007, 0.008},
+	"DE4":   {2.0, 1.9, 1.9, 1.8, 1.7, 1.6, 1.6, 1.5},
+	"DE3_2": {1.50, 1.48, 1.46, 1.44, 1.42, 1.41, 1.40, 1.40},
+	"DE3_1": {1.37, 1.30, 1.20, 1.10, 1.00, 0.90, 0.80, 0.76},
+	"DE3_3": {0.30, 0.28, 0.27, 0.25, 0.24, 0.22, 0.21, 0.20},
+	"DE2":   {0.08, 0.08, 0.07, 0.07, 0.06, 0.06, 0.06, 0.05},
+	"DE1":   {0.03, 0.03, 0.03, 0.025, 0.025, 0.02, 0.02, 0.02},
+}
+
+// AppendixFigures maps each Appendix B figure to the rules it plots.
+var AppendixFigures = []struct {
+	Figure string
+	Title  string
+	Rules  []string
+}{
+	{"16", "Filter Bypass", []string{"FB2", "FB1"}},
+	{"17", "HTML Formatting 1", []string{"HF1", "HF2", "HF3"}},
+	{"18", "HTML Formatting 2", []string{"HF4", "HF5_1", "HF5_2", "HF5_3"}},
+	{"19", "Data Manipulation", []string{"DM1", "DM2_1", "DM2_2", "DM2_3", "DM3"}},
+	{"20", "Data Exfiltration 1", []string{"DE3_1", "DE3_2", "DE3_3"}},
+	{"21", "Data Exfiltration 2", []string{"DE1", "DE2", "DE4"}},
+}

@@ -1,0 +1,163 @@
+// Package autofix implements the automatic repair the paper's §4.4 argues
+// for: the FB and DM violation classes can be eliminated without human
+// judgment. FB1/FB2 (and stray syntax generally) are repaired by the
+// serialize-after-parse round trip — "repairing the syntax and leaving the
+// semantics as it is"; DM3 by dropping the duplicate attributes the parser
+// ignores anyway; DM1/DM2 by relocating meta/base elements into the head
+// and deduplicating base. HF and DE violations are out of scope by design:
+// fixing them needs the developer's intent (where should a form submit?
+// which section was an element meant for?).
+package autofix
+
+import (
+	"fmt"
+
+	"github.com/hvscan/hvscan/internal/core"
+	"github.com/hvscan/hvscan/internal/htmlparse"
+)
+
+// Fix is one repair action taken.
+type Fix struct {
+	RuleID      string
+	Description string
+	Pos         htmlparse.Position
+}
+
+func (f Fix) String() string {
+	return fmt.Sprintf("%s: %s", f.RuleID, f.Description)
+}
+
+// Result is the outcome of Repair.
+type Result struct {
+	// Output is the repaired document.
+	Output []byte
+	// Applied lists the repairs, in document order per class.
+	Applied []Fix
+}
+
+// FixableRuleIDs returns the violations Repair eliminates (the paper's
+// auto-fixable classes).
+func FixableRuleIDs() []string {
+	var out []string
+	for _, r := range core.Rules() {
+		if r.AutoFixable {
+			out = append(out, r.ID)
+		}
+	}
+	return out
+}
+
+// Repair parses the document with the error-tolerant parser, applies the
+// DM-class DOM repairs, and re-serializes — which normalizes away the
+// FB-class syntax errors. The output renders identically (the DOM the
+// browser would build is unchanged except for the relocated metadata,
+// which the parser would have applied head rules to anyway).
+func Repair(input []byte) (*Result, error) {
+	res, err := htmlparse.Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{}
+	r.noteSyntaxFixes(res)
+	r.fixMetadata(res)
+	r.Output = []byte(htmlparse.RenderString(res.Doc))
+	return r, nil
+}
+
+// noteSyntaxFixes records the FB/DM3 errors that serialization repairs.
+func (r *Result) noteSyntaxFixes(res *htmlparse.Result) {
+	for _, e := range res.Errors {
+		switch e.Code {
+		case htmlparse.ErrUnexpectedSolidusInTag:
+			r.Applied = append(r.Applied, Fix{"FB1", "replaced solidus attribute separator with whitespace", e.Pos})
+		case htmlparse.ErrMissingWhitespaceBetweenAttributes:
+			r.Applied = append(r.Applied, Fix{"FB2", "inserted missing whitespace between attributes", e.Pos})
+		case htmlparse.ErrDuplicateAttribute:
+			r.Applied = append(r.Applied, Fix{"DM3", "dropped duplicate attribute " + e.Detail, e.Pos})
+		}
+	}
+}
+
+// fixMetadata relocates wrongly placed meta[http-equiv] and base elements
+// into the head and deduplicates base elements.
+func (r *Result) fixMetadata(res *htmlparse.Result) {
+	doc := res.Doc
+	head := doc.Find(func(n *htmlparse.Node) bool { return n.IsElement("head") })
+	if head == nil {
+		return
+	}
+	// Collect offenders first: mutating while walking is undefined.
+	var moveToHead []*htmlparse.Node
+	var bases []*htmlparse.Node
+	doc.Walk(func(n *htmlparse.Node) bool {
+		switch {
+		case n.IsElement("base"):
+			bases = append(bases, n)
+		case n.IsElement("meta"):
+			if _, ok := n.LookupAttr("http-equiv"); ok && n.Ancestor("head") == nil {
+				moveToHead = append(moveToHead, n)
+			}
+		}
+		return true
+	})
+	for _, n := range moveToHead {
+		n.Parent.RemoveChild(n)
+		head.AppendChild(n)
+		r.Applied = append(r.Applied, Fix{"DM1", "moved meta[http-equiv] into head", n.Pos})
+	}
+	if len(bases) == 0 {
+		return
+	}
+	// The spec uses the first base element and ignores the rest; the
+	// repair keeps exactly that one, placed before any URL-consuming
+	// element (i.e. as the head's first child).
+	first := bases[0]
+	for _, extra := range bases[1:] {
+		extra.Parent.RemoveChild(extra)
+		r.Applied = append(r.Applied, Fix{"DM2_2", "removed extra base element", extra.Pos})
+	}
+	outsideHead := first.Ancestor("head") == nil
+	afterURL := basePlacedAfterURL(doc, first)
+	if outsideHead || afterURL {
+		first.Parent.RemoveChild(first)
+		head.InsertBefore(first, head.FirstChild)
+		if outsideHead {
+			r.Applied = append(r.Applied, Fix{"DM2_1", "moved base element into head", first.Pos})
+		}
+		if afterURL {
+			r.Applied = append(r.Applied, Fix{"DM2_3", "moved base before URL-consuming elements", first.Pos})
+		}
+	}
+}
+
+// basePlacedAfterURL reports whether an element carrying a URL attribute
+// precedes the base in document order.
+func basePlacedAfterURL(doc, base *htmlparse.Node) bool {
+	urlSeen := false
+	after := false
+	doc.Walk(func(n *htmlparse.Node) bool {
+		if n == base {
+			after = urlSeen
+			return false
+		}
+		if n.Type == htmlparse.ElementNode && !n.IsElement("base") {
+			for _, a := range n.Attr {
+				if isURLAttr(a.Name) && a.Value != "" {
+					urlSeen = true
+					break
+				}
+			}
+		}
+		return true
+	})
+	return after
+}
+
+func isURLAttr(name string) bool {
+	switch name {
+	case "href", "src", "action", "formaction", "data", "poster", "cite",
+		"background", "longdesc", "usemap", "manifest", "ping", "srcset", "icon":
+		return true
+	}
+	return false
+}

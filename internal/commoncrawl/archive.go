@@ -1,0 +1,232 @@
+// Package commoncrawl simulates the Common Crawl access path the paper's
+// framework uses: a CDX index queried per domain plus ranged reads into
+// WARC archives. Both a synthetic, generate-on-demand archive and an
+// on-disk archive (written by cmd/hvgen) implement the same interface, and
+// both can be served over HTTP (cmd/ccserve) or consumed in-process.
+package commoncrawl
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/hvscan/hvscan/internal/cdx"
+	"github.com/hvscan/hvscan/internal/corpus"
+	"github.com/hvscan/hvscan/internal/warc"
+)
+
+// Archive is a queryable snapshot collection.
+type Archive interface {
+	// Crawls lists the snapshot identifiers, oldest first.
+	Crawls() []string
+	// Query returns up to limit captures of the domain in the crawl.
+	Query(crawl, domain string, limit int) ([]*cdx.Record, error)
+	// ReadRange returns length bytes at offset of the named WARC file.
+	ReadRange(filename string, offset, length int64) ([]byte, error)
+}
+
+// Capture is one fetched page, decoded down to the HTTP payload.
+type Capture struct {
+	URL    string
+	MIME   string
+	Status int
+	Body   []byte
+}
+
+// FetchCapture materializes a capture from any Archive.
+func FetchCapture(a Archive, rec *cdx.Record) (*Capture, error) {
+	raw, err := a.ReadRange(rec.Filename, rec.Offset, rec.Length)
+	if err != nil {
+		return nil, err
+	}
+	wrec, err := warc.ReadRecordAt(raw, 0, int64(len(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("commoncrawl: record %s@%d: %w", rec.Filename, rec.Offset, err)
+	}
+	resp, err := warc.ParseHTTPResponse(wrec.Block)
+	if err != nil {
+		return nil, err
+	}
+	return &Capture{
+		URL:    wrec.TargetURI(),
+		MIME:   mimeOf(resp.Headers.Get("Content-Type")),
+		Status: resp.StatusCode,
+		Body:   resp.Body,
+	}, nil
+}
+
+func mimeOf(contentType string) string {
+	for i := 0; i < len(contentType); i++ {
+		if contentType[i] == ';' {
+			return trimSpace(contentType[:i])
+		}
+	}
+	return trimSpace(contentType)
+}
+
+func trimSpace(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// SyntheticArchive renders the corpus lazily: each (crawl, domain) pair
+// materializes as one per-domain WARC blob, built deterministically on
+// first access and cached. This is the substitution for Common Crawl's
+// petabytes described in DESIGN.md §4.
+type SyntheticArchive struct {
+	g *corpus.Generator
+
+	mu    sync.Mutex
+	cache map[string]*domainBlob
+	// cacheCap bounds memory; the cache is cleared wholesale when full
+	// (access patterns are domain-sequential, so this is cheap and safe).
+	cacheCap int
+}
+
+type domainBlob struct {
+	data    []byte
+	records []*cdx.Record
+}
+
+// NewSynthetic wraps a corpus generator.
+func NewSynthetic(g *corpus.Generator) *SyntheticArchive {
+	return &SyntheticArchive{g: g, cache: make(map[string]*domainBlob), cacheCap: 512}
+}
+
+// Generator exposes the backing corpus generator (for ground-truth tests).
+func (a *SyntheticArchive) Generator() *corpus.Generator { return a.g }
+
+// Crawls lists the eight snapshot IDs.
+func (a *SyntheticArchive) Crawls() []string {
+	out := make([]string, len(corpus.Snapshots))
+	for i, s := range corpus.Snapshots {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// blobName is the synthetic WARC filename for a crawl/domain pair.
+func blobName(crawl, domain string) string {
+	return crawl + "/" + domain + ".warc.gz"
+}
+
+// splitBlobName reverses blobName.
+func splitBlobName(filename string) (crawl, domain string, ok bool) {
+	for i := 0; i < len(filename); i++ {
+		if filename[i] == '/' {
+			crawl = filename[:i]
+			rest := filename[i+1:]
+			if len(rest) > 8 && rest[len(rest)-8:] == ".warc.gz" {
+				return crawl, rest[:len(rest)-8], true
+			}
+			return "", "", false
+		}
+	}
+	return "", "", false
+}
+
+func (a *SyntheticArchive) blob(crawl, domain string) (*domainBlob, error) {
+	snap, ok := corpus.SnapshotByID(crawl)
+	if !ok {
+		return nil, fmt.Errorf("commoncrawl: unknown crawl %q", crawl)
+	}
+	key := blobName(crawl, domain)
+	a.mu.Lock()
+	if b, ok := a.cache[key]; ok {
+		a.mu.Unlock()
+		return b, nil
+	}
+	a.mu.Unlock()
+
+	b := a.render(snap, domain)
+
+	a.mu.Lock()
+	if len(a.cache) >= a.cacheCap {
+		a.cache = make(map[string]*domainBlob)
+	}
+	a.cache[key] = b
+	a.mu.Unlock()
+	return b, nil
+}
+
+// render builds the per-domain WARC blob and its index records.
+func (a *SyntheticArchive) render(snap corpus.Snapshot, domain string) *domainBlob {
+	b := &domainBlob{}
+	n := a.g.PageCount(domain, snap)
+	if n == 0 {
+		return b
+	}
+	var buf bytes.Buffer
+	w := warc.NewWriter(&buf)
+	filename := blobName(snap.ID, domain)
+	for i := 0; i < n; i++ {
+		status, ctype, body := a.g.PageHTTP(domain, snap, i)
+		url := a.g.PageURL(domain, i)
+		block := warc.BuildHTTPResponse(status, ctype, body)
+		rec := warc.NewResponse(url, snap.Date, block)
+		rec.Headers.Set(warc.HeaderPayloadType, mimeOf(ctype))
+		off, length, err := w.Write(rec)
+		if err != nil {
+			// bytes.Buffer writes cannot fail; a failure here is a bug.
+			panic(err)
+		}
+		b.records = append(b.records, &cdx.Record{
+			SURT:      cdx.SURT(url),
+			Timestamp: cdx.Timestamp(snap.Date),
+			URL:       url,
+			MIME:      mimeOf(ctype),
+			Status:    status,
+			Length:    length,
+			Offset:    off,
+			Filename:  filename,
+		})
+	}
+	b.data = buf.Bytes()
+	return b
+}
+
+// Query returns the domain's captures in the crawl, HTML first (mirroring
+// the paper's MIME-filtered index queries), capped at limit.
+func (a *SyntheticArchive) Query(crawl, domain string, limit int) ([]*cdx.Record, error) {
+	b, err := a.blob(crawl, domain)
+	if err != nil {
+		return nil, err
+	}
+	recs := b.records
+	sorted := append([]*cdx.Record(nil), recs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		hi := sorted[i].MIME == "text/html"
+		hj := sorted[j].MIME == "text/html"
+		if hi != hj {
+			return hi
+		}
+		return sorted[i].SURT < sorted[j].SURT
+	})
+	if limit > 0 && len(sorted) > limit {
+		sorted = sorted[:limit]
+	}
+	return sorted, nil
+}
+
+// ReadRange slices the (re)generated blob.
+func (a *SyntheticArchive) ReadRange(filename string, offset, length int64) ([]byte, error) {
+	crawl, domain, ok := splitBlobName(filename)
+	if !ok {
+		return nil, fmt.Errorf("commoncrawl: bad synthetic filename %q", filename)
+	}
+	b, err := a.blob(crawl, domain)
+	if err != nil {
+		return nil, err
+	}
+	if offset < 0 || offset+length > int64(len(b.data)) {
+		return nil, fmt.Errorf("commoncrawl: range [%d,%d) outside %q (%d bytes)",
+			offset, offset+length, filename, len(b.data))
+	}
+	return b.data[offset : offset+length], nil
+}

@@ -1,0 +1,100 @@
+package commoncrawl
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"github.com/hvscan/hvscan/internal/cdx"
+)
+
+// Client talks to a Server over HTTP and itself satisfies Archive, so the
+// crawl pipeline runs identically in-process and across the network.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+var _ Archive = (*Client)(nil)
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8087").
+func NewClient(base string) *Client {
+	return &Client{
+		base: base,
+		hc: &http.Client{
+			Timeout: 60 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		},
+	}
+}
+
+// Crawls lists the server's snapshots.
+func (c *Client) Crawls() []string {
+	resp, err := c.hc.Get(c.base + "/crawls")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var out []string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil
+	}
+	return out
+}
+
+// Query asks the index endpoint for a domain's captures.
+func (c *Client) Query(crawl, domain string, limit int) ([]*cdx.Record, error) {
+	u := fmt.Sprintf("%s/cc-index?crawl=%s&url=%s&limit=%d",
+		c.base, url.QueryEscape(crawl), url.QueryEscape(domain), limit)
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("commoncrawl: index query %s: %s: %s", u, resp.Status, body)
+	}
+	var out []*cdx.Record
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		rec, err := cdx.ParseLine(sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// ReadRange issues a ranged GET against the data endpoint.
+func (c *Client) ReadRange(filename string, offset, length int64) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/data/"+filename, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Range", "bytes="+strconv.FormatInt(offset, 10)+"-"+strconv.FormatInt(offset+length-1, 10))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent && resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("commoncrawl: range read %s@%d: %s: %s", filename, offset, resp.Status, body)
+	}
+	return io.ReadAll(resp.Body)
+}

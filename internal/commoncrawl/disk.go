@@ -1,0 +1,125 @@
+package commoncrawl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/hvscan/hvscan/internal/cdx"
+)
+
+// DiskArchive serves a directory written by cmd/hvgen:
+//
+//	root/
+//	  CC-MAIN-2015-14/
+//	    segment-0000.warc.gz
+//	    index.cdxj
+//	  CC-MAIN-2016-07/
+//	    ...
+//
+// The CDX indexes load eagerly (they are small); WARC files are read with
+// ranged pread calls, the same access pattern as S3 range requests against
+// the real Common Crawl.
+type DiskArchive struct {
+	root    string
+	crawls  []string
+	indexes map[string]*cdx.Index
+
+	mu    sync.Mutex
+	files map[string]*os.File
+}
+
+// OpenDisk loads the archive layout under root.
+func OpenDisk(root string) (*DiskArchive, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("commoncrawl: open disk archive: %w", err)
+	}
+	a := &DiskArchive{
+		root:    root,
+		indexes: make(map[string]*cdx.Index),
+		files:   make(map[string]*os.File),
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		idxPath := filepath.Join(root, e.Name(), "index.cdxj")
+		f, err := os.Open(idxPath)
+		if err != nil {
+			continue // not a crawl directory
+		}
+		ix, err := cdx.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("commoncrawl: %s: %w", idxPath, err)
+		}
+		a.crawls = append(a.crawls, e.Name())
+		a.indexes[e.Name()] = ix
+	}
+	if len(a.crawls) == 0 {
+		return nil, fmt.Errorf("commoncrawl: no crawls under %s", root)
+	}
+	sort.Strings(a.crawls)
+	return a, nil
+}
+
+// Close releases cached file handles.
+func (a *DiskArchive) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var first error
+	for _, f := range a.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	a.files = make(map[string]*os.File)
+	return first
+}
+
+// Crawls lists the crawl directories found.
+func (a *DiskArchive) Crawls() []string { return append([]string(nil), a.crawls...) }
+
+// Query looks the domain up in the crawl's CDX index.
+func (a *DiskArchive) Query(crawl, domain string, limit int) ([]*cdx.Record, error) {
+	ix, ok := a.indexes[crawl]
+	if !ok {
+		return nil, fmt.Errorf("commoncrawl: unknown crawl %q", crawl)
+	}
+	return ix.LookupPrefix(domain, limit), nil
+}
+
+// ReadRange preads from the named WARC file. Filenames in disk indexes are
+// "<crawl>/<segment>.warc.gz", relative to root.
+func (a *DiskArchive) ReadRange(filename string, offset, length int64) ([]byte, error) {
+	if strings.Contains(filename, "..") {
+		return nil, fmt.Errorf("commoncrawl: invalid filename %q", filename)
+	}
+	a.mu.Lock()
+	f, ok := a.files[filename]
+	a.mu.Unlock()
+	if !ok {
+		var err error
+		f, err = os.Open(filepath.Join(a.root, filepath.FromSlash(filename)))
+		if err != nil {
+			return nil, err
+		}
+		a.mu.Lock()
+		if prev, raced := a.files[filename]; raced {
+			_ = f.Close()
+			f = prev
+		} else {
+			a.files[filename] = f
+		}
+		a.mu.Unlock()
+	}
+	buf := make([]byte, length)
+	if _, err := f.ReadAt(buf, offset); err != nil {
+		return nil, fmt.Errorf("commoncrawl: read %s@%d+%d: %w", filename, offset, length, err)
+	}
+	return buf, nil
+}

@@ -1,0 +1,114 @@
+package commoncrawl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Server exposes an Archive over HTTP with the access shape of the real
+// Common Crawl infrastructure:
+//
+//	GET /crawls                                  -> JSON array of crawl IDs
+//	GET /cc-index?crawl=ID&url=domain&limit=N    -> CDXJ lines
+//	GET /data/<filename>   (Range: bytes=a-b)    -> raw WARC bytes
+//
+// The index endpoint mirrors index.commoncrawl.org, the data endpoint the
+// S3 bucket's ranged GETs.
+type Server struct {
+	archive Archive
+	mux     *http.ServeMux
+}
+
+// NewServer wraps an archive.
+func NewServer(a Archive) *Server {
+	s := &Server{archive: a, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /crawls", s.handleCrawls)
+	s.mux.HandleFunc("GET /cc-index", s.handleIndex)
+	s.mux.HandleFunc("GET /data/", s.handleData)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleCrawls(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.archive.Crawls()); err != nil {
+		// Connection-level failure; nothing further to do.
+		return
+	}
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	crawl, domain := q.Get("crawl"), q.Get("url")
+	if crawl == "" || domain == "" {
+		http.Error(w, "crawl and url parameters required", http.StatusBadRequest)
+		return
+	}
+	limit := 0
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	recs, err := s.archive.Query(crawl, domain, limit)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/x-cdxj")
+	for _, rec := range recs {
+		if _, err := fmt.Fprintln(w, rec.Line()); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
+	filename := strings.TrimPrefix(r.URL.Path, "/data/")
+	rng := r.Header.Get("Range")
+	offset, length, err := parseRange(rng)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, err := s.archive.ReadRange(filename, offset, length)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Range",
+		fmt.Sprintf("bytes %d-%d/*", offset, offset+length-1))
+	w.WriteHeader(http.StatusPartialContent)
+	_, _ = w.Write(data)
+}
+
+// parseRange decodes a single "bytes=a-b" range (inclusive bounds, as S3
+// and HTTP use).
+func parseRange(h string) (offset, length int64, err error) {
+	spec, ok := strings.CutPrefix(h, "bytes=")
+	if !ok {
+		return 0, 0, fmt.Errorf("missing or unsupported Range header %q", h)
+	}
+	a, b, ok := strings.Cut(spec, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad Range %q", h)
+	}
+	start, err := strconv.ParseInt(a, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad Range start %q", a)
+	}
+	end, err := strconv.ParseInt(b, 10, 64)
+	if err != nil || end < start {
+		return 0, 0, fmt.Errorf("bad Range end %q", b)
+	}
+	return start, end - start + 1, nil
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/hvscan/hvscan/internal/htmlparse"
+)
+
+// Report is the outcome of checking one page against the catalogue.
+type Report struct {
+	URL      string
+	Findings []Finding
+	// RuleHits maps rule ID to the number of findings for it.
+	RuleHits map[string]int
+	// Signals are the auxiliary per-page measurements of paper §4.2/§4.5
+	// (mitigation overlap, math element usage).
+	Signals Signals
+}
+
+// Signals captures page properties the paper's mitigation analysis (§4.5)
+// and general statistics (§4.2) report alongside the violations.
+type Signals struct {
+	// NewlineInURL: some URL-valued attribute contains a raw newline
+	// (West's 2017 measurement: 0.47% of page views).
+	NewlineInURL bool
+	// NewlineAndLtInURL: a URL contains both a newline and '<' — the
+	// condition Chromium blocks since 2017.
+	NewlineAndLtInURL bool
+	// ScriptInAttribute: "<script" appears inside an attribute value — the
+	// nonce-stealing mitigation trigger.
+	ScriptInAttribute bool
+	// NonceScriptAffected: a script element carries both a CSP nonce and
+	// "<script" in an attribute, i.e. the mitigation would actually fire
+	// (the paper found zero such elements).
+	NonceScriptAffected bool
+	// UsesMath: the page contains a math element (tracked because HF5_3
+	// is so rare that the paper contrasts it with math adoption).
+	UsesMath bool
+	// UsesSVG: the page contains an svg element.
+	UsesSVG bool
+}
+
+// Violated reports whether the given rule produced at least one finding.
+func (r *Report) Violated(id string) bool { return r.RuleHits[id] > 0 }
+
+// HasViolation reports whether any rule fired.
+func (r *Report) HasViolation() bool { return len(r.Findings) > 0 }
+
+// ViolatedIDs returns the sorted IDs of all rules that fired.
+func (r *Report) ViolatedIDs() []string {
+	ids := make([]string, 0, len(r.RuleHits))
+	for id, n := range r.RuleHits {
+		if n > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// OnlyAutoFixable reports whether every violation on the page belongs to
+// the automatically repairable classes (paper §4.4: a site is "quickly
+// fixable" if automation alone would clear it).
+func (r *Report) OnlyAutoFixable() bool {
+	if !r.HasViolation() {
+		return false
+	}
+	for id := range r.RuleHits {
+		rule, ok := RuleByID(id)
+		if !ok || !rule.AutoFixable {
+			return false
+		}
+	}
+	return true
+}
+
+// Checker runs a set of rules over pages. The zero value is not usable;
+// construct with NewChecker.
+type Checker struct {
+	rules []Rule
+}
+
+// NewChecker returns a checker over the full catalogue, or over the given
+// subset if rule IDs are passed.
+func NewChecker(ids ...string) *Checker {
+	if len(ids) == 0 {
+		return &Checker{rules: Rules()}
+	}
+	var rs []Rule
+	for _, id := range ids {
+		if r, ok := RuleByID(id); ok {
+			rs = append(rs, r)
+		}
+	}
+	return &Checker{rules: rs}
+}
+
+// NewStreamingChecker returns a checker restricted to rules decidable from
+// the tokenizer alone (no tree construction). Used standalone for cheap
+// scans and by the shared-parse ablation benchmark.
+func NewStreamingChecker() *Checker {
+	var rs []Rule
+	for _, r := range Rules() {
+		if !r.TreeRequired {
+			rs = append(rs, r)
+		}
+	}
+	return &Checker{rules: rs}
+}
+
+// Rules returns the checker's rule set.
+func (c *Checker) Rules() []Rule { return c.rules }
+
+// Check parses the document and runs every rule independently over the
+// single instrumented parse. It returns htmlparse.ErrNotUTF8 for documents
+// the pipeline must filter (paper §4.1).
+func (c *Checker) Check(html []byte) (*Report, error) {
+	res, err := htmlparse.Parse(html)
+	if err != nil {
+		return nil, err
+	}
+	return c.CheckParsed(&Page{Result: res}), nil
+}
+
+// CheckParsed runs the rules over an already parsed page.
+func (c *Checker) CheckParsed(p *Page) *Report {
+	rep := &Report{URL: p.URL, RuleHits: make(map[string]int, len(c.rules))}
+	for _, rule := range c.rules {
+		fs := rule.Check(p)
+		if len(fs) > 0 {
+			rep.RuleHits[rule.ID] = len(fs)
+			rep.Findings = append(rep.Findings, fs...)
+		}
+	}
+	rep.Signals = computeSignals(p)
+	return rep
+}
+
+// CheckStream tokenizes without tree construction and runs the streaming
+// rule subset. It is the cheap path the ablation benchmarks compare
+// against a full parse.
+func (c *Checker) CheckStream(html []byte) (*Report, error) {
+	pre, err := htmlparse.Preprocess(html)
+	if err != nil {
+		return nil, err
+	}
+	z := htmlparse.NewTokenizer(pre.Input)
+	res := &htmlparse.Result{}
+	for {
+		t := z.Next()
+		if t.Type == htmlparse.EOFToken {
+			break
+		}
+		switch t.Type {
+		case htmlparse.StartTagToken, htmlparse.EndTagToken:
+			res.Tokens = append(res.Tokens, t)
+		}
+	}
+	res.Errors = append(res.Errors, pre.Errors...)
+	res.Errors = append(res.Errors, z.Errors()...)
+	p := &Page{Result: res}
+	rep := &Report{URL: p.URL, RuleHits: make(map[string]int, len(c.rules))}
+	for _, rule := range c.rules {
+		if rule.TreeRequired {
+			continue
+		}
+		fs := rule.Check(p)
+		if len(fs) > 0 {
+			rep.RuleHits[rule.ID] = len(fs)
+			rep.Findings = append(rep.Findings, fs...)
+		}
+	}
+	rep.Signals = computeSignals(p)
+	return rep, nil
+}
+
+func computeSignals(p *Page) Signals {
+	var s Signals
+	for i := range p.Tokens {
+		t := &p.Tokens[i]
+		if t.Type != htmlparse.StartTagToken {
+			continue
+		}
+		switch t.Data {
+		case "math":
+			s.UsesMath = true
+		case "svg":
+			s.UsesSVG = true
+		}
+		hasNonce := false
+		hasScriptStr := false
+		for _, a := range t.Attr {
+			if urlAttributes[a.Name] && strings.ContainsRune(a.RawValue, '\n') {
+				s.NewlineInURL = true
+				if strings.ContainsRune(a.RawValue, '<') {
+					s.NewlineAndLtInURL = true
+				}
+			}
+			if strings.Contains(strings.ToLower(a.RawValue), "<script") {
+				s.ScriptInAttribute = true
+				hasScriptStr = true
+			}
+			if a.Name == "nonce" {
+				hasNonce = true
+			}
+		}
+		if t.Data == "script" && hasNonce && hasScriptStr {
+			s.NonceScriptAffected = true
+		}
+	}
+	if p.Doc != nil {
+		if !s.UsesMath {
+			s.UsesMath = p.Doc.Find(func(n *htmlparse.Node) bool {
+				return n.Type == htmlparse.ElementNode && n.Data == "math"
+			}) != nil
+		}
+	}
+	return s
+}

@@ -1,0 +1,156 @@
+// Package core implements the security-relevant HTML specification
+// violation catalogue of Hantke & Stock (IMC '22), Table 1: twenty
+// checks across four problem groups, each defined over a single
+// instrumented parse (internal/htmlparse). This package is the paper's
+// primary contribution — the measurement rules — while the rest of the
+// repository provides the substrates to run them at scale.
+package core
+
+import (
+	"fmt"
+
+	"github.com/hvscan/hvscan/internal/htmlparse"
+)
+
+// Group classifies a violation by its security influence (paper §3.2).
+type Group string
+
+const (
+	// DataExfiltration problems are used to exfiltrate secret information.
+	DataExfiltration Group = "DE"
+	// DataManipulation problems are used to manipulate content.
+	DataManipulation Group = "DM"
+	// HTMLFormatting problems enable mutation XSS.
+	HTMLFormatting Group = "HF"
+	// FilterBypass problems bypass HTML filters and WAFs.
+	FilterBypass Group = "FB"
+)
+
+// Category separates the two violation types of paper §3.2.
+type Category string
+
+const (
+	// DefinitionViolation: the spec's definition and the parsing process
+	// contradict each other; the parser passes no error state.
+	DefinitionViolation Category = "definition"
+	// ParsingError: the parser passes a named error state in the tokenizer
+	// or tree builder and silently repairs.
+	ParsingError Category = "parsing"
+)
+
+// Rule is one violation check. Rules run independently of each other over
+// the same parse, exactly as the paper's framework runs its rules.
+type Rule struct {
+	// ID is the paper's identifier, e.g. "DE3_1" or "FB2".
+	ID string
+	// Name is the human-readable title from Table 1.
+	Name     string
+	Group    Group
+	Category Category
+	// AutoFixable marks violations the paper's §4.4 analysis classifies as
+	// automatically repairable (FB and DM groups).
+	AutoFixable bool
+	// Doc is a one-paragraph description of the attack the violation
+	// enables, with the paper section it comes from.
+	Doc string
+	// TreeRequired is false for rules decidable from the tokenizer alone
+	// (used by the streaming checker and the ablation benchmarks).
+	TreeRequired bool
+	// Check inspects one parsed page and returns all findings.
+	Check func(p *Page) []Finding
+}
+
+// Finding is one observed violation instance.
+type Finding struct {
+	RuleID   string
+	Pos      htmlparse.Position
+	Evidence string
+}
+
+func (f Finding) String() string {
+	if f.Evidence != "" {
+		return fmt.Sprintf("%s at %s: %s", f.RuleID, f.Pos, f.Evidence)
+	}
+	return fmt.Sprintf("%s at %s", f.RuleID, f.Pos)
+}
+
+// Page bundles everything the rules may inspect about one document.
+type Page struct {
+	// Result is the instrumented parse.
+	*htmlparse.Result
+	// URL is the page's address, for reporting only.
+	URL string
+}
+
+// Rules returns the complete violation catalogue in Table 1 order
+// (sub-violations expanded). The returned slice is freshly allocated; the
+// Rule values are shared and must not be mutated.
+func Rules() []Rule {
+	return []Rule{
+		ruleDE1, ruleDE2, ruleDE3_1, ruleDE3_2, ruleDE3_3, ruleDE4,
+		ruleDM1, ruleDM2_1, ruleDM2_2, ruleDM2_3, ruleDM3,
+		ruleHF1, ruleHF2, ruleHF3, ruleHF4, ruleHF5_1, ruleHF5_2, ruleHF5_3,
+		ruleFB1, ruleFB2,
+	}
+}
+
+// RuleByID returns the rule with the given ID.
+func RuleByID(id string) (Rule, bool) {
+	for _, r := range Rules() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// RuleIDs returns all rule IDs in catalogue order.
+func RuleIDs() []string {
+	rules := Rules()
+	ids := make([]string, len(rules))
+	for i, r := range rules {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// GroupOf returns the group of a rule ID ("DE3_1" -> DE). Unknown IDs map
+// to an empty group.
+func GroupOf(id string) Group {
+	if len(id) < 2 {
+		return ""
+	}
+	switch id[:2] {
+	case "DE":
+		return DataExfiltration
+	case "DM":
+		return DataManipulation
+	case "HF":
+		return HTMLFormatting
+	case "FB":
+		return FilterBypass
+	}
+	return ""
+}
+
+// errorFindings converts every parse error with the given code into a
+// finding for the rule.
+func errorFindings(p *Page, id string, code htmlparse.ErrorCode) []Finding {
+	var out []Finding
+	for _, e := range p.ErrorsByCode(code) {
+		out = append(out, Finding{RuleID: id, Pos: e.Pos, Evidence: e.Detail})
+	}
+	return out
+}
+
+// eventFindings converts matching tree events into findings.
+func eventFindings(p *Page, id string, kind htmlparse.EventKind, match func(htmlparse.TreeEvent) bool) []Finding {
+	var out []Finding
+	for _, e := range p.EventsByKind(kind) {
+		if match != nil && !match(e) {
+			continue
+		}
+		out = append(out, Finding{RuleID: id, Pos: e.Pos, Evidence: e.Detail})
+	}
+	return out
+}

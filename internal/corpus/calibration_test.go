@@ -1,0 +1,190 @@
+package corpus
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/core"
+)
+
+// TestPlantedViolationsAreDetected is the generator↔checker contract: on
+// every generated page, the checker must find every planted rule (no false
+// negatives), and any extra detections must be explainable cross-firings
+// (e.g. a base both in-body and after-URL).
+func TestPlantedViolationsAreDetected(t *testing.T) {
+	g := New(Config{Seed: 7, Domains: 160, MaxPages: 4})
+	checker := core.NewChecker()
+	snaps := []Snapshot{Snapshots[0], Snapshots[7]}
+	pages := 0
+	for _, snap := range snaps {
+		for _, d := range g.Universe() {
+			n := g.PageCount(d, snap)
+			if n > 3 {
+				n = 3
+			}
+			if !g.Succeeds(d, snap) {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				status, ct, body := g.PageHTTP(d, snap, i)
+				if status != 200 || ct[:9] != "text/html" {
+					continue
+				}
+				rep, err := checker.Check(body)
+				if err != nil {
+					continue // non-UTF-8 page, filtered by design
+				}
+				pages++
+				for _, rule := range g.PlantedRules(d, snap, i) {
+					if !rep.Violated(rule) {
+						t.Errorf("%s %s page %d: planted %s not detected\n%s",
+							d, snap.ID, i, rule, body)
+					}
+				}
+				for _, id := range rep.ViolatedIDs() {
+					if !plantedOrExplained(g, d, snap, i, id) {
+						t.Errorf("%s %s page %d: unexpected detection %s",
+							d, snap.ID, i, id)
+					}
+				}
+			}
+		}
+	}
+	if pages < 300 {
+		t.Fatalf("only %d pages exercised", pages)
+	}
+}
+
+func plantedOrExplained(g *Generator, d string, snap Snapshot, i int, id string) bool {
+	planted := map[string]bool{}
+	for _, r := range g.PlantedRules(d, snap, i) {
+		planted[r] = true
+	}
+	if planted[id] {
+		return true
+	}
+	switch id {
+	case "DM2_2":
+		// Two independent base payloads on one page add up to a multiple-
+		// base violation.
+		return planted["DM2_1"] && planted["DM2_3"]
+	case "DM2_3":
+		// A second base element after the first (which carries href).
+		return planted["DM2_1"] || planted["DM2_2"]
+	}
+	return false
+}
+
+// TestCalibrationRates verifies the generated per-year domain rates track
+// the paper-derived calibration table, using the generator's ground truth
+// (cheap — no parsing).
+func TestCalibrationRates(t *testing.T) {
+	g := New(Config{Seed: 11, Domains: 6000, MaxPages: 2})
+	for _, snap := range []Snapshot{Snapshots[0], Snapshots[4], Snapshots[7]} {
+		counts := map[string]int{}
+		total := 0
+		for _, d := range g.Universe() {
+			total++
+			for _, r := range g.ActiveRules(d, snap) {
+				counts[r]++
+			}
+		}
+		for rule, rates := range violationRates {
+			want := rates[snap.Index()]
+			got := 100 * float64(counts[rule]) / float64(total)
+			// Tolerance: 25% relative or 4 binomial standard deviations,
+			// whichever is larger (the sample is only 6,000 domains).
+			sigma := 100 * math.Sqrt(want/100*(1-want/100)/float64(total))
+			tol := math.Max(want*0.25, 4*sigma)
+			if math.Abs(got-want) > tol {
+				t.Errorf("%s %s: planted rate %.2f%%, calibration %.2f%%",
+					snap.ID, rule, got, want)
+			}
+		}
+	}
+}
+
+// TestGeneratorDeterminism: equal seeds render byte-identical pages.
+func TestGeneratorDeterminism(t *testing.T) {
+	a := New(Config{Seed: 5, Domains: 50, MaxPages: 3})
+	b := New(Config{Seed: 5, Domains: 50, MaxPages: 3})
+	for i, d := range a.Universe() {
+		if b.Universe()[i] != d {
+			t.Fatalf("universe mismatch at %d", i)
+		}
+		p1 := a.PageHTML(d, Snapshots[3], 1)
+		p2 := b.PageHTML(d, Snapshots[3], 1)
+		if string(p1) != string(p2) {
+			t.Fatalf("page mismatch for %s", d)
+		}
+	}
+	c := New(Config{Seed: 6, Domains: 50, MaxPages: 3})
+	same := 0
+	for i, d := range a.Universe() {
+		if c.Universe()[i] == d {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical universes")
+	}
+}
+
+// TestTable2Shape verifies presence/success/page-count distributions match
+// the Table 2 columns.
+func TestTable2Shape(t *testing.T) {
+	g := New(Config{Seed: 3, Domains: 8000, MaxPages: 100})
+	everFound := 0
+	for _, d := range g.Universe() {
+		if g.foundEver(d) {
+			everFound++
+		}
+	}
+	if r := float64(everFound) / 8000; math.Abs(r-0.965) > 0.01 {
+		t.Errorf("found-ever rate %.3f, want ~0.965", r)
+	}
+	for _, snap := range []Snapshot{Snapshots[0], Snapshots[6]} {
+		present, pagesSum := 0, 0
+		for _, d := range g.Universe() {
+			if !g.Present(d, snap) {
+				continue
+			}
+			present++
+			pagesSum += g.PageCount(d, snap)
+		}
+		y := snap.Index()
+		if r := float64(present) / 8000; math.Abs(r-presentRate[y]) > 0.015 {
+			t.Errorf("%s: present rate %.3f, want ~%.3f", snap.ID, r, presentRate[y])
+		}
+		avg := float64(pagesSum) / float64(present)
+		if math.Abs(avg-100*avgPagesFrac[y]) > 3 {
+			t.Errorf("%s: avg pages %.1f, want ~%.1f", snap.ID, avg, 100*avgPagesFrac[y])
+		}
+	}
+}
+
+// TestYearlyViolatingTrend checks the headline Figure 9 shape on ground
+// truth: the overall violating-domain rate decreases from ~74%-ish to
+// ~68%-ish across the window.
+func TestYearlyViolatingTrend(t *testing.T) {
+	g := New(Config{Seed: 11, Domains: 6000, MaxPages: 2})
+	rate := func(snap Snapshot) float64 {
+		n := 0
+		for _, d := range g.Universe() {
+			if len(g.ActiveRules(d, snap)) > 0 {
+				n++
+			}
+		}
+		return 100 * float64(n) / 6000
+	}
+	first, last := rate(Snapshots[0]), rate(Snapshots[7])
+	if first < 66 || first > 82 {
+		t.Errorf("2015 rate %.1f%%, want ~74%%", first)
+	}
+	if last < 60 || last > 76 {
+		t.Errorf("2022 rate %.1f%%, want ~68%%", last)
+	}
+	if last >= first {
+		t.Errorf("trend not decreasing: %.1f -> %.1f", first, last)
+	}
+}

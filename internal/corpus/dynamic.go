@@ -1,0 +1,121 @@
+package corpus
+
+import (
+	"strings"
+)
+
+// Dynamic content (paper §5.1). Common Crawl stores static HTML only, so
+// the paper ran a small live pre-study collecting HTML fragments that
+// pages load at runtime (React/Vue API responses, widget endpoints) for
+// the top 1K sites, finding >60% of them violating with a distribution
+// matching the static study. This file generates those fragments: small
+// HTML snippets as an API would return them, carrying the same violation
+// profile as the domain's static pages.
+
+// dynamicRules are the violations that occur in runtime-loaded fragments
+// (document-level rules like HF1/HF2/HF3 need a full document and cannot
+// appear in a fragment).
+var dynamicRules = map[string]bool{
+	"FB1": true, "FB2": true, "DM3": true, "HF4": true, "HF5_1": true,
+	"HF5_2": true, "DE3_1": true, "DE3_2": true, "DE3_3": true, "DE4": true,
+}
+
+// DynamicFragmentCount returns how many runtime fragments the domain's
+// pages load in the snapshot (0 for domains that render fully statically).
+func (g *Generator) DynamicFragmentCount(domain string, snap Snapshot) int {
+	if !g.Succeeds(domain, snap) {
+		return 0
+	}
+	// Framework adoption: roughly two thirds of popular sites load some
+	// HTML dynamically.
+	if uniform(g.cfg.Seed, "dynsite", domain, snap.ID) > 0.67 {
+		return 0
+	}
+	return 2 + pick(g.cfg.Seed, 4, "dyncount", domain, snap.ID)
+}
+
+// DynamicActiveRules lists the violations the domain's dynamic fragments
+// exhibit: the fragment-capable subset of the domain's static profile.
+// This reproduces the paper's observation that the dynamic distribution
+// mirrors the static one (FB2/DM3 on top, math-related rules absent).
+func (g *Generator) DynamicActiveRules(domain string, snap Snapshot) []string {
+	var out []string
+	for _, r := range g.ActiveRules(domain, snap) {
+		if dynamicRules[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DynamicFragment renders the i-th runtime fragment of the domain. The
+// first fragment carries the domain's full dynamic violation profile, so
+// site-level detection is deterministic (like page 0 of the static site).
+func (g *Generator) DynamicFragment(domain string, snap Snapshot, i int) []byte {
+	key := "dyn|" + domain + "|" + snap.ID + "|" + itoa(i)
+	var b strings.Builder
+	b.Grow(512)
+
+	word := func(k string) string {
+		return loremWords[pick(g.cfg.Seed, len(loremWords), key, k)]
+	}
+	active := g.DynamicActiveRules(domain, snap)
+	planted := map[string]bool{}
+	for _, r := range active {
+		if i == 0 || uniform(g.cfg.Seed, key, "plant", r) < 0.4 {
+			planted[r] = true
+		}
+	}
+
+	switch pick(g.cfg.Seed, 3, key, "kind") {
+	case 0: // a comment/feed widget
+		b.WriteString(`<div class="feed">`)
+		b.WriteString(`<article><h4>` + word("h") + `</h4><p>` + word("p1") + ` ` + word("p2") + `</p></article>`)
+	case 1: // a product card list
+		b.WriteString(`<ul class="cards">`)
+		b.WriteString(`<li><img src="/img/d` + itoa(i) + `.jpg" alt="` + word("a") + `"><span>` + word("s") + `</span></li>`)
+	default: // a notification partial
+		b.WriteString(`<section class="notice"><p>` + word("n") + `</p>`)
+	}
+
+	if planted["FB2"] {
+		b.WriteString(`<a href="/more"title="` + word("t") + `">more</a>`)
+	}
+	if planted["FB1"] {
+		b.WriteString(`<img/src="/img/badge.png"/alt="badge">`)
+	}
+	if planted["DM3"] {
+		b.WriteString(`<span class="new" data-id="` + itoa(i) + `" class="shiny">` + word("d") + `</span>`)
+	}
+	if planted["HF4"] {
+		b.WriteString(`<table><tr><em>` + word("e") + `</em></tr><tr><td>1</td></tr></table>`)
+	}
+	if planted["HF5_1"] {
+		b.WriteString(`<g class="ic"><path d="M1 1"></path></g>`)
+	}
+	if planted["HF5_2"] {
+		b.WriteString(`<svg viewBox="0 0 8 8"><desc>i</desc><span>x</span></svg>`)
+	}
+	if planted["DE3_1"] {
+		b.WriteString("<img src=\"https://cdn." + domain + "/p?i=\n<i>id</i>\">")
+	}
+	if planted["DE3_2"] {
+		b.WriteString(`<input type="hidden" name="embed" value="<script>w()</script>">`)
+	}
+	if planted["DE3_3"] {
+		b.WriteString("<a href=\"/open\" target=\"pop\nup\">open</a>")
+	}
+	if planted["DE4"] {
+		b.WriteString(`<form action="/quick/"><form id="inner" action="/q"><input name="k"></form>`)
+	}
+
+	switch pick(g.cfg.Seed, 3, key, "kind") {
+	case 0:
+		b.WriteString(`</div>`)
+	case 1:
+		b.WriteString(`</ul>`)
+	default:
+		b.WriteString(`</section>`)
+	}
+	return []byte(b.String())
+}

@@ -1,0 +1,52 @@
+package corpus
+
+var nameAdjectives = []string{
+	"blue", "rapid", "prime", "smart", "global", "bright", "urban",
+	"north", "solid", "clear", "swift", "lucky", "fresh", "grand",
+	"micro", "hyper", "metro", "alpha", "astro", "cyber", "daily",
+	"early", "first", "giant", "happy", "inner", "jolly", "kudos",
+	"lunar", "magic", "noble", "ocean", "pixel", "quick", "royal",
+	"super", "terra", "ultra", "vivid", "wired", "young", "zesty",
+	"open", "pure", "true", "wide", "deep", "high", "next", "core",
+}
+
+var nameNouns = []string{
+	"market", "news", "shop", "cloud", "media", "games", "forum",
+	"mail", "bank", "travel", "music", "video", "sport", "books",
+	"tech", "data", "host", "store", "press", "radio", "photo",
+	"search", "social", "stream", "weather", "health", "学园",
+	"recipes", "maps", "jobs", "auto", "estate", "crypto", "wiki",
+	"deals", "tickets", "events", "city", "edu", "science", "space",
+	"design", "crafts", "garden", "pets", "kids", "food", "style",
+}
+
+var nameTLDs = []string{
+	".com", ".com", ".com", ".com", ".org", ".net", ".io", ".de",
+	".co.uk", ".fr", ".jp", ".ru", ".info", ".edu", ".gov", ".cn",
+}
+
+// makeUniverse derives n unique eTLD+1 domain names in popularity order.
+// Names are deterministic in the seed, so ranks are stable across runs.
+func makeUniverse(seed int64, n int) []string {
+	domains := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for rank := 1; len(domains) < n; rank++ {
+		r := itoa(rank)
+		adj := nameAdjectives[pick(seed, len(nameAdjectives), "adj", r)]
+		noun := nameNouns[pick(seed, len(nameNouns), "noun", r)]
+		tld := nameTLDs[pick(seed, len(nameTLDs), "tld", r)]
+		name := adj + noun + tld
+		if seen[name] {
+			name = adj + noun + itoa(rank%997) + tld
+		}
+		if seen[name] {
+			name = adj + "-" + noun + "-" + r + tld
+		}
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		domains = append(domains, name)
+	}
+	return domains
+}

@@ -1,0 +1,335 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Page assembly. Every page is real HTML built from clean building blocks
+// into which the domain's active violations are planted as concrete
+// markup. The checker downstream never sees labels — it must *detect* the
+// planted violations through the full parser, which is what makes the
+// end-to-end pipeline a faithful reproduction rather than a bookkeeping
+// exercise.
+
+var loremWords = []string{
+	"analysis", "archive", "browser", "content", "crawl", "data",
+	"document", "element", "engine", "feature", "format", "happy",
+	"internet", "latest", "little", "markup", "modern", "network",
+	"notable", "number", "online", "popular", "process", "quality",
+	"report", "result", "secure", "service", "simple", "standard",
+	"stream", "study", "support", "system", "today", "update",
+	"vendor", "website", "window", "world", "yearly", "zone",
+}
+
+// PageHTTP renders the full HTTP capture of a page: status code, content
+// type and body. Unanalyzable domains (the Table 2 success-rate gap)
+// produce non-HTML or non-UTF-8 captures that the pipeline must filter.
+func (g *Generator) PageHTTP(domain string, snap Snapshot, page int) (status int, contentType string, body []byte) {
+	if !g.Succeeds(domain, snap) {
+		switch pick(g.cfg.Seed, 3, "failkind", domain, snap.ID) {
+		case 0:
+			return 200, "application/json", []byte(`{"api":"` + domain + `","v":2}`)
+		case 1:
+			// Legacy encoding: bytes that are not valid UTF-8.
+			return 200, "text/html", []byte("<html><body>caf\xe9 sp\xe9cialit\xe9s</body></html>")
+		default:
+			return 503, "text/html", []byte("<html><body><h1>503</h1></body></html>")
+		}
+	}
+	// A small fraction of individual pages on healthy domains are also
+	// non-UTF-8 (the page-level filter of §4.1).
+	if page > 0 && uniform(g.cfg.Seed, "pagecharset", domain, snap.ID, itoa(page)) < 0.01 {
+		return 200, "text/html", []byte("<html><body>r\xe9sum\xe9 page</body></html>")
+	}
+	return 200, "text/html; charset=utf-8", g.PageHTML(domain, snap, page)
+}
+
+// PageHTML renders the page's HTML.
+func (g *Generator) PageHTML(domain string, snap Snapshot, page int) []byte {
+	b := &pageBuilder{
+		g: g, domain: domain, snap: snap, page: page,
+		key: domain + "|" + snap.ID + "|" + itoa(page),
+	}
+	return b.build()
+}
+
+// PlantedRules lists the violations planted on one specific page (ground
+// truth for tests; page 0 always carries every active rule so that
+// domain-level detection is deterministic).
+func (g *Generator) PlantedRules(domain string, snap Snapshot, page int) []string {
+	active := g.ActiveRules(domain, snap)
+	if page == 0 {
+		return active
+	}
+	var out []string
+	for _, r := range active {
+		if uniform(g.cfg.Seed, "plant", domain, snap.ID, itoa(page), r) < 0.45 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func capitalize(s string) string {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return s
+	}
+	return string(s[0]-0x20) + s[1:]
+}
+
+type pageBuilder struct {
+	g      *Generator
+	domain string
+	snap   Snapshot
+	page   int
+	key    string
+	sb     strings.Builder
+
+	planted map[string]bool
+}
+
+func (b *pageBuilder) u(parts ...string) float64 {
+	return uniform(b.g.cfg.Seed, append([]string{"pb", b.key}, parts...)...)
+}
+
+func (b *pageBuilder) pick(n int, parts ...string) int {
+	return pick(b.g.cfg.Seed, n, append([]string{"pb", b.key}, parts...)...)
+}
+
+func (b *pageBuilder) words(n int, key string) string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = loremWords[b.pick(len(loremWords), "w", key, itoa(i))]
+	}
+	return strings.Join(out, " ")
+}
+
+func (b *pageBuilder) sentence(key string) string {
+	w := b.words(5+b.pick(8, "slen", key), key)
+	return strings.ToUpper(w[:1]) + w[1:] + "."
+}
+
+func (b *pageBuilder) build() []byte {
+	planted := b.g.PlantedRules(b.domain, b.snap, b.page)
+	b.planted = make(map[string]bool, len(planted))
+	for _, r := range planted {
+		b.planted[r] = true
+	}
+
+	// Tail payloads (EOF-truncating) are mutually exclusive per page.
+	tail := ""
+	switch {
+	case b.planted["DE1"] && b.planted["DE2"]:
+		if b.page%2 == 0 {
+			tail = "DE1"
+		} else {
+			tail = "DE2"
+		}
+	case b.planted["DE1"]:
+		tail = "DE1"
+	case b.planted["DE2"]:
+		tail = "DE2"
+	}
+
+	headBroken := b.planted["HF1"]
+	impliedBody := b.planted["HF2"]
+	// A base-in-body violation without the base-after-URL one requires a
+	// head without URL-bearing elements and the base as the body's first
+	// element.
+	pureBaseInBody := b.planted["DM2_1"] && !b.planted["DM2_3"]
+
+	b.sb.Grow(4096)
+	b.line(`<!DOCTYPE html>`)
+	b.line(`<html lang="en">`)
+	b.buildHead(headBroken, impliedBody, pureBaseInBody)
+	b.buildBodyOpen(headBroken, impliedBody, pureBaseInBody)
+	b.buildContent(tail)
+	if tail != "" {
+		b.buildTail(tail)
+		// Deliberately no closing tags: the tail payload swallows the rest
+		// of the file, which is the point of DE1/DE2.
+		b.line(`<p>Contact: team@` + b.domain + `</p>`)
+		b.line(`<p>` + b.sentence("after-tail") + `</p>`)
+	} else {
+		b.line(`</body>`)
+		b.line(`</html>`)
+	}
+	return []byte(b.sb.String())
+}
+
+func (b *pageBuilder) line(s string) {
+	b.sb.WriteString(s)
+	b.sb.WriteByte('\n')
+}
+
+func (b *pageBuilder) buildHead(headBroken, impliedBody, noURLsInHead bool) {
+	b.line(`<head>`)
+	// DM2_2: two base elements, placed before anything URL-bearing so the
+	// violation stays pure.
+	if b.planted["DM2_2"] {
+		b.line(`<base href="/">`)
+		b.line(`<base href="/v2/">`)
+	}
+	b.line(`<meta charset="utf-8">`)
+	title := capitalize(strings.SplitN(b.domain, ".", 2)[0])
+	if b.page > 0 {
+		title += fmt.Sprintf(" — %s %d", b.words(1, "ttl"), b.page)
+	}
+	b.line(`<title>` + title + `</title>`)
+	b.line(`<meta name="description" content="` + b.sentence("desc") + `">`)
+	if !noURLsInHead {
+		b.line(`<link rel="stylesheet" href="/static/main.css">`)
+		// DM2_3: base after a URL-consuming element.
+		if b.planted["DM2_3"] {
+			b.line(`<base href="/app/">`)
+		}
+		if b.u("hasjs") < 0.7 {
+			b.line(`<script src="/static/app.js" defer></script>`)
+		}
+	} else if b.planted["DM2_3"] {
+		// Unreachable by construction (noURLsInHead implies !DM2_3), kept
+		// defensive: fall back to the standard placement.
+		b.line(`<link rel="stylesheet" href="/static/main.css">`)
+		b.line(`<base href="/app/">`)
+	}
+	if b.u("hasstyle") < 0.5 {
+		b.line(`<style>body{margin:0;font-family:sans-serif}</style>`)
+	}
+	if headBroken && impliedBody {
+		// HF1+HF2: a stray element breaks the head; the document never
+		// opens <body> explicitly.
+		b.line(`<div class="preload-modal" hidden></div>`)
+		return // no </head>: it was implicitly closed by the div
+	}
+	b.line(`</head>`)
+	if headBroken {
+		// HF1 alone: head metadata after the head was closed.
+		b.line(`<meta name="generator" content="sitegen 2.4">`)
+	}
+}
+
+func (b *pageBuilder) buildBodyOpen(headBroken, impliedBody, pureBaseInBody bool) {
+	if !impliedBody {
+		b.line(`<body>`)
+	}
+	// (If impliedBody, content follows directly and the parser synthesizes
+	// the body element — the HF2 violation.)
+	if pureBaseInBody || b.planted["DM2_1"] {
+		if impliedBody {
+			// Force the implied body open first; otherwise the base token
+			// would arrive in the after-head state and be rerouted into
+			// the head (an HF1 signal, not the intended DM2_1).
+			b.line(`<a id="top" name="top"></a>`)
+		}
+		b.line(`<base href="/cdn/">`)
+	}
+}
+
+func (b *pageBuilder) buildContent(tail string) {
+	b.line(`<header><h1>` + b.words(3, "h1") + `</h1></header>`)
+	b.buildNav()
+
+	blocks := 3 + b.pick(4, "nblocks")
+	for i := 0; i < blocks; i++ {
+		b.buildTextBlock(i)
+	}
+
+	// Planted local payloads, interleaved with clean blocks.
+	if b.planted["FB1"] {
+		b.line(`<img/src="/img/logo-` + itoa(b.page) + `.png"/alt="logo">`)
+	}
+	if b.planted["FB2"] {
+		b.line(`<a href="/contact"title="Contact us">Contact</a>`)
+	}
+	if b.planted["DM3"] {
+		b.line(`<img src="/img/banner.jpg" alt="banner" src="/img/banner-2x.jpg">`)
+	}
+	if b.planted["DM1"] {
+		b.line(`<meta http-equiv="refresh" content="300;url=/live">`)
+	}
+	if b.planted["HF3"] {
+		b.line(`<body data-theme="` + b.words(1, "theme") + `">`)
+	}
+	if b.planted["HF4"] {
+		b.line(`<table class="layout">`)
+		b.line(`<tr><strong>` + b.words(2, "tblh") + `</strong></tr>`)
+		b.line(`<tr><td>` + b.sentence("tbl1") + `</td><td><img src="/img/i.png" align="right"></td></tr>`)
+		b.line(`</table>`)
+	} else if b.u("cleantable") < 0.4 {
+		b.line(`<table><thead><tr><th>k</th><th>v</th></tr></thead><tbody><tr><td>` +
+			b.words(1, "tk") + `</td><td>` + itoa(b.pick(1000, "tv")) + `</td></tr></tbody></table>`)
+	}
+	if b.planted["HF5_1"] {
+		// Detached SVG fragment: foreign-only elements without an <svg> root.
+		b.line(`<path d="M10 10 L20 20"></path><g class="icon"><rect width="8" height="8"></rect></g>`)
+	}
+	if b.planted["HF5_2"] {
+		b.line(`<svg viewBox="0 0 24 24"><desc>decor</desc><div class="svg-overlay">` + b.words(2, "svgo") + `</div></svg>`)
+	} else if b.g.HasSignal(b.domain, "math-usage", b.snap) == false && b.u("cleansvg") < 0.25 {
+		b.line(`<svg viewBox="0 0 24 24" width="24"><circle cx="12" cy="12" r="10"></circle></svg>`)
+	}
+	if b.planted["HF5_3"] {
+		b.line(`<math><mtext><mglyph><p>x&sup2;</p></mglyph></mtext></math>`)
+	} else if b.g.HasSignal(b.domain, "math-usage", b.snap) {
+		b.line(`<math><mrow><mi>a</mi><mo>+</mo><mi>b</mi></mrow></math>`)
+	}
+	if b.planted["DE3_1"] {
+		b.line(`<img src="https://pixel.` + b.domain + `/t?u=` + "\n" + `<span>uid</span>">`)
+	}
+	if b.planted["DE3_2"] {
+		b.line(`<input type="hidden" name="tmpl" value="<script>render()</script>">`)
+	}
+	if b.planted["DE3_3"] {
+		b.line(`<a href="/next" target="win` + "\n" + `dow">next</a>`)
+	}
+	if b.planted["DE4"] {
+		b.line(`<form method="get" action="/search/">`)
+		b.line(`<form id="keywordsearch" method="get" action="/search">`)
+		b.line(`<input name="q" type="text" placeholder="Search...">`)
+		b.line(`</form>`)
+	}
+	if b.g.HasSignal(b.domain, "newline-url", b.snap) && !b.planted["DE3_1"] {
+		b.line(`<a href="/archive/` + "\n" + `2021">archive</a>`)
+	}
+	if tail == "" && b.u("hasform") < 0.4 {
+		b.line(`<form action="/subscribe" method="post"><input type="email" name="e"><input type="submit" value="Join"></form>`)
+	}
+	b.line(`<footer><p>© ` + itoa(b.snap.Year) + ` ` + b.domain + `</p></footer>`)
+}
+
+func (b *pageBuilder) buildNav() {
+	b.line(`<nav><ul>`)
+	for i := 0; i < 3+b.pick(3, "navn"); i++ {
+		w := b.words(1, "nav"+itoa(i))
+		b.line(`<li><a href="/` + w + `/">` + strings.ToUpper(w[:1]) + w[1:] + `</a></li>`)
+	}
+	b.line(`</ul></nav>`)
+}
+
+func (b *pageBuilder) buildTextBlock(i int) {
+	key := "blk" + itoa(i)
+	switch b.pick(3, key, "kind") {
+	case 0:
+		b.line(`<section><h2>` + b.words(2, key+"h") + `</h2><p>` + b.sentence(key+"p1") + ` ` + b.sentence(key+"p2") + `</p></section>`)
+	case 1:
+		b.line(`<article><h3>` + b.words(3, key+"h") + `</h3><p>` + b.sentence(key+"p") + ` <a href="/` + b.words(1, key+"l") + `">` + b.words(2, key+"lt") + `</a>.</p></article>`)
+	default:
+		b.line(`<div class="card"><img src="/img/c` + itoa(i) + `.jpg" alt="` + b.words(1, key+"a") + `"><p>` + b.sentence(key+"p") + `</p></div>`)
+	}
+}
+
+func (b *pageBuilder) buildTail(tail string) {
+	switch tail {
+	case "DE1":
+		b.line(`<div class="feedback"><form action="/feedback" method="post">`)
+		b.line(`<input type="submit" value="Send"><textarea name="message">`)
+		b.line(b.sentence("ta"))
+		// The missing </textarea> makes the parser swallow everything
+		// below, including the next page content — the DE1 exfiltration.
+	case "DE2":
+		b.line(`<form action="/vote" method="post"><input type="submit" value="Vote">`)
+		b.line(`<select name="choice"><option>` + b.words(1, "opt"))
+		// Missing </option></select>.
+	}
+}

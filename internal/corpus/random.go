@@ -1,0 +1,50 @@
+package corpus
+
+import (
+	"strconv"
+)
+
+// Deterministic keyed randomness. Every stochastic decision in the
+// generator is a pure function of (seed, key parts), so the same
+// configuration always renders byte-identical archives — the property
+// that makes the study reproducible and the CDX offsets stable.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hashKey folds the seed and key parts with FNV-1a, then finalizes with a
+// splitmix64 round for avalanche.
+func hashKey(seed int64, parts ...string) uint64 {
+	h := uint64(fnvOffset) ^ uint64(seed)
+	h *= fnvPrime
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= fnvPrime
+		}
+		h ^= 0x1F // part separator
+		h *= fnvPrime
+	}
+	// splitmix64 finalizer
+	h += 0x9E3779B97F4A7C15
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	return h ^ (h >> 31)
+}
+
+// uniform maps a key to [0,1).
+func uniform(seed int64, parts ...string) float64 {
+	return float64(hashKey(seed, parts...)>>11) / float64(1<<53)
+}
+
+// pick returns an index in [0,n).
+func pick(seed int64, n int, parts ...string) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(hashKey(seed, parts...) % uint64(n))
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }

@@ -1,0 +1,167 @@
+package crawler
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/analysis"
+	"github.com/hvscan/hvscan/internal/commoncrawl"
+	"github.com/hvscan/hvscan/internal/core"
+	"github.com/hvscan/hvscan/internal/corpus"
+	"github.com/hvscan/hvscan/internal/store"
+)
+
+func testArchive(domains, pages int) *commoncrawl.SyntheticArchive {
+	return commoncrawl.NewSynthetic(corpus.New(corpus.Config{
+		Seed: 99, Domains: domains, MaxPages: pages,
+	}))
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	arch := testArchive(220, 4)
+	st := store.New()
+	p := New(arch, core.NewChecker(), st, Config{Workers: 4, PagesPerDomain: 4})
+	domains := arch.Generator().Universe()
+
+	var statsAll []SnapshotStats
+	for _, crawl := range arch.Crawls() {
+		stats, err := p.RunSnapshot(context.Background(), crawl, domains)
+		if err != nil {
+			t.Fatalf("RunSnapshot(%s): %v", crawl, err)
+		}
+		if stats.Analyzed == 0 {
+			t.Fatalf("%s: nothing analyzed", crawl)
+		}
+		if stats.Analyzed > stats.Found || stats.Found > stats.Domains {
+			t.Fatalf("%s: inconsistent stats %+v", crawl, stats)
+		}
+		statsAll = append(statsAll, stats)
+	}
+
+	an := analysis.New(st)
+	series := an.YearlyViolating()
+	if len(series) != 8 {
+		t.Fatalf("want 8 yearly points, got %d", len(series))
+	}
+	// The headline shape: roughly 3/4 of domains violating, decreasing.
+	first, last := series[0].Pct, series[7].Pct
+	if first < 60 || first > 85 {
+		t.Errorf("2015 violating rate %.1f%%, want ~74%%", first)
+	}
+	if last >= first {
+		t.Errorf("trend not decreasing: %.1f -> %.1f", first, last)
+	}
+
+	// Pipeline-measured rates must agree with the generator's ground truth
+	// (detection ≈ planting, modulo the <4-page cap vs domain-level truth).
+	g := arch.Generator()
+	snap := corpus.Snapshots[0]
+	truth := 0
+	analyzed := 0
+	for _, d := range domains {
+		if g.PageCount(d, snap) == 0 || !g.Succeeds(d, snap) {
+			continue
+		}
+		analyzed++
+		if len(g.ActiveRules(d, snap)) > 0 {
+			truth++
+		}
+	}
+	truthPct := 100 * float64(truth) / float64(analyzed)
+	if math.Abs(truthPct-first) > 6 {
+		t.Errorf("measured %.1f%% vs ground truth %.1f%%", first, truthPct)
+	}
+
+	// Table 2 reconstruction.
+	rows := analysis.Table2(statsAll)
+	if len(rows) != 8 {
+		t.Fatalf("table2 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SuccessPct < 95 || r.SuccessPct > 100 {
+			t.Errorf("%s: success %.1f%%, want 97-99%%", r.Crawl, r.SuccessPct)
+		}
+	}
+}
+
+func TestPipelineOverHTTP(t *testing.T) {
+	arch := testArchive(40, 3)
+	srv := httptest.NewServer(commoncrawl.NewServer(arch))
+	defer srv.Close()
+	client := commoncrawl.NewClient(srv.URL)
+
+	crawls := client.Crawls()
+	if len(crawls) != 8 {
+		t.Fatalf("crawls over http = %v", crawls)
+	}
+
+	st := store.New()
+	p := New(client, core.NewChecker(), st, Config{Workers: 8, PagesPerDomain: 3})
+	stats, err := p.RunSnapshot(context.Background(), crawls[0], arch.Generator().Universe())
+	if err != nil {
+		t.Fatalf("RunSnapshot over HTTP: %v", err)
+	}
+	if stats.Analyzed == 0 {
+		t.Fatal("nothing analyzed over HTTP")
+	}
+
+	// The HTTP path and the in-process path must agree byte-for-byte.
+	direct := store.New()
+	pd := New(arch, core.NewChecker(), direct, Config{Workers: 8, PagesPerDomain: 3})
+	if _, err := pd.RunSnapshot(context.Background(), crawls[0], arch.Generator().Universe()); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range direct.Domains(crawls[0]) {
+		h := st.Get(crawls[0], d.Domain)
+		if h == nil {
+			t.Fatalf("%s missing from HTTP-path store", d.Domain)
+		}
+		if h.PagesAnalyzed != d.PagesAnalyzed || len(h.Violations) != len(d.Violations) {
+			t.Fatalf("%s: HTTP path differs: %+v vs %+v", d.Domain, h, d)
+		}
+		for rule, n := range d.Violations {
+			if h.Violations[rule] != n {
+				t.Fatalf("%s %s: %d vs %d", d.Domain, rule, h.Violations[rule], n)
+			}
+		}
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	arch := testArchive(30, 2)
+	st := store.New()
+	p := New(arch, core.NewChecker(), st, Config{Workers: 2, PagesPerDomain: 2})
+	if _, err := p.RunSnapshot(context.Background(), arch.Crawls()[0], arch.Generator().Universe()); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/results.jsonl"
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != st.Len() {
+		t.Fatalf("round trip lost results: %d vs %d", st2.Len(), st.Len())
+	}
+	for _, d := range st.Domains(arch.Crawls()[0]) {
+		d2 := st2.Get(d.Crawl, d.Domain)
+		if d2 == nil || d2.PagesAnalyzed != d.PagesAnalyzed {
+			t.Fatalf("mismatch for %s", d.Domain)
+		}
+	}
+}
+
+func TestPipelineCancellation(t *testing.T) {
+	arch := testArchive(60, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := New(arch, core.NewChecker(), store.New(), Config{Workers: 2, PagesPerDomain: 2})
+	_, err := p.RunSnapshot(ctx, arch.Crawls()[0], arch.Generator().Universe())
+	if err == nil {
+		t.Fatal("cancelled run reported no error")
+	}
+}

@@ -1,0 +1,70 @@
+package htmlparse
+
+import "testing"
+
+// TestLegacyEntitiesSubsetOfNamed: every legacy (no-semicolon) name must
+// also resolve with a semicolon, to the same replacement.
+func TestLegacyEntitiesSubsetOfNamed(t *testing.T) {
+	for name, rep := range legacyEntities {
+		got, ok := namedEntities[name]
+		if !ok {
+			t.Errorf("legacy entity %q missing from named table", name)
+			continue
+		}
+		if got != rep {
+			t.Errorf("entity %q: legacy %q vs named %q", name, rep, got)
+		}
+	}
+}
+
+// TestEntityNameLengthBound: the matcher's lookahead bound must cover
+// every table entry.
+func TestEntityNameLengthBound(t *testing.T) {
+	for name := range namedEntities {
+		if len(name) > maxEntityNameLen {
+			t.Errorf("entity %q longer than maxEntityNameLen", name)
+		}
+	}
+}
+
+// TestNumericReplacements: the windows-1252 remapping of the spec.
+func TestNumericReplacements(t *testing.T) {
+	cases := map[string]string{
+		"&#128;":  "€",
+		"&#x80;":  "€",
+		"&#x99;":  "™",
+		"&#x9f;":  "Ÿ",
+		"&#x81;":  "", // unmapped control stays (with an error)
+		"&#8364;": "€",
+	}
+	for in, want := range cases {
+		tokens, _ := tokenize(t, in)
+		if len(tokens) != 1 || tokens[0].Data != want {
+			t.Errorf("%s -> %v, want %q", in, tokens, want)
+		}
+	}
+}
+
+// TestEntityLongestMatch: the matcher must take the longest name, with the
+// semicolon form preferred.
+func TestEntityLongestMatch(t *testing.T) {
+	cases := map[string]string{
+		"&not;in": "¬in",
+		"&notin;": "∉",
+		"&ampx":   "&x", // legacy &amp then 'x'... decoded since text context
+		"&amp;x":  "&x",
+		"&sub;":   "⊂",
+		"&sube;":  "⊆",
+		"&sup;x":  "⊃x",
+		"&sup2;":  "²",
+		// "sup2" is itself a legacy (no-semicolon) name, so the longest
+		// match decodes it and the rest stays literal.
+		"&sup20;": "²0;",
+	}
+	for in, want := range cases {
+		tokens, _ := tokenize(t, in)
+		if len(tokens) != 1 || tokens[0].Data != want {
+			t.Errorf("%q -> %v, want %q", in, tokens, want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package htmlparse
+
+import "strings"
+
+// Quirks-mode determination (spec 13.2.6.4.1, "the initial insertion
+// mode"). The mode matters to the tree builder in exactly one place the
+// violation rules care about: in quirks mode a <table> start tag does NOT
+// close an open <p> element, which changes where foster-parented content
+// lands on ancient pages.
+
+// QuirksMode classifies the document per the doctype rules.
+type QuirksMode int
+
+const (
+	// NoQuirks is the standards mode (<!DOCTYPE html>).
+	NoQuirks QuirksMode = iota
+	// Quirks is full quirks mode (missing or ancient doctype).
+	Quirks
+	// LimitedQuirks is the in-between mode (certain transitional
+	// doctypes); it parses like NoQuirks.
+	LimitedQuirks
+)
+
+func (m QuirksMode) String() string {
+	switch m {
+	case Quirks:
+		return "quirks"
+	case LimitedQuirks:
+		return "limited-quirks"
+	}
+	return "no-quirks"
+}
+
+// quirksPublicIDPrefixes force full quirks mode when the public identifier
+// starts with any of them (the spec's list, case-insensitive).
+var quirksPublicIDPrefixes = []string{
+	"+//silmaril//dtd html pro v0r11 19970101//",
+	"-//as//dtd html 3.0 aswedit + extensions//",
+	"-//advasoft ltd//dtd html 3.0 aswedit + extensions//",
+	"-//ietf//dtd html 2.0 level 1//",
+	"-//ietf//dtd html 2.0 level 2//",
+	"-//ietf//dtd html 2.0 strict level 1//",
+	"-//ietf//dtd html 2.0 strict level 2//",
+	"-//ietf//dtd html 2.0 strict//",
+	"-//ietf//dtd html 2.0//",
+	"-//ietf//dtd html 2.1e//",
+	"-//ietf//dtd html 3.0//",
+	"-//ietf//dtd html 3.2 final//",
+	"-//ietf//dtd html 3.2//",
+	"-//ietf//dtd html 3//",
+	"-//ietf//dtd html level 0//",
+	"-//ietf//dtd html level 1//",
+	"-//ietf//dtd html level 2//",
+	"-//ietf//dtd html level 3//",
+	"-//ietf//dtd html strict level 0//",
+	"-//ietf//dtd html strict level 1//",
+	"-//ietf//dtd html strict level 2//",
+	"-//ietf//dtd html strict level 3//",
+	"-//ietf//dtd html strict//",
+	"-//ietf//dtd html//",
+	"-//metrius//dtd metrius presentational//",
+	"-//microsoft//dtd internet explorer 2.0 html strict//",
+	"-//microsoft//dtd internet explorer 2.0 html//",
+	"-//microsoft//dtd internet explorer 2.0 tables//",
+	"-//microsoft//dtd internet explorer 3.0 html strict//",
+	"-//microsoft//dtd internet explorer 3.0 html//",
+	"-//microsoft//dtd internet explorer 3.0 tables//",
+	"-//netscape comm. corp.//dtd html//",
+	"-//netscape comm. corp.//dtd strict html//",
+	"-//o'reilly and associates//dtd html 2.0//",
+	"-//o'reilly and associates//dtd html extended 1.0//",
+	"-//o'reilly and associates//dtd html extended relaxed 1.0//",
+	"-//sq//dtd html 2.0 hotmetal + extensions//",
+	"-//softquad software//dtd hotmetal pro 6.0::19990601::extensions to html 4.0//",
+	"-//softquad//dtd hotmetal pro 4.0::19971010::extensions to html 4.0//",
+	"-//spyglass//dtd html 2.0 extended//",
+	"-//sun microsystems corp.//dtd hotjava html//",
+	"-//sun microsystems corp.//dtd hotjava strict html//",
+	"-//w3c//dtd html 3 1995-03-24//",
+	"-//w3c//dtd html 3.2 draft//",
+	"-//w3c//dtd html 3.2 final//",
+	"-//w3c//dtd html 3.2//",
+	"-//w3c//dtd html 3.2s draft//",
+	"-//w3c//dtd html 4.0 frameset//",
+	"-//w3c//dtd html 4.0 transitional//",
+	"-//w3c//dtd html experimental 19960712//",
+	"-//w3c//dtd html experimental 970421//",
+	"-//w3c//dtd w3 html//",
+	"-//w3o//dtd w3 html 3.0//",
+	"-//webtechs//dtd mozilla html 2.0//",
+	"-//webtechs//dtd mozilla html//",
+}
+
+// quirksPublicIDs force quirks mode on exact match.
+var quirksPublicIDs = map[string]bool{
+	"-//w3o//dtd w3 html strict 3.0//en//": true,
+	"-/w3c/dtd html 4.0 transitional/en":   true,
+	"html":                                 true,
+}
+
+// limitedQuirksPublicIDPrefixes force limited-quirks mode.
+var limitedQuirksPublicIDPrefixes = []string{
+	"-//w3c//dtd xhtml 1.0 frameset//",
+	"-//w3c//dtd xhtml 1.0 transitional//",
+}
+
+// quirksIfNoSystemIDPrefixes force quirks (or limited-quirks when a system
+// ID is present) for the HTML 4.01 transitional/frameset doctypes.
+var quirksIfNoSystemIDPrefixes = []string{
+	"-//w3c//dtd html 4.01 frameset//",
+	"-//w3c//dtd html 4.01 transitional//",
+}
+
+// quirksModeOf classifies a doctype token.
+func quirksModeOf(t *Token) QuirksMode {
+	if t.ForceQuirks || !strings.EqualFold(t.Data, "html") {
+		return Quirks
+	}
+	public := strings.ToLower(t.PublicID)
+	system := strings.ToLower(t.SystemID)
+	if system == "http://www.ibm.com/data/dtd/v11/ibmxhtml1-transitional.dtd" {
+		return Quirks
+	}
+	if quirksPublicIDs[public] {
+		return Quirks
+	}
+	for _, p := range quirksPublicIDPrefixes {
+		if strings.HasPrefix(public, p) {
+			return Quirks
+		}
+	}
+	for _, p := range quirksIfNoSystemIDPrefixes {
+		if strings.HasPrefix(public, p) {
+			if t.SystemID == "" {
+				return Quirks
+			}
+			return LimitedQuirks
+		}
+	}
+	for _, p := range limitedQuirksPublicIDPrefixes {
+		if strings.HasPrefix(public, p) {
+			return LimitedQuirks
+		}
+	}
+	return NoQuirks
+}

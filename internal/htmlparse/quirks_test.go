@@ -1,0 +1,69 @@
+package htmlparse
+
+import "testing"
+
+func modeOf(t *testing.T, doc string) QuirksMode {
+	t.Helper()
+	res, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Mode
+}
+
+func TestQuirksClassification(t *testing.T) {
+	cases := []struct {
+		doc  string
+		want QuirksMode
+	}{
+		{"<!DOCTYPE html><p>x", NoQuirks},
+		{"<p>no doctype at all", Quirks},
+		{"<!DOCTYPE htm><p>x", Quirks}, // wrong name
+		{`<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.01//EN" "http://www.w3.org/TR/html4/strict.dtd">`, NoQuirks},
+		{`<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 3.2 Final//EN">`, Quirks},
+		{`<!DOCTYPE HTML PUBLIC "-//IETF//DTD HTML//EN">`, Quirks},
+		{`<!DOCTYPE html PUBLIC "-//W3C//DTD HTML 4.01 Transitional//EN">`, Quirks},
+		{`<!DOCTYPE html PUBLIC "-//W3C//DTD HTML 4.01 Transitional//EN" "http://www.w3.org/TR/html4/loose.dtd">`, LimitedQuirks},
+		{`<!DOCTYPE html PUBLIC "-//W3C//DTD XHTML 1.0 Transitional//EN" "http://www.w3.org/TR/xhtml1/DTD/xhtml1-transitional.dtd">`, LimitedQuirks},
+		{`<!DOCTYPE html SYSTEM "http://www.ibm.com/data/dtd/v11/ibmxhtml1-transitional.dtd">`, Quirks},
+		{`<!DOCTYPE html SYSTEM "about:legacy-compat">`, NoQuirks},
+	}
+	for _, tc := range cases {
+		if got := modeOf(t, tc.doc); got != tc.want {
+			t.Errorf("%q -> %v, want %v", tc.doc, got, tc.want)
+		}
+	}
+}
+
+// TestQuirksTableInParagraph: the one tree-construction difference the
+// rules can observe — in quirks mode <table> does not close an open <p>.
+func TestQuirksTableInParagraph(t *testing.T) {
+	const body = `<p>text<table><tr><td>c</td></tr></table></p>`
+
+	res, err := Parse([]byte("<!DOCTYPE html>" + body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.Doc.Find(func(n *Node) bool { return n.IsElement("table") })
+	if table.Ancestor("p") != nil {
+		t.Fatal("standards mode: table must not nest inside p")
+	}
+
+	res, err = Parse([]byte(body)) // no doctype: quirks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != Quirks {
+		t.Fatalf("mode = %v", res.Mode)
+	}
+	table = res.Doc.Find(func(n *Node) bool { return n.IsElement("table") })
+	if table.Ancestor("p") == nil {
+		t.Fatal("quirks mode: table must stay inside p")
+	}
+}
+
+func TestQuirksModeString(t *testing.T) {
+	if NoQuirks.String() != "no-quirks" || Quirks.String() != "quirks" || LimitedQuirks.String() != "limited-quirks" {
+		t.Fatal("stringer")
+	}
+}

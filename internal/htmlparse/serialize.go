@@ -1,0 +1,163 @@
+package htmlparse
+
+import (
+	"io"
+	"strings"
+)
+
+// HTML serialization (spec 13.3, "Serializing HTML fragments"). The
+// serialize → reparse round trip is the core of the automatic repair
+// strategy in internal/autofix: the re-serialized document has the same
+// DOM the error-tolerant parser already produced, but with valid syntax.
+//
+// Round-trip caveat (shared with browsers; the spec's serialization
+// section carries the same warning): three constructs serialize correctly
+// but do not re-parse to the same tree —
+//
+//   - a <script> whose text contains an unbalanced "<!--" re-parses in the
+//     script-data double-escaped state and can swallow its own end tag,
+//   - <plaintext> content never terminates, so the serialized end tags
+//     after it become content on re-parse,
+//   - a stray </p> or </br> inside SVG/MathML content makes the parser
+//     insert an implied element *inside* the foreign subtree, but on
+//     re-parse the now-explicit <p>/<br> start tag is a foreign-content
+//     breakout and lands outside it.
+//
+// TestPropertyRenderParseFixpoint pins down exactly this boundary.
+
+// rawTextContent are elements whose text children serialize verbatim.
+var rawTextContent = newStringSet(
+	"style", "script", "xmp", "iframe", "noembed", "noframes",
+	"plaintext", "noscript",
+)
+
+// Render serializes the tree rooted at n to w. Document and fragment roots
+// serialize as the concatenation of their children.
+func Render(w io.Writer, n *Node) error {
+	buf, ok := w.(interface{ WriteString(string) (int, error) })
+	if !ok {
+		buf = stringWriter{w}
+	}
+	return render(buf, n)
+}
+
+// RenderString serializes the tree rooted at n to a string.
+func RenderString(n *Node) string {
+	var b strings.Builder
+	_ = render(&b, n) // strings.Builder never fails
+	return b.String()
+}
+
+type stringWriter struct{ io.Writer }
+
+func (s stringWriter) WriteString(str string) (int, error) { return s.Write([]byte(str)) }
+
+type sw interface{ WriteString(string) (int, error) }
+
+func render(w sw, n *Node) error {
+	switch n.Type {
+	case DocumentNode:
+		return renderChildren(w, n)
+	case ElementNode:
+		return renderElement(w, n)
+	case TextNode:
+		if p := n.Parent; p != nil && p.Type == ElementNode && p.Namespace == NamespaceHTML && rawTextContent[p.Data] {
+			_, err := w.WriteString(n.Data)
+			return err
+		}
+		_, err := w.WriteString(escapeText(n.Data))
+		return err
+	case CommentNode:
+		if _, err := w.WriteString("<!--"); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(n.Data); err != nil {
+			return err
+		}
+		_, err := w.WriteString("-->")
+		return err
+	case DoctypeNode:
+		if _, err := w.WriteString("<!DOCTYPE "); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(n.Data); err != nil {
+			return err
+		}
+		_, err := w.WriteString(">")
+		return err
+	}
+	return nil
+}
+
+func renderElement(w sw, n *Node) error {
+	if _, err := w.WriteString("<"); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(n.Data); err != nil {
+		return err
+	}
+	for _, a := range n.Attr {
+		if a.Duplicate {
+			continue
+		}
+		if _, err := w.WriteString(" "); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(a.Name); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(`="`); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(escapeAttr(a.Value)); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(`"`); err != nil {
+			return err
+		}
+	}
+	if _, err := w.WriteString(">"); err != nil {
+		return err
+	}
+	if n.Namespace == NamespaceHTML && voidElements[n.Data] {
+		return nil
+	}
+	// An RCDATA element's text serializes escaped (title, textarea),
+	// handled by the TextNode case; raw-text elements verbatim.
+	if err := renderChildren(w, n); err != nil {
+		return err
+	}
+	if _, err := w.WriteString("</"); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(n.Data); err != nil {
+		return err
+	}
+	_, err := w.WriteString(">")
+	return err
+}
+
+func renderChildren(w sw, n *Node) error {
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		if err := render(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var textEscaper = strings.NewReplacer(
+	"&", "&amp;",
+	" ", "&nbsp;",
+	"<", "&lt;",
+	">", "&gt;",
+)
+
+var attrEscaper = strings.NewReplacer(
+	"&", "&amp;",
+	" ", "&nbsp;",
+	`"`, "&quot;",
+)
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

@@ -1,0 +1,91 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func renderOf(t *testing.T, input string) string {
+	t.Helper()
+	res, err := Parse([]byte(input))
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", input, err)
+	}
+	return RenderString(res.Doc)
+}
+
+func TestSerializeBasics(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{
+			`<!DOCTYPE html><html><head><title>t</title></head><body><p>x</p></body></html>`,
+			`<!DOCTYPE html><html><head><title>t</title></head><body><p>x</p></body></html>`,
+		},
+		{ // void elements get no end tag
+			`<body><br><img src="i.png"><hr>`,
+			`<html><head></head><body><br><img src="i.png"><hr></body></html>`,
+		},
+		{ // attribute values double-quoted and escaped
+			`<body><div title='say "hi" &amp; bye'>x</div>`,
+			`<html><head></head><body><div title="say &quot;hi&quot; &amp; bye">x</div></body></html>`,
+		},
+		{ // text escaped
+			`<body>a &lt; b &amp; c`,
+			`<html><head></head><body>a &lt; b &amp; c</body></html>`,
+		},
+		{ // raw text untouched
+			`<body><script>if (a<b) alert("x")</script>`,
+			`<html><head></head><body><script>if (a<b) alert("x")</script></body></html>`,
+		},
+		{ // comments
+			`<body><!-- note -->`,
+			`<html><head></head><body><!-- note --></body></html>`,
+		},
+		{ // duplicate attributes are dropped (the DM3 repair)
+			`<body><div id="a" id="b">x</div>`,
+			`<html><head></head><body><div id="a">x</div></body></html>`,
+		},
+		{ // FB1/FB2 syntax normalized (the FB repair)
+			`<body><img/src="x"/alt="y"><a href="/u"title="t">l</a>`,
+			`<html><head></head><body><img src="x" alt="y"><a href="/u" title="t">l</a></body></html>`,
+		},
+	}
+	for _, tc := range cases {
+		if got := renderOf(t, tc.in); got != tc.want {
+			t.Errorf("render(%q):\n got  %s\n want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSerializeNBSP(t *testing.T) {
+	got := renderOf(t, "<body>a b")
+	if !strings.Contains(got, "a&nbsp;b") {
+		t.Fatalf("nbsp not escaped: %q", got)
+	}
+}
+
+func TestSerializeForeign(t *testing.T) {
+	got := renderOf(t, `<body><svg viewBox="0 0 1 1"><circle r="1"/></svg>`)
+	want := `<html><head></head><body><svg viewBox="0 0 1 1"><circle r="1"></circle></svg></body></html>`
+	if got != want {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSerializeSubtree(t *testing.T) {
+	res, err := Parse([]byte(`<body><ul><li>a</li><li>b</li></ul>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ul := res.Doc.Find(func(n *Node) bool { return n.IsElement("ul") })
+	if got := RenderString(ul); got != "<ul><li>a</li><li>b</li></ul>" {
+		t.Fatalf("subtree render = %q", got)
+	}
+}
+
+func TestSerializeRCDATAEscaped(t *testing.T) {
+	// textarea/title text is escaped on output (they are RCDATA, not raw).
+	got := renderOf(t, "<body><textarea><p>&amp;</textarea>")
+	if !strings.Contains(got, "<textarea>&lt;p&gt;&amp;</textarea>") {
+		t.Fatalf("textarea content = %q", got)
+	}
+}

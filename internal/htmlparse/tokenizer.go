@@ -1,0 +1,1899 @@
+package htmlparse
+
+import (
+	"strings"
+	"unicode/utf8"
+)
+
+// state enumerates the tokenizer states of the HTML Living Standard,
+// section 13.2.5. The character reference states are implemented as a
+// helper routine instead of explicit states, which is an equivalent
+// formulation (the spec's return-state mechanism maps onto a call).
+type state int
+
+const (
+	stateData state = iota
+	stateRCDATA
+	stateRAWTEXT
+	stateScriptData
+	statePlaintext
+	stateTagOpen
+	stateEndTagOpen
+	stateTagName
+	stateRCDATALessThan
+	stateRCDATAEndTagOpen
+	stateRCDATAEndTagName
+	stateRAWTEXTLessThan
+	stateRAWTEXTEndTagOpen
+	stateRAWTEXTEndTagName
+	stateScriptDataLessThan
+	stateScriptDataEndTagOpen
+	stateScriptDataEndTagName
+	stateScriptDataEscapeStart
+	stateScriptDataEscapeStartDash
+	stateScriptDataEscaped
+	stateScriptDataEscapedDash
+	stateScriptDataEscapedDashDash
+	stateScriptDataEscapedLessThan
+	stateScriptDataEscapedEndTagOpen
+	stateScriptDataEscapedEndTagName
+	stateScriptDataDoubleEscapeStart
+	stateScriptDataDoubleEscaped
+	stateScriptDataDoubleEscapedDash
+	stateScriptDataDoubleEscapedDashDash
+	stateScriptDataDoubleEscapedLessThan
+	stateScriptDataDoubleEscapeEnd
+	stateBeforeAttributeName
+	stateAttributeName
+	stateAfterAttributeName
+	stateBeforeAttributeValue
+	stateAttributeValueDoubleQuoted
+	stateAttributeValueSingleQuoted
+	stateAttributeValueUnquoted
+	stateAfterAttributeValueQuoted
+	stateSelfClosingStartTag
+	stateBogusComment
+	stateMarkupDeclarationOpen
+	stateCommentStart
+	stateCommentStartDash
+	stateComment
+	stateCommentLessThan
+	stateCommentLessThanBang
+	stateCommentLessThanBangDash
+	stateCommentLessThanBangDashDash
+	stateCommentEndDash
+	stateCommentEnd
+	stateCommentEndBang
+	stateDoctype
+	stateBeforeDoctypeName
+	stateDoctypeName
+	stateAfterDoctypeName
+	stateAfterDoctypePublicKeyword
+	stateBeforeDoctypePublicIdentifier
+	stateDoctypePublicIdentifierDoubleQuoted
+	stateDoctypePublicIdentifierSingleQuoted
+	stateAfterDoctypePublicIdentifier
+	stateBetweenDoctypePublicAndSystemIdentifiers
+	stateAfterDoctypeSystemKeyword
+	stateBeforeDoctypeSystemIdentifier
+	stateDoctypeSystemIdentifierDoubleQuoted
+	stateDoctypeSystemIdentifierSingleQuoted
+	stateAfterDoctypeSystemIdentifier
+	stateBogusDoctype
+	stateCDATASection
+	stateCDATASectionBracket
+	stateCDATASectionEnd
+)
+
+// rawTextTags maps tag names to the tokenizer state their content is
+// parsed in when the element is in the HTML namespace.
+var rawTextTags = map[string]state{
+	"title":     stateRCDATA,
+	"textarea":  stateRCDATA,
+	"style":     stateRAWTEXT,
+	"xmp":       stateRAWTEXT,
+	"iframe":    stateRAWTEXT,
+	"noembed":   stateRAWTEXT,
+	"noframes":  stateRAWTEXT,
+	"noscript":  stateRAWTEXT, // scripting-enabled profile, as in browsers
+	"script":    stateScriptData,
+	"plaintext": statePlaintext,
+}
+
+const eofRune = rune(-1)
+
+// Tokenizer turns a preprocessed character stream into tokens, recording
+// every parse error it passes instead of failing — the "error tolerance"
+// behaviour under study.
+type Tokenizer struct {
+	input []byte
+	pos   int
+	line  int
+	col   int
+
+	// one-step back support for the spec's "reconsume" instruction
+	prevPos, prevLine, prevCol int
+
+	state state
+
+	// AutoRaw makes the tokenizer switch itself into RCDATA / RAWTEXT /
+	// script data states when it emits a matching start tag. This is the
+	// behaviour wanted when the tokenizer runs standalone (streaming
+	// checks); the tree builder disables it and drives the switches, since
+	// the correct switch depends on the namespace context (a <style> inside
+	// <svg> is not raw text — the distinction the Figure 1 mXSS abuses).
+	AutoRaw bool
+
+	// AllowCDATA, when non-nil, is consulted at <![CDATA[ to decide whether
+	// a CDATA section may start (true while the adjusted current node is in
+	// a foreign namespace). The tree builder installs this hook; standalone
+	// the construct is the spec's cdata-in-html-content bogus comment.
+	AllowCDATA func() bool
+
+	lastStartTag string
+
+	errors []ParseError
+	queue  []Token
+
+	textBuf    []byte
+	textPos    Position
+	haveText   bool
+	cur        Token
+	attrName   []byte
+	attrValue  []byte
+	attrRaw    []byte
+	attrQuote  byte
+	attrPos    Position
+	tmpBuf     []byte
+	emittedEOF bool
+}
+
+// NewTokenizer returns a tokenizer over a preprocessed input stream (see
+// Preprocess). Standalone use gets automatic raw-text switching.
+func NewTokenizer(input []byte) *Tokenizer {
+	return &Tokenizer{input: input, line: 1, col: 1, state: stateData, AutoRaw: true}
+}
+
+// Errors returns the parse errors recorded so far, in input order.
+func (z *Tokenizer) Errors() []ParseError { return z.errors }
+
+// StartRawText switches the content model for the just-emitted start tag,
+// as the tree builder does in the "generic raw text / RCDATA parsing
+// algorithm". tag must be lowercase.
+func (z *Tokenizer) StartRawText(tag string) {
+	if s, ok := rawTextTags[tag]; ok {
+		z.state = s
+		z.lastStartTag = tag
+	}
+}
+
+// position reports the tokenizer's current position.
+func (z *Tokenizer) position() Position {
+	return Position{Offset: z.pos, Line: z.line, Col: z.col}
+}
+
+func (z *Tokenizer) next() rune {
+	z.prevPos, z.prevLine, z.prevCol = z.pos, z.line, z.col
+	if z.pos >= len(z.input) {
+		return eofRune
+	}
+	r, size := utf8.DecodeRune(z.input[z.pos:])
+	z.pos += size
+	if r == '\n' {
+		z.line++
+		z.col = 1
+	} else {
+		z.col++
+	}
+	return r
+}
+
+// back un-consumes the most recently consumed character ("reconsume").
+func (z *Tokenizer) back() {
+	z.pos, z.line, z.col = z.prevPos, z.prevLine, z.prevCol
+}
+
+func (z *Tokenizer) peek() rune {
+	if z.pos >= len(z.input) {
+		return eofRune
+	}
+	r, _ := utf8.DecodeRune(z.input[z.pos:])
+	return r
+}
+
+func (z *Tokenizer) parseError(code ErrorCode, detail string) {
+	z.errors = append(z.errors, ParseError{Code: code, Pos: z.position(), Detail: detail})
+}
+
+func (z *Tokenizer) appendText(r rune) {
+	if !z.haveText {
+		// The run starts at the character just consumed.
+		z.textPos = Position{Offset: z.prevPos, Line: z.prevLine, Col: z.prevCol}
+		z.haveText = true
+	}
+	z.textBuf = utf8.AppendRune(z.textBuf, r)
+}
+
+func (z *Tokenizer) appendTextString(s string) {
+	if s == "" {
+		return
+	}
+	if !z.haveText {
+		z.textPos = Position{Offset: z.prevPos, Line: z.prevLine, Col: z.prevCol}
+		z.haveText = true
+	}
+	z.textBuf = append(z.textBuf, s...)
+}
+
+func (z *Tokenizer) flushText() {
+	if z.haveText {
+		z.queue = append(z.queue, Token{Type: CharacterToken, Data: string(z.textBuf), Pos: z.textPos})
+		z.textBuf = z.textBuf[:0]
+		z.haveText = false
+	}
+}
+
+func (z *Tokenizer) emit(t Token) {
+	z.flushText()
+	if t.Type == StartTagToken {
+		z.lastStartTag = t.Data
+		if z.AutoRaw && !t.SelfClosing {
+			if s, ok := rawTextTags[t.Data]; ok {
+				z.state = s
+			}
+		}
+	}
+	z.queue = append(z.queue, t)
+}
+
+func (z *Tokenizer) emitEOF() {
+	z.flushText()
+	z.queue = append(z.queue, Token{Type: EOFToken, Pos: z.position()})
+	z.emittedEOF = true
+}
+
+// Next returns the next token. After the input is exhausted it returns
+// EOFToken forever.
+func (z *Tokenizer) Next() Token {
+	for len(z.queue) == 0 {
+		if z.emittedEOF {
+			return Token{Type: EOFToken, Pos: z.position()}
+		}
+		z.step()
+	}
+	t := z.queue[0]
+	z.queue = z.queue[1:]
+	return t
+}
+
+// ---- current tag/comment/doctype helpers ----
+
+func (z *Tokenizer) newTag(tt TokenType) {
+	z.cur = Token{Type: tt, Pos: z.position()}
+}
+
+func (z *Tokenizer) startNewAttr() {
+	z.attrName = z.attrName[:0]
+	z.attrValue = z.attrValue[:0]
+	z.attrRaw = z.attrRaw[:0]
+	z.attrQuote = 0
+	z.attrPos = z.position()
+}
+
+// finishAttr commits the in-progress attribute to the current tag token,
+// flagging duplicates (the DM3 signal).
+func (z *Tokenizer) finishAttr() {
+	if len(z.attrName) == 0 && len(z.attrValue) == 0 && len(z.attrRaw) == 0 && z.attrQuote == 0 {
+		return
+	}
+	name := string(z.attrName)
+	a := Attribute{
+		Name:     name,
+		Value:    string(z.attrValue),
+		RawValue: string(z.attrRaw),
+		Quote:    z.attrQuote,
+		Pos:      z.attrPos,
+	}
+	for i := range z.cur.Attr {
+		if z.cur.Attr[i].Name == name {
+			a.Duplicate = true
+			z.parseError(ErrDuplicateAttribute, name)
+			break
+		}
+	}
+	z.cur.Attr = append(z.cur.Attr, a)
+	z.attrName = z.attrName[:0]
+	z.attrValue = z.attrValue[:0]
+	z.attrRaw = z.attrRaw[:0]
+	z.attrQuote = 0
+}
+
+func (z *Tokenizer) emitCurrentTag() {
+	z.finishAttr()
+	if z.cur.Type == EndTagToken {
+		if len(z.cur.Attr) > 0 {
+			z.parseError(ErrEndTagWithAttributes, z.cur.Data)
+			z.cur.Attr = nil
+		}
+		if z.cur.SelfClosing {
+			z.parseError(ErrEndTagWithTrailingSolidus, z.cur.Data)
+			z.cur.SelfClosing = false
+		}
+	}
+	z.emit(z.cur)
+}
+
+// appropriateEndTag reports whether the current end tag token matches the
+// last emitted start tag (relevant in RCDATA/RAWTEXT/script states).
+func (z *Tokenizer) appropriateEndTag() bool {
+	return z.cur.Data == z.lastStartTag
+}
+
+// ---- character references (spec 13.2.5.72 .. 13.2.5.80) ----
+
+// consumeCharRef runs the character reference algorithm. inAttr selects the
+// attribute-value variant. It returns the decoded text and the raw source
+// consumed (for RawValue bookkeeping).
+func (z *Tokenizer) consumeCharRef(inAttr bool) (decoded, raw string) {
+	start := z.pos // position after '&'
+	r := z.peek()
+	switch {
+	case isASCIIAlnum(r):
+		return z.consumeNamedCharRef(inAttr, start)
+	case r == '#':
+		z.next()
+		return z.consumeNumericCharRef(start)
+	default:
+		return "&", "&"
+	}
+}
+
+func (z *Tokenizer) consumeNamedCharRef(inAttr bool, start int) (decoded, raw string) {
+	// Greedily take alphanumeric characters (bounded by the longest name),
+	// then find the longest match with or without a trailing semicolon.
+	end := start
+	for end < len(z.input) && end-start < maxEntityNameLen && isASCIIAlnumByte(z.input[end]) {
+		end++
+	}
+	candidate := string(z.input[start:end])
+	for l := len(candidate); l > 0; l-- {
+		name := candidate[:l]
+		withSemicolon := start+l < len(z.input) && z.input[start+l] == ';'
+		if withSemicolon {
+			if rep, ok := namedEntities[name]; ok {
+				z.advanceTo(start + l + 1)
+				return rep, "&" + name + ";"
+			}
+		}
+		if rep, ok := legacyEntities[name]; ok {
+			// Historical quirk: inside an attribute, a legacy reference
+			// followed by '=' or an alphanumeric is NOT decoded.
+			if inAttr && start+l < len(z.input) {
+				nb := z.input[start+l]
+				if nb == '=' || isASCIIAlnumByte(nb) {
+					continue
+				}
+			}
+			z.advanceTo(start + l)
+			z.parseError(ErrMissingSemicolonAfterCharRef, name)
+			return rep, "&" + name
+		}
+	}
+	// No match: ambiguous ampersand. Flush the characters as-is; if the run
+	// ends with a semicolon this is an unknown-named-character-reference.
+	z.advanceTo(end)
+	if end < len(z.input) && z.input[end] == ';' && end > start {
+		z.parseError(ErrUnknownNamedCharacterReference, candidate)
+	}
+	return "&" + candidate, "&" + candidate
+}
+
+func isASCIIAlnumByte(b byte) bool {
+	return ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
+}
+
+// advanceTo moves the cursor to absolute offset off, updating line/col.
+func (z *Tokenizer) advanceTo(off int) {
+	for z.pos < off {
+		z.next()
+	}
+}
+
+func (z *Tokenizer) consumeNumericCharRef(ampStart int) (decoded, raw string) {
+	code := 0
+	digits := 0
+	hex := false
+	if r := z.peek(); r == 'x' || r == 'X' {
+		hex = true
+		z.next()
+	}
+	for {
+		r := z.peek()
+		if hex && isASCIIHex(r) {
+			z.next()
+			code = code*16 + hexVal(r)
+			digits++
+		} else if !hex && isASCIIDigit(r) {
+			z.next()
+			code = code*10 + int(r-'0')
+			digits++
+		} else {
+			break
+		}
+		if code > 0x10FFFF {
+			code = 0x110000 // clamp; still counts as out of range
+		}
+	}
+	rawRef := "&" + string(z.input[ampStart:z.pos])
+	if digits == 0 {
+		z.parseError(ErrAbsenceOfDigitsInNumericCharRef, "")
+		return rawRef, rawRef
+	}
+	if z.peek() == ';' {
+		z.next()
+		rawRef += ";"
+	} else {
+		z.parseError(ErrMissingSemicolonAfterCharRef, "")
+	}
+	r := rune(code)
+	switch {
+	case code == 0:
+		z.parseError(ErrNullCharacterReference, "")
+		r = '�'
+	case code > 0x10FFFF:
+		z.parseError(ErrCharRefOutsideUnicodeRange, "")
+		r = '�'
+	case r >= 0xD800 && r <= 0xDFFF:
+		z.parseError(ErrSurrogateCharacterReference, "")
+		r = '�'
+	case isNoncharacter(r):
+		z.parseError(ErrNoncharacterCharacterReference, "")
+	case isBadControl(r) || r == 0x0D:
+		z.parseError(ErrControlCharacterReference, "")
+		if rep, ok := numericReplacements[r]; ok {
+			r = rep
+		}
+	}
+	return string(r), rawRef
+}
+
+func hexVal(r rune) int {
+	switch {
+	case isASCIIDigit(r):
+		return int(r - '0')
+	case r >= 'a' && r <= 'f':
+		return int(r-'a') + 10
+	default:
+		return int(r-'A') + 10
+	}
+}
+
+// flushCharRefToAttr appends a decoded reference to the current attribute.
+func (z *Tokenizer) flushCharRefToAttr() {
+	dec, raw := z.consumeCharRef(true)
+	z.attrValue = append(z.attrValue, dec...)
+	z.attrRaw = append(z.attrRaw, raw...)
+}
+
+// ---- the state machine ----
+
+// step consumes input in the current state until it either emits at least
+// one token or transitions; it implements one spec state's character rules
+// per invocation round.
+func (z *Tokenizer) step() {
+	switch z.state {
+	case stateData:
+		z.dataState()
+	case stateRCDATA:
+		z.rcdataState()
+	case stateRAWTEXT:
+		z.rawtextState()
+	case stateScriptData:
+		z.scriptDataState()
+	case statePlaintext:
+		z.plaintextState()
+	case stateTagOpen:
+		z.tagOpenState()
+	case stateEndTagOpen:
+		z.endTagOpenState()
+	case stateTagName:
+		z.tagNameState()
+	case stateRCDATALessThan:
+		z.rawLessThanState(stateRCDATA, stateRCDATAEndTagOpen)
+	case stateRCDATAEndTagOpen:
+		z.rawEndTagOpenState(stateRCDATA, stateRCDATAEndTagName)
+	case stateRCDATAEndTagName:
+		z.rawEndTagNameState(stateRCDATA)
+	case stateRAWTEXTLessThan:
+		z.rawLessThanState(stateRAWTEXT, stateRAWTEXTEndTagOpen)
+	case stateRAWTEXTEndTagOpen:
+		z.rawEndTagOpenState(stateRAWTEXT, stateRAWTEXTEndTagName)
+	case stateRAWTEXTEndTagName:
+		z.rawEndTagNameState(stateRAWTEXT)
+	case stateScriptDataLessThan:
+		z.scriptDataLessThanState()
+	case stateScriptDataEndTagOpen:
+		z.rawEndTagOpenState(stateScriptData, stateScriptDataEndTagName)
+	case stateScriptDataEndTagName:
+		z.rawEndTagNameState(stateScriptData)
+	case stateScriptDataEscapeStart:
+		z.scriptDataEscapeStartState()
+	case stateScriptDataEscapeStartDash:
+		z.scriptDataEscapeStartDashState()
+	case stateScriptDataEscaped:
+		z.scriptDataEscapedState()
+	case stateScriptDataEscapedDash:
+		z.scriptDataEscapedDashState()
+	case stateScriptDataEscapedDashDash:
+		z.scriptDataEscapedDashDashState()
+	case stateScriptDataEscapedLessThan:
+		z.scriptDataEscapedLessThanState()
+	case stateScriptDataEscapedEndTagOpen:
+		z.rawEndTagOpenState(stateScriptDataEscaped, stateScriptDataEscapedEndTagName)
+	case stateScriptDataEscapedEndTagName:
+		z.rawEndTagNameState(stateScriptDataEscaped)
+	case stateScriptDataDoubleEscapeStart:
+		z.scriptDataDoubleEscapeStartState()
+	case stateScriptDataDoubleEscaped:
+		z.scriptDataDoubleEscapedState()
+	case stateScriptDataDoubleEscapedDash:
+		z.scriptDataDoubleEscapedDashState()
+	case stateScriptDataDoubleEscapedDashDash:
+		z.scriptDataDoubleEscapedDashDashState()
+	case stateScriptDataDoubleEscapedLessThan:
+		z.scriptDataDoubleEscapedLessThanState()
+	case stateScriptDataDoubleEscapeEnd:
+		z.scriptDataDoubleEscapeEndState()
+	case stateBeforeAttributeName:
+		z.beforeAttributeNameState()
+	case stateAttributeName:
+		z.attributeNameState()
+	case stateAfterAttributeName:
+		z.afterAttributeNameState()
+	case stateBeforeAttributeValue:
+		z.beforeAttributeValueState()
+	case stateAttributeValueDoubleQuoted:
+		z.attributeValueQuotedState('"')
+	case stateAttributeValueSingleQuoted:
+		z.attributeValueQuotedState('\'')
+	case stateAttributeValueUnquoted:
+		z.attributeValueUnquotedState()
+	case stateAfterAttributeValueQuoted:
+		z.afterAttributeValueQuotedState()
+	case stateSelfClosingStartTag:
+		z.selfClosingStartTagState()
+	case stateBogusComment:
+		z.bogusCommentState()
+	case stateMarkupDeclarationOpen:
+		z.markupDeclarationOpenState()
+	case stateCommentStart:
+		z.commentStartState()
+	case stateCommentStartDash:
+		z.commentStartDashState()
+	case stateComment:
+		z.commentState()
+	case stateCommentLessThan:
+		z.commentLessThanState()
+	case stateCommentLessThanBang:
+		z.commentLessThanBangState()
+	case stateCommentLessThanBangDash:
+		z.commentLessThanBangDashState()
+	case stateCommentLessThanBangDashDash:
+		z.commentLessThanBangDashDashState()
+	case stateCommentEndDash:
+		z.commentEndDashState()
+	case stateCommentEnd:
+		z.commentEndState()
+	case stateCommentEndBang:
+		z.commentEndBangState()
+	case stateDoctype:
+		z.doctypeState()
+	case stateBeforeDoctypeName:
+		z.beforeDoctypeNameState()
+	case stateDoctypeName:
+		z.doctypeNameState()
+	case stateAfterDoctypeName:
+		z.afterDoctypeNameState()
+	case stateAfterDoctypePublicKeyword:
+		z.afterDoctypePublicKeywordState()
+	case stateBeforeDoctypePublicIdentifier:
+		z.beforeDoctypePublicIdentifierState()
+	case stateDoctypePublicIdentifierDoubleQuoted:
+		z.doctypePublicIdentifierState('"')
+	case stateDoctypePublicIdentifierSingleQuoted:
+		z.doctypePublicIdentifierState('\'')
+	case stateAfterDoctypePublicIdentifier:
+		z.afterDoctypePublicIdentifierState()
+	case stateBetweenDoctypePublicAndSystemIdentifiers:
+		z.betweenDoctypePublicAndSystemIdentifiersState()
+	case stateAfterDoctypeSystemKeyword:
+		z.afterDoctypeSystemKeywordState()
+	case stateBeforeDoctypeSystemIdentifier:
+		z.beforeDoctypeSystemIdentifierState()
+	case stateDoctypeSystemIdentifierDoubleQuoted:
+		z.doctypeSystemIdentifierState('"')
+	case stateDoctypeSystemIdentifierSingleQuoted:
+		z.doctypeSystemIdentifierState('\'')
+	case stateAfterDoctypeSystemIdentifier:
+		z.afterDoctypeSystemIdentifierState()
+	case stateBogusDoctype:
+		z.bogusDoctypeState()
+	case stateCDATASection:
+		z.cdataSectionState()
+	case stateCDATASectionBracket:
+		z.cdataSectionBracketState()
+	case stateCDATASectionEnd:
+		z.cdataSectionEndState()
+	}
+}
+
+func (z *Tokenizer) dataState() {
+	switch r := z.next(); r {
+	case '&':
+		dec, _ := z.consumeCharRef(false)
+		z.appendTextString(dec)
+	case '<':
+		z.state = stateTagOpen
+	case 0:
+		z.parseError(ErrUnexpectedNullCharacter, "")
+		z.appendText(0)
+	case eofRune:
+		z.emitEOF()
+	default:
+		z.appendText(r)
+	}
+}
+
+func (z *Tokenizer) rcdataState() {
+	switch r := z.next(); r {
+	case '&':
+		dec, _ := z.consumeCharRef(false)
+		z.appendTextString(dec)
+	case '<':
+		z.state = stateRCDATALessThan
+	case 0:
+		z.parseError(ErrUnexpectedNullCharacter, "")
+		z.appendText('�')
+	case eofRune:
+		z.emitEOF()
+	default:
+		z.appendText(r)
+	}
+}
+
+func (z *Tokenizer) rawtextState() {
+	switch r := z.next(); r {
+	case '<':
+		z.state = stateRAWTEXTLessThan
+	case 0:
+		z.parseError(ErrUnexpectedNullCharacter, "")
+		z.appendText('�')
+	case eofRune:
+		z.emitEOF()
+	default:
+		z.appendText(r)
+	}
+}
+
+func (z *Tokenizer) scriptDataState() {
+	switch r := z.next(); r {
+	case '<':
+		z.state = stateScriptDataLessThan
+	case 0:
+		z.parseError(ErrUnexpectedNullCharacter, "")
+		z.appendText('�')
+	case eofRune:
+		z.emitEOF()
+	default:
+		z.appendText(r)
+	}
+}
+
+func (z *Tokenizer) plaintextState() {
+	switch r := z.next(); r {
+	case 0:
+		z.parseError(ErrUnexpectedNullCharacter, "")
+		z.appendText('�')
+	case eofRune:
+		z.emitEOF()
+	default:
+		z.appendText(r)
+	}
+}
+
+func (z *Tokenizer) tagOpenState() {
+	switch r := z.next(); {
+	case r == '!':
+		z.state = stateMarkupDeclarationOpen
+	case r == '/':
+		z.state = stateEndTagOpen
+	case isASCIIAlpha(r):
+		z.newTag(StartTagToken)
+		z.back()
+		z.state = stateTagName
+	case r == '?':
+		z.parseError(ErrUnexpectedQuestionMarkInsteadOfTag, "")
+		z.cur = Token{Type: CommentToken, Pos: z.position()}
+		z.back()
+		z.state = stateBogusComment
+	case r == eofRune:
+		z.parseError(ErrEOFBeforeTagName, "")
+		z.appendText('<')
+		z.emitEOF()
+	default:
+		z.parseError(ErrInvalidFirstCharacterOfTagName, string(r))
+		z.appendText('<')
+		z.back()
+		z.state = stateData
+	}
+}
+
+func (z *Tokenizer) endTagOpenState() {
+	switch r := z.next(); {
+	case isASCIIAlpha(r):
+		z.newTag(EndTagToken)
+		z.back()
+		z.state = stateTagName
+	case r == '>':
+		z.parseError(ErrMissingEndTagName, "")
+		z.state = stateData
+	case r == eofRune:
+		z.parseError(ErrEOFBeforeTagName, "")
+		z.appendTextString("</")
+		z.emitEOF()
+	default:
+		z.parseError(ErrInvalidFirstCharacterOfTagName, string(r))
+		z.cur = Token{Type: CommentToken, Pos: z.position()}
+		z.back()
+		z.state = stateBogusComment
+	}
+}
+
+func (z *Tokenizer) tagNameState() {
+	var name []byte
+	for {
+		r := z.next()
+		switch {
+		case isWhitespace(r):
+			z.cur.Data += string(name)
+			z.state = stateBeforeAttributeName
+			return
+		case r == '/':
+			z.cur.Data += string(name)
+			z.state = stateSelfClosingStartTag
+			return
+		case r == '>':
+			z.cur.Data += string(name)
+			z.state = stateData
+			z.emitCurrentTag()
+			return
+		case r == 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+			name = utf8.AppendRune(name, '�')
+		case r == eofRune:
+			z.parseError(ErrEOFInTag, "")
+			z.emitEOF()
+			return
+		default:
+			name = utf8.AppendRune(name, toLowerRune(r))
+		}
+	}
+}
+
+// rawLessThanState handles the "< in RCDATA/RAWTEXT" states.
+func (z *Tokenizer) rawLessThanState(content, endTagOpen state) {
+	if z.next() == '/' {
+		z.tmpBuf = z.tmpBuf[:0]
+		z.state = endTagOpen
+		return
+	}
+	z.appendText('<')
+	z.back()
+	z.state = content
+}
+
+func (z *Tokenizer) rawEndTagOpenState(content, endTagName state) {
+	if r := z.next(); isASCIIAlpha(r) {
+		z.newTag(EndTagToken)
+		z.back()
+		z.state = endTagName
+		return
+	}
+	z.appendTextString("</")
+	z.back()
+	z.state = content
+}
+
+func (z *Tokenizer) rawEndTagNameState(content state) {
+	for {
+		r := z.next()
+		switch {
+		case isWhitespace(r) && z.appropriateEndTag():
+			z.state = stateBeforeAttributeName
+			return
+		case r == '/' && z.appropriateEndTag():
+			z.state = stateSelfClosingStartTag
+			return
+		case r == '>' && z.appropriateEndTag():
+			z.state = stateData
+			z.emitCurrentTag()
+			return
+		case isASCIIAlpha(r):
+			z.cur.Data += string(toLowerRune(r))
+			z.tmpBuf = utf8.AppendRune(z.tmpBuf, r)
+		default:
+			z.appendTextString("</")
+			z.appendTextString(string(z.tmpBuf))
+			z.back()
+			z.state = content
+			return
+		}
+	}
+}
+
+func (z *Tokenizer) scriptDataLessThanState() {
+	switch r := z.next(); r {
+	case '/':
+		z.tmpBuf = z.tmpBuf[:0]
+		z.state = stateScriptDataEndTagOpen
+	case '!':
+		z.state = stateScriptDataEscapeStart
+		z.appendTextString("<!")
+	default:
+		z.appendText('<')
+		z.back()
+		z.state = stateScriptData
+	}
+}
+
+func (z *Tokenizer) scriptDataEscapeStartState() {
+	if z.next() == '-' {
+		z.state = stateScriptDataEscapeStartDash
+		z.appendText('-')
+		return
+	}
+	z.back()
+	z.state = stateScriptData
+}
+
+func (z *Tokenizer) scriptDataEscapeStartDashState() {
+	if z.next() == '-' {
+		z.state = stateScriptDataEscapedDashDash
+		z.appendText('-')
+		return
+	}
+	z.back()
+	z.state = stateScriptData
+}
+
+func (z *Tokenizer) scriptDataEscapedState() {
+	switch r := z.next(); r {
+	case '-':
+		z.state = stateScriptDataEscapedDash
+		z.appendText('-')
+	case '<':
+		z.state = stateScriptDataEscapedLessThan
+	case 0:
+		z.parseError(ErrUnexpectedNullCharacter, "")
+		z.appendText('�')
+	case eofRune:
+		z.parseError(ErrEOFInScriptHTMLCommentLikeText, "")
+		z.emitEOF()
+	default:
+		z.appendText(r)
+	}
+}
+
+func (z *Tokenizer) scriptDataEscapedDashState() {
+	switch r := z.next(); r {
+	case '-':
+		z.state = stateScriptDataEscapedDashDash
+		z.appendText('-')
+	case '<':
+		z.state = stateScriptDataEscapedLessThan
+	case 0:
+		z.parseError(ErrUnexpectedNullCharacter, "")
+		z.state = stateScriptDataEscaped
+		z.appendText('�')
+	case eofRune:
+		z.parseError(ErrEOFInScriptHTMLCommentLikeText, "")
+		z.emitEOF()
+	default:
+		z.state = stateScriptDataEscaped
+		z.appendText(r)
+	}
+}
+
+func (z *Tokenizer) scriptDataEscapedDashDashState() {
+	switch r := z.next(); r {
+	case '-':
+		z.appendText('-')
+	case '<':
+		z.state = stateScriptDataEscapedLessThan
+	case '>':
+		z.state = stateScriptData
+		z.appendText('>')
+	case 0:
+		z.parseError(ErrUnexpectedNullCharacter, "")
+		z.state = stateScriptDataEscaped
+		z.appendText('�')
+	case eofRune:
+		z.parseError(ErrEOFInScriptHTMLCommentLikeText, "")
+		z.emitEOF()
+	default:
+		z.state = stateScriptDataEscaped
+		z.appendText(r)
+	}
+}
+
+func (z *Tokenizer) scriptDataEscapedLessThanState() {
+	switch r := z.next(); {
+	case r == '/':
+		z.tmpBuf = z.tmpBuf[:0]
+		z.state = stateScriptDataEscapedEndTagOpen
+	case isASCIIAlpha(r):
+		z.tmpBuf = z.tmpBuf[:0]
+		z.appendText('<')
+		z.back()
+		z.state = stateScriptDataDoubleEscapeStart
+	default:
+		z.appendText('<')
+		z.back()
+		z.state = stateScriptDataEscaped
+	}
+}
+
+func (z *Tokenizer) scriptDataDoubleEscapeStartState() {
+	r := z.next()
+	switch {
+	case isWhitespace(r) || r == '/' || r == '>':
+		if string(z.tmpBuf) == "script" {
+			z.state = stateScriptDataDoubleEscaped
+		} else {
+			z.state = stateScriptDataEscaped
+		}
+		z.appendText(r)
+	case isASCIIAlpha(r):
+		z.tmpBuf = utf8.AppendRune(z.tmpBuf, toLowerRune(r))
+		z.appendText(r)
+	default:
+		z.back()
+		z.state = stateScriptDataEscaped
+	}
+}
+
+func (z *Tokenizer) scriptDataDoubleEscapedState() {
+	switch r := z.next(); r {
+	case '-':
+		z.state = stateScriptDataDoubleEscapedDash
+		z.appendText('-')
+	case '<':
+		z.state = stateScriptDataDoubleEscapedLessThan
+		z.appendText('<')
+	case 0:
+		z.parseError(ErrUnexpectedNullCharacter, "")
+		z.appendText('�')
+	case eofRune:
+		z.parseError(ErrEOFInScriptHTMLCommentLikeText, "")
+		z.emitEOF()
+	default:
+		z.appendText(r)
+	}
+}
+
+func (z *Tokenizer) scriptDataDoubleEscapedDashState() {
+	switch r := z.next(); r {
+	case '-':
+		z.state = stateScriptDataDoubleEscapedDashDash
+		z.appendText('-')
+	case '<':
+		z.state = stateScriptDataDoubleEscapedLessThan
+		z.appendText('<')
+	case 0:
+		z.parseError(ErrUnexpectedNullCharacter, "")
+		z.state = stateScriptDataDoubleEscaped
+		z.appendText('�')
+	case eofRune:
+		z.parseError(ErrEOFInScriptHTMLCommentLikeText, "")
+		z.emitEOF()
+	default:
+		z.state = stateScriptDataDoubleEscaped
+		z.appendText(r)
+	}
+}
+
+func (z *Tokenizer) scriptDataDoubleEscapedDashDashState() {
+	switch r := z.next(); r {
+	case '-':
+		z.appendText('-')
+	case '<':
+		z.state = stateScriptDataDoubleEscapedLessThan
+		z.appendText('<')
+	case '>':
+		z.state = stateScriptData
+		z.appendText('>')
+	case 0:
+		z.parseError(ErrUnexpectedNullCharacter, "")
+		z.state = stateScriptDataDoubleEscaped
+		z.appendText('�')
+	case eofRune:
+		z.parseError(ErrEOFInScriptHTMLCommentLikeText, "")
+		z.emitEOF()
+	default:
+		z.state = stateScriptDataDoubleEscaped
+		z.appendText(r)
+	}
+}
+
+func (z *Tokenizer) scriptDataDoubleEscapedLessThanState() {
+	if z.next() == '/' {
+		z.tmpBuf = z.tmpBuf[:0]
+		z.state = stateScriptDataDoubleEscapeEnd
+		z.appendText('/')
+		return
+	}
+	z.back()
+	z.state = stateScriptDataDoubleEscaped
+}
+
+func (z *Tokenizer) scriptDataDoubleEscapeEndState() {
+	r := z.next()
+	switch {
+	case isWhitespace(r) || r == '/' || r == '>':
+		if string(z.tmpBuf) == "script" {
+			z.state = stateScriptDataEscaped
+		} else {
+			z.state = stateScriptDataDoubleEscaped
+		}
+		z.appendText(r)
+	case isASCIIAlpha(r):
+		z.tmpBuf = utf8.AppendRune(z.tmpBuf, toLowerRune(r))
+		z.appendText(r)
+	default:
+		z.back()
+		z.state = stateScriptDataDoubleEscaped
+	}
+}
+
+func (z *Tokenizer) beforeAttributeNameState() {
+	for {
+		r := z.next()
+		switch {
+		case isWhitespace(r):
+			// ignore
+		case r == '/' || r == '>' || r == eofRune:
+			z.back()
+			z.state = stateAfterAttributeName
+			return
+		case r == '=':
+			z.parseError(ErrUnexpectedEqualsSignBeforeAttrName, "")
+			z.startNewAttr()
+			z.attrName = append(z.attrName, '=')
+			z.state = stateAttributeName
+			return
+		default:
+			z.startNewAttr()
+			z.back()
+			z.state = stateAttributeName
+			return
+		}
+	}
+}
+
+func (z *Tokenizer) attributeNameState() {
+	for {
+		r := z.next()
+		switch {
+		case isWhitespace(r) || r == '/' || r == '>' || r == eofRune:
+			z.back()
+			z.state = stateAfterAttributeName
+			return
+		case r == '=':
+			z.state = stateBeforeAttributeValue
+			return
+		case isASCIIUpper(r):
+			z.attrName = utf8.AppendRune(z.attrName, toLowerRune(r))
+		case r == 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.attrName = utf8.AppendRune(z.attrName, '�')
+		case r == '"' || r == '\'' || r == '<':
+			z.parseError(ErrUnexpectedCharacterInAttributeName, string(r))
+			z.attrName = utf8.AppendRune(z.attrName, r)
+		default:
+			z.attrName = utf8.AppendRune(z.attrName, r)
+		}
+	}
+}
+
+func (z *Tokenizer) afterAttributeNameState() {
+	for {
+		r := z.next()
+		switch {
+		case isWhitespace(r):
+			// ignore
+		case r == '/':
+			z.finishAttr()
+			z.state = stateSelfClosingStartTag
+			return
+		case r == '=':
+			z.state = stateBeforeAttributeValue
+			return
+		case r == '>':
+			z.finishAttr()
+			z.state = stateData
+			z.emitCurrentTag()
+			return
+		case r == eofRune:
+			z.parseError(ErrEOFInTag, "")
+			z.emitEOF()
+			return
+		default:
+			z.finishAttr()
+			z.startNewAttr()
+			z.back()
+			z.state = stateAttributeName
+			return
+		}
+	}
+}
+
+func (z *Tokenizer) beforeAttributeValueState() {
+	for {
+		r := z.next()
+		switch {
+		case isWhitespace(r):
+			// ignore
+		case r == '"':
+			z.attrQuote = '"'
+			z.state = stateAttributeValueDoubleQuoted
+			return
+		case r == '\'':
+			z.attrQuote = '\''
+			z.state = stateAttributeValueSingleQuoted
+			return
+		case r == '>':
+			z.parseError(ErrMissingAttributeValue, string(z.attrName))
+			z.finishAttr()
+			z.state = stateData
+			z.emitCurrentTag()
+			return
+		default:
+			z.back()
+			z.state = stateAttributeValueUnquoted
+			return
+		}
+	}
+}
+
+func (z *Tokenizer) attributeValueQuotedState(quote rune) {
+	for {
+		r := z.next()
+		switch {
+		case r == quote:
+			z.finishAttr()
+			z.state = stateAfterAttributeValueQuoted
+			return
+		case r == '&':
+			z.flushCharRefToAttr()
+		case r == 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.attrValue = utf8.AppendRune(z.attrValue, '�')
+			z.attrRaw = append(z.attrRaw, 0)
+		case r == eofRune:
+			z.parseError(ErrEOFInTag, "")
+			z.emitEOF()
+			return
+		default:
+			z.attrValue = utf8.AppendRune(z.attrValue, r)
+			z.attrRaw = utf8.AppendRune(z.attrRaw, r)
+		}
+	}
+}
+
+func (z *Tokenizer) attributeValueUnquotedState() {
+	for {
+		r := z.next()
+		switch {
+		case isWhitespace(r):
+			z.finishAttr()
+			z.state = stateBeforeAttributeName
+			return
+		case r == '&':
+			z.flushCharRefToAttr()
+		case r == '>':
+			z.finishAttr()
+			z.state = stateData
+			z.emitCurrentTag()
+			return
+		case r == 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.attrValue = utf8.AppendRune(z.attrValue, '�')
+			z.attrRaw = append(z.attrRaw, 0)
+		case r == '"' || r == '\'' || r == '<' || r == '=' || r == '`':
+			z.parseError(ErrUnexpectedCharInUnquotedAttrValue, string(r))
+			z.attrValue = utf8.AppendRune(z.attrValue, r)
+			z.attrRaw = utf8.AppendRune(z.attrRaw, r)
+		case r == eofRune:
+			z.parseError(ErrEOFInTag, "")
+			z.emitEOF()
+			return
+		default:
+			z.attrValue = utf8.AppendRune(z.attrValue, r)
+			z.attrRaw = utf8.AppendRune(z.attrRaw, r)
+		}
+	}
+}
+
+func (z *Tokenizer) afterAttributeValueQuotedState() {
+	r := z.next()
+	switch {
+	case isWhitespace(r):
+		z.state = stateBeforeAttributeName
+	case r == '/':
+		z.state = stateSelfClosingStartTag
+	case r == '>':
+		z.state = stateData
+		z.emitCurrentTag()
+	case r == eofRune:
+		z.parseError(ErrEOFInTag, "")
+		z.emitEOF()
+	default:
+		// The FB2 signal: two attributes with no whitespace between them.
+		z.parseError(ErrMissingWhitespaceBetweenAttributes, "")
+		z.back()
+		z.state = stateBeforeAttributeName
+	}
+}
+
+func (z *Tokenizer) selfClosingStartTagState() {
+	r := z.next()
+	switch {
+	case r == '>':
+		z.cur.SelfClosing = true
+		z.state = stateData
+		z.emitCurrentTag()
+	case r == eofRune:
+		z.parseError(ErrEOFInTag, "")
+		z.emitEOF()
+	default:
+		// The FB1 signal: a solidus used as attribute separator.
+		z.parseError(ErrUnexpectedSolidusInTag, "")
+		z.back()
+		z.state = stateBeforeAttributeName
+	}
+}
+
+func (z *Tokenizer) bogusCommentState() {
+	for {
+		r := z.next()
+		switch r {
+		case '>':
+			z.state = stateData
+			z.emit(z.cur)
+			return
+		case eofRune:
+			z.emit(z.cur)
+			z.emitEOF()
+			return
+		case 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.cur.Data += "�"
+		default:
+			z.cur.Data += string(r)
+		}
+	}
+}
+
+func (z *Tokenizer) markupDeclarationOpenState() {
+	rest := z.input[z.pos:]
+	switch {
+	case len(rest) >= 2 && rest[0] == '-' && rest[1] == '-':
+		z.advanceTo(z.pos + 2)
+		z.cur = Token{Type: CommentToken, Pos: z.position()}
+		z.state = stateCommentStart
+	case len(rest) >= 7 && strings.EqualFold(string(rest[:7]), "doctype"):
+		z.advanceTo(z.pos + 7)
+		z.state = stateDoctype
+	case len(rest) >= 7 && string(rest[:7]) == "[CDATA[":
+		z.advanceTo(z.pos + 7)
+		// Whether CDATA is legal depends on the adjusted current node being
+		// in a foreign namespace; the tree builder owns that knowledge and
+		// toggles AllowCDATA. Standalone, treat it as the spec's
+		// cdata-in-html-content bogus comment.
+		if z.AllowCDATA != nil && z.AllowCDATA() {
+			z.state = stateCDATASection
+		} else {
+			z.parseError(ErrCDATAInHTMLContent, "")
+			z.cur = Token{Type: CommentToken, Data: "[CDATA[", Pos: z.position()}
+			z.state = stateBogusComment
+		}
+	default:
+		z.parseError(ErrIncorrectlyOpenedComment, "")
+		z.cur = Token{Type: CommentToken, Pos: z.position()}
+		z.state = stateBogusComment
+	}
+}
+
+func (z *Tokenizer) commentStartState() {
+	switch r := z.next(); r {
+	case '-':
+		z.state = stateCommentStartDash
+	case '>':
+		z.parseError(ErrAbruptClosingOfEmptyComment, "")
+		z.state = stateData
+		z.emit(z.cur)
+	default:
+		z.back()
+		z.state = stateComment
+	}
+}
+
+func (z *Tokenizer) commentStartDashState() {
+	switch r := z.next(); r {
+	case '-':
+		z.state = stateCommentEnd
+	case '>':
+		z.parseError(ErrAbruptClosingOfEmptyComment, "")
+		z.state = stateData
+		z.emit(z.cur)
+	case eofRune:
+		z.parseError(ErrEOFInComment, "")
+		z.emit(z.cur)
+		z.emitEOF()
+	default:
+		z.cur.Data += "-"
+		z.back()
+		z.state = stateComment
+	}
+}
+
+func (z *Tokenizer) commentState() {
+	for {
+		r := z.next()
+		switch r {
+		case '<':
+			z.cur.Data += "<"
+			z.state = stateCommentLessThan
+			return
+		case '-':
+			z.state = stateCommentEndDash
+			return
+		case 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.cur.Data += "�"
+		case eofRune:
+			z.parseError(ErrEOFInComment, "")
+			z.emit(z.cur)
+			z.emitEOF()
+			return
+		default:
+			z.cur.Data += string(r)
+		}
+	}
+}
+
+func (z *Tokenizer) commentLessThanState() {
+	switch r := z.next(); r {
+	case '!':
+		z.cur.Data += "!"
+		z.state = stateCommentLessThanBang
+	case '<':
+		z.cur.Data += "<"
+	default:
+		z.back()
+		z.state = stateComment
+	}
+}
+
+func (z *Tokenizer) commentLessThanBangState() {
+	if z.next() == '-' {
+		z.state = stateCommentLessThanBangDash
+		return
+	}
+	z.back()
+	z.state = stateComment
+}
+
+func (z *Tokenizer) commentLessThanBangDashState() {
+	if z.next() == '-' {
+		z.state = stateCommentLessThanBangDashDash
+		return
+	}
+	z.back()
+	z.state = stateCommentEndDash
+}
+
+func (z *Tokenizer) commentLessThanBangDashDashState() {
+	r := z.next()
+	if r != '>' && r != eofRune {
+		z.parseError(ErrNestedComment, "")
+	}
+	z.back()
+	z.state = stateCommentEnd
+}
+
+func (z *Tokenizer) commentEndDashState() {
+	switch r := z.next(); r {
+	case '-':
+		z.state = stateCommentEnd
+	case eofRune:
+		z.parseError(ErrEOFInComment, "")
+		z.emit(z.cur)
+		z.emitEOF()
+	default:
+		z.cur.Data += "-"
+		z.back()
+		z.state = stateComment
+	}
+}
+
+func (z *Tokenizer) commentEndState() {
+	switch r := z.next(); r {
+	case '>':
+		z.state = stateData
+		z.emit(z.cur)
+	case '!':
+		z.state = stateCommentEndBang
+	case '-':
+		z.cur.Data += "-"
+	case eofRune:
+		z.parseError(ErrEOFInComment, "")
+		z.emit(z.cur)
+		z.emitEOF()
+	default:
+		z.cur.Data += "--"
+		z.back()
+		z.state = stateComment
+	}
+}
+
+func (z *Tokenizer) commentEndBangState() {
+	switch r := z.next(); r {
+	case '-':
+		z.cur.Data += "--!"
+		z.state = stateCommentEndDash
+	case '>':
+		z.parseError(ErrIncorrectlyClosedComment, "")
+		z.state = stateData
+		z.emit(z.cur)
+	case eofRune:
+		z.parseError(ErrEOFInComment, "")
+		z.emit(z.cur)
+		z.emitEOF()
+	default:
+		z.cur.Data += "--!"
+		z.back()
+		z.state = stateComment
+	}
+}
+
+func (z *Tokenizer) doctypeState() {
+	r := z.next()
+	switch {
+	case isWhitespace(r):
+		z.state = stateBeforeDoctypeName
+	case r == '>':
+		z.back()
+		z.state = stateBeforeDoctypeName
+	case r == eofRune:
+		z.parseError(ErrEOFInDoctype, "")
+		z.emit(Token{Type: DoctypeToken, ForceQuirks: true, Pos: z.position()})
+		z.emitEOF()
+	default:
+		z.parseError(ErrMissingWhitespaceBeforeDoctypeName, "")
+		z.back()
+		z.state = stateBeforeDoctypeName
+	}
+}
+
+func (z *Tokenizer) beforeDoctypeNameState() {
+	for {
+		r := z.next()
+		switch {
+		case isWhitespace(r):
+			// ignore
+		case r == '>':
+			z.parseError(ErrMissingDoctypeName, "")
+			z.state = stateData
+			z.emit(Token{Type: DoctypeToken, ForceQuirks: true, Pos: z.position()})
+			return
+		case r == eofRune:
+			z.parseError(ErrEOFInDoctype, "")
+			z.emit(Token{Type: DoctypeToken, ForceQuirks: true, Pos: z.position()})
+			z.emitEOF()
+			return
+		case r == 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.cur = Token{Type: DoctypeToken, Data: "�", Pos: z.position()}
+			z.state = stateDoctypeName
+			return
+		default:
+			z.cur = Token{Type: DoctypeToken, Data: string(toLowerRune(r)), Pos: z.position()}
+			z.state = stateDoctypeName
+			return
+		}
+	}
+}
+
+func (z *Tokenizer) doctypeNameState() {
+	for {
+		r := z.next()
+		switch {
+		case isWhitespace(r):
+			z.state = stateAfterDoctypeName
+			return
+		case r == '>':
+			z.state = stateData
+			z.emit(z.cur)
+			return
+		case r == 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.cur.Data += "�"
+		case r == eofRune:
+			z.parseError(ErrEOFInDoctype, "")
+			z.cur.ForceQuirks = true
+			z.emit(z.cur)
+			z.emitEOF()
+			return
+		default:
+			z.cur.Data += string(toLowerRune(r))
+		}
+	}
+}
+
+func (z *Tokenizer) afterDoctypeNameState() {
+	for {
+		r := z.next()
+		switch {
+		case isWhitespace(r):
+			// ignore
+		case r == '>':
+			z.state = stateData
+			z.emit(z.cur)
+			return
+		case r == eofRune:
+			z.parseError(ErrEOFInDoctype, "")
+			z.cur.ForceQuirks = true
+			z.emit(z.cur)
+			z.emitEOF()
+			return
+		default:
+			rest := z.input[z.prevPos:]
+			if len(rest) >= 6 && strings.EqualFold(string(rest[:6]), "public") {
+				z.advanceTo(z.prevPos + 6)
+				z.state = stateAfterDoctypePublicKeyword
+				return
+			}
+			if len(rest) >= 6 && strings.EqualFold(string(rest[:6]), "system") {
+				z.advanceTo(z.prevPos + 6)
+				z.state = stateAfterDoctypeSystemKeyword
+				return
+			}
+			z.parseError(ErrInvalidCharacterSequenceAfterDT, "")
+			z.cur.ForceQuirks = true
+			z.back()
+			z.state = stateBogusDoctype
+			return
+		}
+	}
+}
+
+func (z *Tokenizer) afterDoctypePublicKeywordState() {
+	r := z.next()
+	switch {
+	case isWhitespace(r):
+		z.state = stateBeforeDoctypePublicIdentifier
+	case r == '"':
+		z.parseError(ErrMissingWhitespaceAfterDoctypeKW, "")
+		z.state = stateDoctypePublicIdentifierDoubleQuoted
+	case r == '\'':
+		z.parseError(ErrMissingWhitespaceAfterDoctypeKW, "")
+		z.state = stateDoctypePublicIdentifierSingleQuoted
+	case r == '>':
+		z.parseError(ErrMissingDoctypePublicIdentifier, "")
+		z.cur.ForceQuirks = true
+		z.state = stateData
+		z.emit(z.cur)
+	case r == eofRune:
+		z.parseError(ErrEOFInDoctype, "")
+		z.cur.ForceQuirks = true
+		z.emit(z.cur)
+		z.emitEOF()
+	default:
+		z.parseError(ErrMissingQuoteBeforeDoctypePublicID, "")
+		z.cur.ForceQuirks = true
+		z.back()
+		z.state = stateBogusDoctype
+	}
+}
+
+func (z *Tokenizer) beforeDoctypePublicIdentifierState() {
+	for {
+		r := z.next()
+		switch {
+		case isWhitespace(r):
+		case r == '"':
+			z.state = stateDoctypePublicIdentifierDoubleQuoted
+			return
+		case r == '\'':
+			z.state = stateDoctypePublicIdentifierSingleQuoted
+			return
+		case r == '>':
+			z.parseError(ErrMissingDoctypePublicIdentifier, "")
+			z.cur.ForceQuirks = true
+			z.state = stateData
+			z.emit(z.cur)
+			return
+		case r == eofRune:
+			z.parseError(ErrEOFInDoctype, "")
+			z.cur.ForceQuirks = true
+			z.emit(z.cur)
+			z.emitEOF()
+			return
+		default:
+			z.parseError(ErrMissingQuoteBeforeDoctypePublicID, "")
+			z.cur.ForceQuirks = true
+			z.back()
+			z.state = stateBogusDoctype
+			return
+		}
+	}
+}
+
+func (z *Tokenizer) doctypePublicIdentifierState(quote rune) {
+	for {
+		r := z.next()
+		switch {
+		case r == quote:
+			z.state = stateAfterDoctypePublicIdentifier
+			return
+		case r == 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.cur.PublicID += "�"
+		case r == '>':
+			z.parseError(ErrAbruptDoctypePublicIdentifier, "")
+			z.cur.ForceQuirks = true
+			z.state = stateData
+			z.emit(z.cur)
+			return
+		case r == eofRune:
+			z.parseError(ErrEOFInDoctype, "")
+			z.cur.ForceQuirks = true
+			z.emit(z.cur)
+			z.emitEOF()
+			return
+		default:
+			z.cur.PublicID += string(r)
+		}
+	}
+}
+
+func (z *Tokenizer) afterDoctypePublicIdentifierState() {
+	r := z.next()
+	switch {
+	case isWhitespace(r):
+		z.state = stateBetweenDoctypePublicAndSystemIdentifiers
+	case r == '>':
+		z.state = stateData
+		z.emit(z.cur)
+	case r == '"':
+		z.parseError(ErrMissingWhitespaceBetweenDTIDs, "")
+		z.state = stateDoctypeSystemIdentifierDoubleQuoted
+	case r == '\'':
+		z.parseError(ErrMissingWhitespaceBetweenDTIDs, "")
+		z.state = stateDoctypeSystemIdentifierSingleQuoted
+	case r == eofRune:
+		z.parseError(ErrEOFInDoctype, "")
+		z.cur.ForceQuirks = true
+		z.emit(z.cur)
+		z.emitEOF()
+	default:
+		z.parseError(ErrMissingQuoteBeforeDoctypeSystemID, "")
+		z.cur.ForceQuirks = true
+		z.back()
+		z.state = stateBogusDoctype
+	}
+}
+
+func (z *Tokenizer) betweenDoctypePublicAndSystemIdentifiersState() {
+	for {
+		r := z.next()
+		switch {
+		case isWhitespace(r):
+		case r == '>':
+			z.state = stateData
+			z.emit(z.cur)
+			return
+		case r == '"':
+			z.state = stateDoctypeSystemIdentifierDoubleQuoted
+			return
+		case r == '\'':
+			z.state = stateDoctypeSystemIdentifierSingleQuoted
+			return
+		case r == eofRune:
+			z.parseError(ErrEOFInDoctype, "")
+			z.cur.ForceQuirks = true
+			z.emit(z.cur)
+			z.emitEOF()
+			return
+		default:
+			z.parseError(ErrMissingQuoteBeforeDoctypeSystemID, "")
+			z.cur.ForceQuirks = true
+			z.back()
+			z.state = stateBogusDoctype
+			return
+		}
+	}
+}
+
+func (z *Tokenizer) afterDoctypeSystemKeywordState() {
+	r := z.next()
+	switch {
+	case isWhitespace(r):
+		z.state = stateBeforeDoctypeSystemIdentifier
+	case r == '"':
+		z.parseError(ErrMissingWhitespaceAfterDoctypeKW, "")
+		z.state = stateDoctypeSystemIdentifierDoubleQuoted
+	case r == '\'':
+		z.parseError(ErrMissingWhitespaceAfterDoctypeKW, "")
+		z.state = stateDoctypeSystemIdentifierSingleQuoted
+	case r == '>':
+		z.parseError(ErrMissingDoctypeSystemIdentifier, "")
+		z.cur.ForceQuirks = true
+		z.state = stateData
+		z.emit(z.cur)
+	case r == eofRune:
+		z.parseError(ErrEOFInDoctype, "")
+		z.cur.ForceQuirks = true
+		z.emit(z.cur)
+		z.emitEOF()
+	default:
+		z.parseError(ErrMissingQuoteBeforeDoctypeSystemID, "")
+		z.cur.ForceQuirks = true
+		z.back()
+		z.state = stateBogusDoctype
+	}
+}
+
+func (z *Tokenizer) beforeDoctypeSystemIdentifierState() {
+	for {
+		r := z.next()
+		switch {
+		case isWhitespace(r):
+		case r == '"':
+			z.state = stateDoctypeSystemIdentifierDoubleQuoted
+			return
+		case r == '\'':
+			z.state = stateDoctypeSystemIdentifierSingleQuoted
+			return
+		case r == '>':
+			z.parseError(ErrMissingDoctypeSystemIdentifier, "")
+			z.cur.ForceQuirks = true
+			z.state = stateData
+			z.emit(z.cur)
+			return
+		case r == eofRune:
+			z.parseError(ErrEOFInDoctype, "")
+			z.cur.ForceQuirks = true
+			z.emit(z.cur)
+			z.emitEOF()
+			return
+		default:
+			z.parseError(ErrMissingQuoteBeforeDoctypeSystemID, "")
+			z.cur.ForceQuirks = true
+			z.back()
+			z.state = stateBogusDoctype
+			return
+		}
+	}
+}
+
+func (z *Tokenizer) doctypeSystemIdentifierState(quote rune) {
+	for {
+		r := z.next()
+		switch {
+		case r == quote:
+			z.state = stateAfterDoctypeSystemIdentifier
+			return
+		case r == 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.cur.SystemID += "�"
+		case r == '>':
+			z.parseError(ErrAbruptDoctypeSystemIdentifier, "")
+			z.cur.ForceQuirks = true
+			z.state = stateData
+			z.emit(z.cur)
+			return
+		case r == eofRune:
+			z.parseError(ErrEOFInDoctype, "")
+			z.cur.ForceQuirks = true
+			z.emit(z.cur)
+			z.emitEOF()
+			return
+		default:
+			z.cur.SystemID += string(r)
+		}
+	}
+}
+
+func (z *Tokenizer) afterDoctypeSystemIdentifierState() {
+	for {
+		r := z.next()
+		switch {
+		case isWhitespace(r):
+		case r == '>':
+			z.state = stateData
+			z.emit(z.cur)
+			return
+		case r == eofRune:
+			z.parseError(ErrEOFInDoctype, "")
+			z.cur.ForceQuirks = true
+			z.emit(z.cur)
+			z.emitEOF()
+			return
+		default:
+			z.parseError(ErrUnexpectedCharacterAfterDTSystemID, "")
+			z.back()
+			z.state = stateBogusDoctype
+			return
+		}
+	}
+}
+
+func (z *Tokenizer) bogusDoctypeState() {
+	for {
+		r := z.next()
+		switch r {
+		case '>':
+			z.state = stateData
+			z.emit(z.cur)
+			return
+		case 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+		case eofRune:
+			z.emit(z.cur)
+			z.emitEOF()
+			return
+		}
+	}
+}
+
+func (z *Tokenizer) cdataSectionState() {
+	for {
+		r := z.next()
+		switch r {
+		case ']':
+			z.state = stateCDATASectionBracket
+			return
+		case eofRune:
+			z.parseError(ErrEOFInCDATA, "")
+			z.emitEOF()
+			return
+		default:
+			z.appendText(r)
+		}
+	}
+}
+
+func (z *Tokenizer) cdataSectionBracketState() {
+	if z.next() == ']' {
+		z.state = stateCDATASectionEnd
+		return
+	}
+	z.appendText(']')
+	z.back()
+	z.state = stateCDATASection
+}
+
+func (z *Tokenizer) cdataSectionEndState() {
+	switch r := z.next(); r {
+	case ']':
+		z.appendText(']')
+	case '>':
+		z.state = stateData
+	default:
+		z.appendTextString("]]")
+		z.back()
+		z.state = stateCDATASection
+	}
+}

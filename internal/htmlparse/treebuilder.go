@@ -1,0 +1,565 @@
+package htmlparse
+
+// This file holds the tree construction stage's infrastructure: the stack
+// of open elements, the list of active formatting elements, insertion
+// locations (including foster parenting), and scope queries. The insertion
+// mode handlers live in modes.go, foreign-content rules in foreign.go and
+// the adoption agency algorithm in adoption.go.
+
+type insertionMode int
+
+const (
+	modeInitial insertionMode = iota
+	modeBeforeHTML
+	modeBeforeHead
+	modeInHead
+	modeAfterHead
+	modeInBody
+	modeText
+	modeInTable
+	modeInTableText
+	modeInCaption
+	modeInColumnGroup
+	modeInTableBody
+	modeInRow
+	modeInCell
+	modeInSelect
+	modeInSelectInTable
+	modeAfterBody
+	modeInFrameset
+	modeAfterFrameset
+	modeAfterAfterBody
+	modeAfterAfterFrameset
+)
+
+// afeEntry is one entry in the list of active formatting elements. A nil
+// node denotes a marker.
+type afeEntry struct {
+	node  *Node
+	token Token
+}
+
+// treeBuilder implements the tree construction stage (spec 13.2.6). Like
+// the tokenizer it never fails: every deviation is recorded as a
+// ParseError and/or TreeEvent and repaired.
+type treeBuilder struct {
+	z   *Tokenizer
+	doc *Node
+
+	stack []*Node
+	afe   []afeEntry
+
+	head *Node
+	form *Node
+
+	mode         insertionMode
+	originalMode insertionMode
+
+	fosterParenting bool
+	framesetOK      bool
+	quirks          bool
+	quirksMode      QuirksMode
+	stopped         bool
+
+	pendingTableText []Token
+	tableTextPos     Position
+
+	skipLeadingNewline bool
+
+	errors []ParseError
+	events []TreeEvent
+
+	recordTokens bool
+	tokens       []Token
+
+	// fragment, when non-nil, is the context element of the HTML fragment
+	// parsing algorithm; it stands in for the root as the adjusted current
+	// node.
+	fragment *Node
+
+	// scriptingEnabled mirrors a browser profile with JavaScript on, which
+	// decides how <noscript> parses. Browsers (and therefore the paper's
+	// threat model) have scripting on.
+	scriptingEnabled bool
+}
+
+func newTreeBuilder(z *Tokenizer) *treeBuilder {
+	tb := &treeBuilder{
+		z:                z,
+		doc:              &Node{Type: DocumentNode},
+		mode:             modeInitial,
+		framesetOK:       true,
+		scriptingEnabled: true,
+	}
+	z.AutoRaw = false
+	z.AllowCDATA = func() bool {
+		n := tb.currentNode()
+		return n != nil && n.Namespace != NamespaceHTML
+	}
+	return tb
+}
+
+func (tb *treeBuilder) parseError(code ErrorCode, detail string, pos Position) {
+	tb.errors = append(tb.errors, ParseError{Code: code, Pos: pos, Detail: detail})
+}
+
+func (tb *treeBuilder) event(kind EventKind, detail string, ns Namespace, pos Position) {
+	tb.events = append(tb.events, TreeEvent{Kind: kind, Detail: detail, Namespace: ns, Pos: pos})
+}
+
+// eventAttrs records an event together with the triggering token's
+// attributes (used by the metadata events that DM1/DM2 consume).
+func (tb *treeBuilder) eventAttrs(kind EventKind, detail string, pos Position, attr []Attribute) {
+	tb.events = append(tb.events, TreeEvent{Kind: kind, Detail: detail, Namespace: NamespaceHTML, Pos: pos, Attr: attr})
+}
+
+func (tb *treeBuilder) currentNode() *Node {
+	if len(tb.stack) == 0 {
+		return nil
+	}
+	return tb.stack[len(tb.stack)-1]
+}
+
+// adjustedCurrentNode equals the current node in document parsing; in
+// fragment parsing the context element stands in while only the root is on
+// the stack.
+func (tb *treeBuilder) adjustedCurrentNode() *Node {
+	if tb.fragment != nil && len(tb.stack) == 1 {
+		return tb.fragment
+	}
+	return tb.currentNode()
+}
+
+func (tb *treeBuilder) push(n *Node) { tb.stack = append(tb.stack, n) }
+func (tb *treeBuilder) pop() *Node {
+	n := tb.stack[len(tb.stack)-1]
+	tb.stack = tb.stack[:len(tb.stack)-1]
+	return n
+}
+
+// popUntil pops elements until an HTML element with one of the given tags
+// has been popped. It returns the popped element, or nil if the stack
+// emptied (which the callers' scope checks prevent).
+func (tb *treeBuilder) popUntil(tags ...string) *Node {
+	for len(tb.stack) > 0 {
+		n := tb.pop()
+		if n.Namespace == NamespaceHTML {
+			for _, t := range tags {
+				if n.Data == t {
+					return n
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (tb *treeBuilder) removeFromStack(n *Node) {
+	for i := len(tb.stack) - 1; i >= 0; i-- {
+		if tb.stack[i] == n {
+			tb.stack = append(tb.stack[:i], tb.stack[i+1:]...)
+			return
+		}
+	}
+}
+
+func (tb *treeBuilder) indexOnStack(n *Node) int {
+	for i := len(tb.stack) - 1; i >= 0; i-- {
+		if tb.stack[i] == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// elementInScope implements the "has an element in scope" family. extra
+// widens the stop set (list-item scope, button scope); nil means the
+// default scope.
+func (tb *treeBuilder) elementInScope(extra map[string]bool, tags ...string) bool {
+	for i := len(tb.stack) - 1; i >= 0; i-- {
+		n := tb.stack[i]
+		if n.Namespace == NamespaceHTML {
+			for _, t := range tags {
+				if n.Data == t {
+					return true
+				}
+			}
+			if defaultScopeStop[n.Data] || (extra != nil && extra[n.Data]) {
+				return false
+			}
+		} else {
+			// Foreign scope stops: MathML text integration points and SVG
+			// HTML integration points.
+			if isMathMLTextIntegrationPoint(n) || isHTMLIntegrationPoint(n) {
+				return false
+			}
+		}
+	}
+	return false
+}
+
+func (tb *treeBuilder) elementInTableScope(tags ...string) bool {
+	for i := len(tb.stack) - 1; i >= 0; i-- {
+		n := tb.stack[i]
+		if n.Namespace != NamespaceHTML {
+			continue
+		}
+		for _, t := range tags {
+			if n.Data == t {
+				return true
+			}
+		}
+		if tableScopeStop[n.Data] {
+			return false
+		}
+	}
+	return false
+}
+
+func (tb *treeBuilder) elementInSelectScope(tag string) bool {
+	for i := len(tb.stack) - 1; i >= 0; i-- {
+		n := tb.stack[i]
+		if n.Namespace != NamespaceHTML {
+			return false
+		}
+		if n.Data == tag {
+			return true
+		}
+		if n.Data != "optgroup" && n.Data != "option" {
+			return false
+		}
+	}
+	return false
+}
+
+func isMathMLTextIntegrationPoint(n *Node) bool {
+	return n.Namespace == NamespaceMathML && mathMLTextIntegration[n.Data]
+}
+
+func isHTMLIntegrationPoint(n *Node) bool {
+	if n.Namespace == NamespaceSVG && svgHTMLIntegration[n.Data] {
+		return true
+	}
+	if n.Namespace == NamespaceMathML && n.Data == "annotation-xml" {
+		if enc, ok := n.LookupAttr("encoding"); ok {
+			switch asciiLower(enc) {
+			case "text/html", "application/xhtml+xml":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func asciiLower(s string) string {
+	b := []byte(s)
+	changed := false
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 0x20
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}
+
+// insertionLocation returns the parent node and the child to insert before
+// (nil = append), applying the foster parenting rules when enabled and the
+// current node is table-ish (spec "appropriate place for inserting a node").
+func (tb *treeBuilder) insertionLocation() (parent, before *Node) {
+	target := tb.currentNode()
+	if target == nil {
+		return tb.doc, nil
+	}
+	if tb.fosterParenting {
+		switch target.Data {
+		case "table", "tbody", "tfoot", "thead", "tr":
+			if target.Namespace == NamespaceHTML {
+				// Find the last table on the stack.
+				for i := len(tb.stack) - 1; i >= 0; i-- {
+					if tb.stack[i].IsElement("table") {
+						table := tb.stack[i]
+						if table.Parent != nil {
+							return table.Parent, table
+						}
+						return tb.stack[i-1], nil
+					}
+				}
+				return tb.stack[0], nil
+			}
+		}
+	}
+	return target, nil
+}
+
+// insertNode places n at the appropriate insertion location.
+func (tb *treeBuilder) insertNode(n *Node) {
+	parent, before := tb.insertionLocation()
+	if before != nil {
+		parent.InsertBefore(n, before)
+		n.FosterParented = true
+	} else {
+		parent.AppendChild(n)
+	}
+}
+
+// insertElement creates an element node for the token and pushes it.
+func (tb *treeBuilder) insertElement(t Token, ns Namespace) *Node {
+	n := tb.createElement(t, ns)
+	tb.insertNode(n)
+	tb.push(n)
+	return n
+}
+
+func (tb *treeBuilder) createElement(t Token, ns Namespace) *Node {
+	n := &Node{Type: ElementNode, Data: t.Data, Namespace: ns, Pos: t.Pos}
+	for _, a := range t.Attr {
+		if !a.Duplicate {
+			n.Attr = append(n.Attr, a)
+		}
+	}
+	return n
+}
+
+// insertImplied synthesizes an element with no corresponding start tag.
+func (tb *treeBuilder) insertImplied(tag string, pos Position) *Node {
+	n := &Node{Type: ElementNode, Data: tag, Namespace: NamespaceHTML, Implied: true, Pos: pos}
+	tb.insertNode(n)
+	tb.push(n)
+	return n
+}
+
+// insertText inserts character data at the appropriate place, merging with
+// an adjacent text node as the spec requires.
+func (tb *treeBuilder) insertText(data string, pos Position) {
+	if data == "" {
+		return
+	}
+	parent, before := tb.insertionLocation()
+	var prev *Node
+	if before != nil {
+		prev = before.PrevSibling
+	} else {
+		prev = parent.LastChild
+	}
+	if prev != nil && prev.Type == TextNode {
+		prev.Data += data
+		return
+	}
+	n := &Node{Type: TextNode, Data: data, Pos: pos}
+	if before != nil {
+		parent.InsertBefore(n, before)
+		n.FosterParented = true
+	} else {
+		parent.AppendChild(n)
+	}
+}
+
+// insertComment appends a comment node to the given parent (or the
+// appropriate place when parent is nil).
+func (tb *treeBuilder) insertComment(t Token, parent *Node) {
+	n := &Node{Type: CommentNode, Data: t.Data, Pos: t.Pos}
+	if parent != nil {
+		parent.AppendChild(n)
+		return
+	}
+	tb.insertNode(n)
+}
+
+// generateImpliedEndTags pops elements whose end tags the spec implies,
+// except the named one (empty string implies none excepted).
+func (tb *treeBuilder) generateImpliedEndTags(except string) {
+	for {
+		n := tb.currentNode()
+		if n == nil || n.Namespace != NamespaceHTML || !impliedEndTags[n.Data] || n.Data == except {
+			return
+		}
+		tb.pop()
+	}
+}
+
+// closePElement implements "close a p element".
+func (tb *treeBuilder) closePElement() {
+	tb.generateImpliedEndTags("p")
+	tb.popUntil("p")
+}
+
+// mergeAttrs copies attributes from t that dst does not already have
+// (the <html> and second-<body> merge rule).
+func (tb *treeBuilder) mergeAttrs(dst *Node, t Token) {
+	for _, a := range t.Attr {
+		if a.Duplicate {
+			continue
+		}
+		if _, ok := dst.LookupAttr(a.Name); !ok {
+			dst.Attr = append(dst.Attr, a)
+		}
+	}
+}
+
+// ---- active formatting elements ----
+
+// pushAFE adds a formatting element, applying the Noah's Ark clause (at
+// most three identical entries since the last marker).
+func (tb *treeBuilder) pushAFE(n *Node, t Token) {
+	identical := 0
+	for i := len(tb.afe) - 1; i >= 0; i-- {
+		e := tb.afe[i]
+		if e.node == nil {
+			break
+		}
+		if sameFormatting(e.node, n) {
+			identical++
+			if identical == 3 {
+				tb.afe = append(tb.afe[:i], tb.afe[i+1:]...)
+				break
+			}
+		}
+	}
+	tb.afe = append(tb.afe, afeEntry{node: n, token: t})
+}
+
+func sameFormatting(a, b *Node) bool {
+	if a.Data != b.Data || a.Namespace != b.Namespace || len(a.Attr) != len(b.Attr) {
+		return false
+	}
+	for _, aa := range a.Attr {
+		v, ok := b.LookupAttr(aa.Name)
+		if !ok || v != aa.Value {
+			return false
+		}
+	}
+	return true
+}
+
+func (tb *treeBuilder) pushAFEMarker() {
+	tb.afe = append(tb.afe, afeEntry{})
+}
+
+// clearAFEToMarker implements "clear the list of active formatting
+// elements up to the last marker".
+func (tb *treeBuilder) clearAFEToMarker() {
+	for len(tb.afe) > 0 {
+		e := tb.afe[len(tb.afe)-1]
+		tb.afe = tb.afe[:len(tb.afe)-1]
+		if e.node == nil {
+			return
+		}
+	}
+}
+
+func (tb *treeBuilder) removeFromAFE(n *Node) {
+	for i := len(tb.afe) - 1; i >= 0; i-- {
+		if tb.afe[i].node == n {
+			tb.afe = append(tb.afe[:i], tb.afe[i+1:]...)
+			return
+		}
+	}
+}
+
+// afeIndexAfterLastMarker finds the most recent entry with the given tag
+// after the last marker, returning its index or -1.
+func (tb *treeBuilder) afeIndexAfterLastMarker(tag string) int {
+	for i := len(tb.afe) - 1; i >= 0; i-- {
+		if tb.afe[i].node == nil {
+			return -1
+		}
+		if tb.afe[i].node.Data == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// reconstructAFE implements "reconstruct the active formatting elements".
+func (tb *treeBuilder) reconstructAFE() {
+	if len(tb.afe) == 0 {
+		return
+	}
+	last := tb.afe[len(tb.afe)-1]
+	if last.node == nil || tb.indexOnStack(last.node) >= 0 {
+		return
+	}
+	// Rewind to the earliest entry needing reconstruction.
+	i := len(tb.afe) - 1
+	for i > 0 {
+		prev := tb.afe[i-1]
+		if prev.node == nil || tb.indexOnStack(prev.node) >= 0 {
+			break
+		}
+		i--
+	}
+	for ; i < len(tb.afe); i++ {
+		entry := tb.afe[i]
+		n := tb.insertElement(entry.token, NamespaceHTML)
+		tb.afe[i] = afeEntry{node: n, token: entry.token}
+	}
+}
+
+// resetInsertionMode implements "reset the insertion mode appropriately".
+func (tb *treeBuilder) resetInsertionMode() {
+	for i := len(tb.stack) - 1; i >= 0; i-- {
+		n := tb.stack[i]
+		last := i == 0
+		if n.Namespace != NamespaceHTML {
+			continue
+		}
+		switch n.Data {
+		case "select":
+			tb.mode = modeInSelect
+			for j := i - 1; j >= 0; j-- {
+				if tb.stack[j].IsElement("table") {
+					tb.mode = modeInSelectInTable
+					break
+				}
+			}
+			return
+		case "td", "th":
+			if !last {
+				tb.mode = modeInCell
+				return
+			}
+		case "tr":
+			tb.mode = modeInRow
+			return
+		case "tbody", "thead", "tfoot":
+			tb.mode = modeInTableBody
+			return
+		case "caption":
+			tb.mode = modeInCaption
+			return
+		case "colgroup":
+			tb.mode = modeInColumnGroup
+			return
+		case "table":
+			tb.mode = modeInTable
+			return
+		case "head":
+			if !last {
+				tb.mode = modeInHead
+				return
+			}
+		case "body":
+			tb.mode = modeInBody
+			return
+		case "frameset":
+			tb.mode = modeInFrameset
+			return
+		case "html":
+			if tb.head == nil {
+				tb.mode = modeBeforeHead
+			} else {
+				tb.mode = modeAfterHead
+			}
+			return
+		}
+		if last {
+			tb.mode = modeInBody
+			return
+		}
+	}
+	tb.mode = modeInBody
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hvscan/hvscan/internal/analysis"
+	"github.com/hvscan/hvscan/internal/prestudy"
+)
+
+// Renderers for the Discussion-section reproductions (§5.1–§5.3).
+
+// Section51 renders the dynamic-content pre-study.
+func Section51(r *prestudy.DynamicResult) string {
+	var b strings.Builder
+	b.WriteString("§5.1 dynamic-content pre-study (runtime-loaded HTML fragments)\n")
+	fmt.Fprintf(&b, "  sites with dynamic content: %d (%d fragments)\n", r.Sites, r.Fragments)
+	fmt.Fprintf(&b, "  sites with >=1 violation:   %d (%.1f%%; paper: \"more than 60%%\")\n",
+		r.SitesWithViol, r.ViolatingPct)
+	top := r.TopRules
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	fmt.Fprintf(&b, "  top violations: %s (paper: FB2 and DM3 in top positions)\n",
+		strings.Join(top, ", "))
+	fmt.Fprintf(&b, "  math-related violations absent: %v (paper: \"hardly appear\")\n", r.MathRuleQuiet)
+	return b.String()
+}
+
+// Section52 renders the popularity generalization.
+func Section52(a *analysis.Analyzer) string {
+	g := a.GeneralizationFor(a.LatestCrawl())
+	var b strings.Builder
+	fmt.Fprintf(&b, "§5.2 generalization: top vs tail of the ranking (%s)\n", g.Crawl)
+	row := func(name string, s analysis.Stratum) {
+		fmt.Fprintf(&b, "  %-10s %5d domains  %.1f%% violating  %.2f violations/violating domain  top: %s\n",
+			name, s.Domains, s.ViolatingPct, s.AvgViolations, strings.Join(s.TopRules, ","))
+	}
+	row("top third", g.Top)
+	row("tail third", g.Tail)
+	b.WriteString("  paper: distribution similar across strata; popular sites carry more violations on average\n")
+	return b.String()
+}
+
+// Section53 renders the projected deprecation roadmap.
+func Section53(a *analysis.Analyzer, thresholdPct float64) string {
+	plan := a.DeprecationPlan(thresholdPct, 25)
+	var b strings.Builder
+	fmt.Fprintf(&b, "§5.3 projected STRICT-PARSER enforcement stages (threshold %.1f%% of domains, linear trend)\n", thresholdPct)
+	for _, stage := range plan {
+		if stage.Year == -1 {
+			fmt.Fprintf(&b, "  needs developer action first (flat/rising trend): %s\n",
+				strings.Join(stage.Rules, ", "))
+			continue
+		}
+		fmt.Fprintf(&b, "  %d: %s\n", stage.Year, strings.Join(stage.Rules, ", "))
+	}
+	b.WriteString("  paper: start with the rare violations (math namespace, dangling markup),\n")
+	b.WriteString("  extend the enforced list as usage decays, until default equals strict\n")
+	return b.String()
+}
+
+// ChurnReport renders the between-snapshot turnover (the Figure 14
+// mechanism: site changes both remove and introduce violations).
+func ChurnReport(a *analysis.Analyzer) string {
+	crawls := a.Crawls()
+	if len(crawls) < 2 {
+		return "churn: need at least two crawls\n"
+	}
+	c := a.ChurnBetween(crawls[0], crawls[len(crawls)-1])
+	var b strings.Builder
+	fmt.Fprintf(&b, "violation churn %s -> %s (%d domains in both)\n", c.FromCrawl, c.ToCrawl, c.Common)
+	fmt.Fprintf(&b, "  fixed: %d   newly violating: %d   still violating: %d   still clean: %d\n",
+		c.Fixed, c.NewlyViolating, c.StillViolating, c.StillClean)
+	b.WriteString("  per-rule turnover (kept/lost/gained, % of involved domains that changed):\n")
+	for _, rc := range c.PerRule {
+		if rc.Kept+rc.Lost+rc.Gained == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "    %-6s kept %5d  lost %5d  gained %5d  turnover %5.1f%%\n",
+			rc.Rule, rc.Kept, rc.Lost, rc.Gained, rc.TurnoverPct)
+	}
+	b.WriteString("  paper §4.4/§5.2: changes to a website can remove violations but also introduce new ones\n")
+	return b.String()
+}

@@ -1,0 +1,218 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hvscan/hvscan/internal/analysis"
+	"github.com/hvscan/hvscan/internal/core"
+	"github.com/hvscan/hvscan/internal/store"
+)
+
+// Experiment renderers: one function per table/figure of the paper. Each
+// takes measured data and prints the same rows or series the paper
+// reports, with the paper's values alongside for comparison.
+
+// Table1 renders the violation catalogue.
+func Table1() string {
+	t := &Table{
+		Title:   "Table 1: security-relevant HTML specification violations",
+		Headers: []string{"ID", "Group", "Category", "Auto-fix", "Name"},
+	}
+	for _, r := range core.Rules() {
+		t.AddRow(r.ID, string(r.Group), string(r.Category), yesNo(r.AutoFixable), r.Name)
+	}
+	return t.String()
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// Table2 renders the dataset statistics beside the paper's row values.
+func Table2(rows []analysis.Table2Row) string {
+	t := &Table{
+		Title: "Table 2: analyzed domains per crawl (measured | paper)",
+		Headers: []string{"Snapshot", "Domains", "Succ.", "Succ.%", "Ø Pages",
+			"paper:Domains", "paper:Succ.%", "paper:Ø"},
+	}
+	paper := map[string]analysis.PaperTable2Row{}
+	for _, pr := range analysis.PaperTable2 {
+		paper[pr.Crawl] = pr
+	}
+	for _, r := range rows {
+		pr := paper[r.Crawl]
+		t.AddRow(r.Crawl, r.Domains, r.Analyzed,
+			fmt.Sprintf("%.1f", r.SuccessPct), fmt.Sprintf("%.1f", r.AvgPages),
+			pr.Domains, fmt.Sprintf("%.1f", pr.SuccessPct), fmt.Sprintf("%.1f", pr.AvgPages))
+	}
+	return t.String()
+}
+
+// Figure8 renders the all-years per-violation distribution.
+func Figure8(a *analysis.Analyzer) string {
+	total, dist := a.Distribution()
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 8: violation distribution over the whole study (%d domains)", total),
+		Headers: []string{"Violation", "Domains", "Measured %", "Paper %"},
+	}
+	for _, rule := range analysis.PaperFigure8Order {
+		p := dist[rule]
+		t.AddRow(rule, p.Count, fmt.Sprintf("%.2f", p.Pct),
+			fmt.Sprintf("%.2f", analysis.PaperFigure8[rule]))
+	}
+	return t.String()
+}
+
+// Figure9 renders the yearly violating-domain series.
+func Figure9(a *analysis.Analyzer) string {
+	series := a.YearlyViolating()
+	t := &Table{
+		Title:   "Figure 9: domains with at least one violation",
+		Headers: []string{"Snapshot", "Analyzed", "Violating", "Measured %", "Paper %"},
+	}
+	for i, p := range series {
+		paper := "-"
+		if i < len(analysis.PaperFigure9) {
+			paper = fmt.Sprintf("%.2f", analysis.PaperFigure9[i])
+		}
+		t.AddRow(p.Crawl, p.Analyzed, p.Count, fmt.Sprintf("%.2f", p.Pct), paper)
+	}
+	return t.String()
+}
+
+// Figure10 renders the problem-group trends.
+func Figure10(a *analysis.Analyzer) string {
+	trends := a.GroupTrends()
+	var b strings.Builder
+	b.WriteString("Figure 10: trend of problem groups (percent of analyzed domains per year)\n")
+	for _, g := range []core.Group{core.FilterBypass, core.DataManipulation,
+		core.DataExfiltration, core.HTMLFormatting} {
+		vals := pcts(trends[g])
+		b.WriteString(Series(string(g), vals))
+		if ep, ok := analysis.PaperFigure10[string(g)]; ok {
+			fmt.Fprintf(&b, "   paper: %.0f -> %.0f", ep[0], ep[1])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// AppendixFigure renders one of Figures 16–21.
+func AppendixFigure(a *analysis.Analyzer, figure string) string {
+	for _, f := range analysis.AppendixFigures {
+		if f.Figure != figure {
+			continue
+		}
+		trends := a.RuleTrends(f.Rules...)
+		var b strings.Builder
+		fmt.Fprintf(&b, "Figure %s: %s (percent of analyzed domains per year; second row = paper)\n",
+			f.Figure, f.Title)
+		for _, rule := range f.Rules {
+			b.WriteString(Series(rule, pcts(trends[rule])))
+			b.WriteByte('\n')
+			b.WriteString(Series("  paper", analysis.PaperRuleTrends[rule]))
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	return "unknown figure " + figure
+}
+
+// Section42 renders the union statistic.
+func Section42(a *analysis.Analyzer) string {
+	u := a.UnionViolating()
+	return fmt.Sprintf("§4.2 union: %d of %d domains (%s%%) violated at least once over all snapshots\n",
+		u.Count, u.Analyzed, Delta(u.Pct, analysis.PaperUnionViolatingPct))
+}
+
+// Section44 renders the fixability estimate.
+func Section44(a *analysis.Analyzer) string {
+	f := a.FixabilityFor(a.LatestCrawl())
+	var b strings.Builder
+	fmt.Fprintf(&b, "§4.4 automatic fixability (%s):\n", f.Crawl)
+	fmt.Fprintf(&b, "  violating domains:            %d of %d (%.1f%%)\n",
+		f.Violating, f.Analyzed, 100*float64(f.Violating)/float64(max(1, f.Analyzed)))
+	fmt.Fprintf(&b, "  only auto-fixable violations: %d\n", f.OnlyAutoFixable)
+	fmt.Fprintf(&b, "  fixable share of violating:   %s%%\n",
+		Delta(f.FixableOfViolPct, analysis.PaperFixableOfViolatingPct))
+	fmt.Fprintf(&b, "  remaining after auto-fix:     %s%%\n",
+		Delta(f.RemainingPct, analysis.PaperRemainingAfterFixPct))
+	return b.String()
+}
+
+// Section45 renders the mitigation overlap.
+func Section45(a *analysis.Analyzer) string {
+	ms := a.Mitigations()
+	var b strings.Builder
+	b.WriteString("§4.5 existing mitigations (percent of analyzed domains per year)\n")
+	rows := []struct {
+		label       string
+		get         func(analysis.MitigationStats) float64
+		first, last float64
+	}{
+		{"newline in URL", func(m analysis.MitigationStats) float64 { return m.NewlineURL.Pct },
+			analysis.PaperNewlineURL2015Pct, analysis.PaperNewlineURL2022Pct},
+		{"newline + '<'", func(m analysis.MitigationStats) float64 { return m.NewlineLtURL.Pct },
+			analysis.PaperNewlineLt2015Pct, analysis.PaperNewlineLt2022Pct},
+		{"<script in attr", func(m analysis.MitigationStats) float64 { return m.ScriptInAttr.Pct },
+			analysis.PaperScriptInAttr2015Pct, analysis.PaperScriptInAttr2022Pct},
+	}
+	for _, row := range rows {
+		vals := make([]float64, len(ms))
+		for i, m := range ms {
+			vals[i] = row.get(m)
+		}
+		b.WriteString(Series(row.label[:min(8, len(row.label))], vals))
+		fmt.Fprintf(&b, "   %-16s paper: %.2f -> %.2f\n", row.label, row.first, row.last)
+	}
+	if len(ms) > 0 {
+		affected := 0
+		for _, m := range ms {
+			affected += m.NonceAffected.Count
+		}
+		fmt.Fprintf(&b, "nonce-carrying scripts actually affected by the mitigation: %d (paper: 0)\n", affected)
+		fmt.Fprintf(&b, "math element adoption: %d (first) -> %d (last) domains (paper: %d -> %d)\n",
+			ms[0].MathDomains, ms[len(ms)-1].MathDomains,
+			analysis.PaperMathDomains2015, analysis.PaperMathDomains2022)
+	}
+	return b.String()
+}
+
+// All renders the full experiment suite.
+func All(a *analysis.Analyzer, stats []store.CrawlStats) string {
+	var b strings.Builder
+	b.WriteString(Table1())
+	b.WriteByte('\n')
+	if len(stats) > 0 {
+		b.WriteString(Table2(analysis.Table2(stats)))
+		b.WriteByte('\n')
+	}
+	b.WriteString(Figure8(a))
+	b.WriteByte('\n')
+	b.WriteString(Figure9(a))
+	b.WriteByte('\n')
+	b.WriteString(Figure10(a))
+	b.WriteByte('\n')
+	for _, f := range analysis.AppendixFigures {
+		b.WriteString(AppendixFigure(a, f.Figure))
+		b.WriteByte('\n')
+	}
+	b.WriteString(Section42(a))
+	b.WriteByte('\n')
+	b.WriteString(Section44(a))
+	b.WriteByte('\n')
+	b.WriteString(Section45(a))
+	return b.String()
+}
+
+func pcts(points []analysis.YearlyPoint) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = p.Pct
+	}
+	return out
+}

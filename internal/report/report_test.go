@@ -1,0 +1,157 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/analysis"
+	"github.com/hvscan/hvscan/internal/store"
+)
+
+func sampleAnalyzer() *analysis.Analyzer {
+	st := store.New()
+	st.Put(&store.DomainResult{
+		Crawl: "CC-MAIN-2015-14", Domain: "a.example",
+		PagesFound: 3, PagesAnalyzed: 3,
+		Violations: map[string]int{"FB2": 1, "HF4": 2},
+		Signals:    map[string]int{store.SignalNewlineURL: 1},
+	})
+	st.Put(&store.DomainResult{
+		Crawl: "CC-MAIN-2022-05", Domain: "a.example",
+		PagesFound: 3, PagesAnalyzed: 3,
+		Violations: map[string]int{"DM3": 1},
+	})
+	st.Put(&store.DomainResult{
+		Crawl: "CC-MAIN-2022-05", Domain: "b.example",
+		PagesFound: 2, PagesAnalyzed: 2,
+	})
+	return analysis.New(st)
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "T",
+		Headers: []string{"col1", "c2"},
+	}
+	tbl.AddRow("a", 1)
+	tbl.AddRow("longer-value", 2.5)
+	out := tbl.String()
+	// Title, title underline, header, separator, two rows.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %q", lines)
+	}
+	if !strings.HasPrefix(lines[3], "----") {
+		t.Fatalf("separator missing: %q", lines[3])
+	}
+	if !strings.Contains(out, "2.50") {
+		t.Fatalf("float formatting: %q", out)
+	}
+}
+
+func TestSeriesAndDelta(t *testing.T) {
+	s := Series("FB2", []float64{50.25, 9.1, 0.05})
+	if !strings.Contains(s, "50.2") || !strings.Contains(s, "9.10") || !strings.Contains(s, "0.050") {
+		t.Fatalf("series = %q", s)
+	}
+	d := Delta(45.5, 46.0)
+	if !strings.Contains(d, "paper 46.00") || !strings.Contains(d, "-0.50") {
+		t.Fatalf("delta = %q", d)
+	}
+}
+
+func TestTable1ListsAllRules(t *testing.T) {
+	out := Table1()
+	for _, id := range []string{"DE1", "DE3_2", "DM2_3", "HF5_3", "FB2"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("table 1 missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestExperimentRenderers(t *testing.T) {
+	a := sampleAnalyzer()
+	for name, render := range map[string]func() string{
+		"fig8":  func() string { return Figure8(a) },
+		"fig9":  func() string { return Figure9(a) },
+		"fig10": func() string { return Figure10(a) },
+		"fig16": func() string { return AppendixFigure(a, "16") },
+		"fig21": func() string { return AppendixFigure(a, "21") },
+		"s42":   func() string { return Section42(a) },
+		"s44":   func() string { return Section44(a) },
+		"s45":   func() string { return Section45(a) },
+	} {
+		out := render()
+		if len(out) == 0 {
+			t.Fatalf("%s rendered empty", name)
+		}
+		if !strings.Contains(out, "paper") && !strings.Contains(out, "Paper") {
+			t.Fatalf("%s lacks paper comparison:\n%s", name, out)
+		}
+	}
+	if got := AppendixFigure(a, "99"); !strings.Contains(got, "unknown figure") {
+		t.Fatalf("bad figure = %q", got)
+	}
+}
+
+func TestAllIncludesEverything(t *testing.T) {
+	a := sampleAnalyzer()
+	stats := []store.CrawlStats{
+		{Crawl: "CC-MAIN-2015-14", Found: 1, Analyzed: 1, PagesAnalyzed: 3},
+		{Crawl: "CC-MAIN-2022-05", Found: 2, Analyzed: 2, PagesAnalyzed: 5},
+	}
+	out := All(a, stats)
+	for _, want := range []string{
+		"Table 1", "Table 2", "Figure 8", "Figure 9", "Figure 10",
+		"Figure 16", "Figure 17", "Figure 18", "Figure 19", "Figure 20",
+		"Figure 21", "§4.2", "§4.4", "§4.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("All() missing %q", want)
+		}
+	}
+}
+
+func TestExportJSONAndCSV(t *testing.T) {
+	a := sampleAnalyzer()
+	e := BuildExport(a, []store.CrawlStats{
+		{Crawl: "CC-MAIN-2015-14", Found: 1, Analyzed: 1, PagesAnalyzed: 3},
+	})
+	if len(e.Figure8) != 20 || len(e.Rules) != 20 {
+		t.Fatalf("export incomplete: %d figure8, %d rules", len(e.Figure8), len(e.Rules))
+	}
+	var js strings.Builder
+	if err := e.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(js.String()), &decoded); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	for _, key := range []string{"crawls", "figure8_union_pct", "figure9_violating_pct",
+		"figure10_group_pct", "section42_union_pct", "section44_fixability",
+		"section45_mitigations", "section53_plan"} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("JSON export missing %q", key)
+		}
+	}
+
+	var csvOut strings.Builder
+	if err := e.WriteCSV(&csvOut); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(csvOut.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("export not valid CSV: %v", err)
+	}
+	// header + 20 rules × number of crawls
+	want := 1 + 20*len(e.Crawls)
+	if len(rows) != want {
+		t.Fatalf("CSV rows = %d, want %d", len(rows), want)
+	}
+	if rows[0][0] != "rule" || len(rows[1]) != 4 {
+		t.Fatalf("CSV shape: %v", rows[0])
+	}
+}

@@ -1,0 +1,105 @@
+// Package report renders the reproduced tables and figures as text, with
+// paper-reference columns beside the measured values. It is shared by
+// cmd/hvreport and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", displayWidth(t.Title)))
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = displayWidth(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && displayWidth(c) > widths[i] {
+				widths[i] = displayWidth(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-displayWidth(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// displayWidth approximates the printed width (runes, not bytes).
+func displayWidth(s string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+// Series renders a compact one-line numeric series.
+func Series(label string, values []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", label)
+	for _, v := range values {
+		switch {
+		case v >= 10:
+			fmt.Fprintf(&b, " %6.1f", v)
+		case v >= 0.1:
+			fmt.Fprintf(&b, " %6.2f", v)
+		default:
+			fmt.Fprintf(&b, " %6.3f", v)
+		}
+	}
+	return b.String()
+}
+
+// Delta annotates a measured value with its deviation from the paper.
+func Delta(measured, paper float64) string {
+	return fmt.Sprintf("%.2f (paper %.2f, Δ%+.2f)", measured, paper, measured-paper)
+}

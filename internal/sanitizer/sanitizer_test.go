@@ -1,0 +1,146 @@
+package sanitizer
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/htmlparse"
+)
+
+func sanitize(t *testing.T, in string) string {
+	t.Helper()
+	out, err := New(nil).Sanitize(in)
+	if err != nil {
+		t.Fatalf("Sanitize: %v", err)
+	}
+	return out
+}
+
+func TestSanitizeRemovesScript(t *testing.T) {
+	out := sanitize(t, `<p>hi</p><script>alert(1)</script><b>ok</b>`)
+	if strings.Contains(out, "script") || strings.Contains(out, "alert") {
+		t.Fatalf("script survived: %q", out)
+	}
+	if !strings.Contains(out, "<p>hi</p>") || !strings.Contains(out, "<b>ok</b>") {
+		t.Fatalf("benign content lost: %q", out)
+	}
+}
+
+func TestSanitizeRemovesEventHandlers(t *testing.T) {
+	out := sanitize(t, `<img src="/x.png" onerror="alert(1)" alt="a">`)
+	if strings.Contains(out, "onerror") {
+		t.Fatalf("event handler survived: %q", out)
+	}
+	if !strings.Contains(out, `src="/x.png"`) || !strings.Contains(out, `alt="a"`) {
+		t.Fatalf("allowed attrs lost: %q", out)
+	}
+}
+
+func TestSanitizeBlocksScriptURLs(t *testing.T) {
+	for _, in := range []string{
+		`<a href="javascript:alert(1)">x</a>`,
+		`<a href="JaVaScRiPt:alert(1)">x</a>`,
+		"<a href=\"javascript:alert(1)\">x</a>",
+		`<a href=" javascript:alert(1)">x</a>`,
+	} {
+		out := sanitize(t, in)
+		if strings.Contains(strings.ToLower(out), "script:") {
+			t.Fatalf("script URL survived %q: %q", in, out)
+		}
+	}
+	out := sanitize(t, `<a href="https://example.org/">x</a>`)
+	if !strings.Contains(out, `href="https://example.org/"`) {
+		t.Fatalf("benign URL lost: %q", out)
+	}
+}
+
+func TestSanitizeKeepsContentOfRemovedElements(t *testing.T) {
+	out := sanitize(t, `<section><p>inside</p></section>`)
+	if strings.Contains(out, "section") {
+		t.Fatalf("disallowed element survived: %q", out)
+	}
+	if !strings.Contains(out, "<p>inside</p>") {
+		t.Fatalf("children lost: %q", out)
+	}
+	// Nested disallowed content must be cleaned before hoisting.
+	out = sanitize(t, `<section><video onloadstart="x()"><p>deep</p></video></section>`)
+	if strings.Contains(out, "video") || strings.Contains(out, "onloadstart") {
+		t.Fatalf("nested disallowed content survived: %q", out)
+	}
+	if !strings.Contains(out, "<p>deep</p>") {
+		t.Fatalf("deep content lost: %q", out)
+	}
+}
+
+// TestMutationXSSBypass reproduces the paper's Figure 1: the sanitized
+// output is harmless as sanitized but arms an XSS payload when the browser
+// parses it a second time. The sanitizer behaves exactly like the
+// historical DOMPurify < 2.1 (its policy allows math/mglyph/style), and
+// our spec parser reproduces the namespace mutation.
+func TestMutationXSSBypass(t *testing.T) {
+	payload := `<math><mtext><table><mglyph><style><!--</style><img title="--&gt;&lt;img src=1 onerror=alert(1)&gt;">`
+	clean := sanitize(t, payload)
+
+	armed := func(html string) bool {
+		res, err := htmlparse.ParseFragment([]byte(html), "div")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Doc.Find(func(n *htmlparse.Node) bool {
+			if n.Type != htmlparse.ElementNode || n.Data != "img" {
+				return false
+			}
+			_, ok := n.LookupAttr("onerror")
+			return ok
+		}) != nil
+	}
+	// The output must not contain a live payload as a string...
+	if strings.Contains(clean, "<img src=1 onerror") && !strings.Contains(clean, "title=") {
+		t.Fatalf("payload escaped the attribute before re-parse: %q", clean)
+	}
+	// ...but the browser's re-parse of the sanitized output arms it —
+	// mutation XSS.
+	if !armed(clean) {
+		t.Fatalf("expected the DOMPurify<2.1-style bypass to arm on re-parse; clean output was %q", clean)
+	}
+}
+
+// TestHardenedPolicyStopsBypass shows the post-fix behaviour: dropping the
+// MathML tags from the allowlist (DOMPurify's actual fix direction)
+// defuses the Figure 1 payload.
+func TestHardenedPolicyStopsBypass(t *testing.T) {
+	p := DefaultPolicy()
+	delete(p.AllowedTags, "math")
+	delete(p.AllowedTags, "mtext")
+	delete(p.AllowedTags, "mglyph")
+	delete(p.AllowedTags, "style")
+	s := New(p)
+	payload := `<math><mtext><table><mglyph><style><!--</style><img title="--&gt;&lt;img src=1 onerror=alert(1)&gt;">`
+	clean, err := s.Sanitize(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := htmlparse.ParseFragment([]byte(clean), "div")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil := res.Doc.Find(func(n *htmlparse.Node) bool {
+		if n.Type != htmlparse.ElementNode || n.Data != "img" {
+			return false
+		}
+		_, ok := n.LookupAttr("onerror")
+		return ok
+	})
+	if evil != nil {
+		t.Fatalf("hardened policy still bypassed: %q", clean)
+	}
+}
+
+func TestSanitizeIdempotentOnCleanInput(t *testing.T) {
+	in := `<p>hello <b>world</b> <a href="/x">link</a></p>`
+	once := sanitize(t, in)
+	twice := sanitize(t, once)
+	if once != twice {
+		t.Fatalf("not idempotent: %q vs %q", once, twice)
+	}
+}

@@ -1,0 +1,239 @@
+// Package store is the embedded result sink of the measurement pipeline —
+// the stand-in for the paper's PostgresDB (Figure 6, step 4). It keeps
+// per-domain aggregates (which is all the paper's analyses group by),
+// is safe for concurrent writers, and persists as JSONL.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// DomainResult aggregates one domain within one crawl snapshot.
+type DomainResult struct {
+	Crawl  string `json:"crawl"`
+	Domain string `json:"domain"`
+	// Rank is the domain's dataset rank (1 = most popular), when known.
+	Rank int `json:"rank,omitempty"`
+	// PagesFound is how many captures the index returned.
+	PagesFound int `json:"pages_found"`
+	// PagesAnalyzed is how many passed the MIME/UTF-8 filters and were
+	// checked.
+	PagesAnalyzed int `json:"pages_analyzed"`
+	// Violations maps rule ID to the number of pages it fired on.
+	Violations map[string]int `json:"violations,omitempty"`
+	// Signals maps signal name to the number of pages showing it.
+	Signals map[string]int `json:"signals,omitempty"`
+}
+
+// Analyzed reports whether the domain produced at least one analyzable page.
+func (d *DomainResult) Analyzed() bool { return d.PagesAnalyzed > 0 }
+
+// Violated reports whether any rule fired on any page.
+func (d *DomainResult) Violated() bool {
+	for _, n := range d.Violations {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Signal names recorded per domain by the pipeline.
+const (
+	SignalNewlineURL    = "newline-url"
+	SignalNewlineLtURL  = "newline-lt-url"
+	SignalScriptInAttr  = "script-in-attr"
+	SignalNonceAffected = "nonce-affected"
+	SignalUsesMath      = "uses-math"
+	SignalUsesSVG       = "uses-svg"
+)
+
+// CrawlStats summarizes one snapshot run of the pipeline (one Table 2
+// row): how many domains were attempted, found on the crawl, and
+// successfully analyzed, with page totals.
+type CrawlStats struct {
+	Crawl         string
+	Domains       int // domains attempted
+	Found         int // domains with at least one capture
+	Analyzed      int // domains with at least one analyzable page
+	PagesFound    int
+	PagesAnalyzed int
+}
+
+// AvgPages is the average number of analyzed pages per analyzed domain.
+func (s CrawlStats) AvgPages() float64 {
+	if s.Analyzed == 0 {
+		return 0
+	}
+	return float64(s.PagesAnalyzed) / float64(s.Analyzed)
+}
+
+// Store is a concurrency-safe collection of domain results keyed by
+// (crawl, domain).
+type Store struct {
+	mu   sync.RWMutex
+	data map[string]map[string]*DomainResult // crawl -> domain -> result
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string]map[string]*DomainResult)}
+}
+
+// Put inserts or replaces a domain result.
+func (s *Store) Put(r *DomainResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.data[r.Crawl]
+	if m == nil {
+		m = make(map[string]*DomainResult)
+		s.data[r.Crawl] = m
+	}
+	m[r.Domain] = r
+}
+
+// Get returns the result for (crawl, domain), or nil.
+func (s *Store) Get(crawl, domain string) *DomainResult {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[crawl][domain]
+}
+
+// Crawls lists the crawls present, sorted (which is chronological for
+// CC-MAIN identifiers).
+func (s *Store) Crawls() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.data))
+	for c := range s.data {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Domains returns the domain results of one crawl, domain-sorted.
+func (s *Store) Domains(crawl string) []*DomainResult {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.data[crawl]
+	out := make([]*DomainResult, 0, len(m))
+	for _, r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+// ForEach visits every result (all crawls) without copying; the callback
+// must not mutate results or call back into the store.
+func (s *Store) ForEach(f func(*DomainResult)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, m := range s.data {
+		for _, r := range m {
+			f(r)
+		}
+	}
+}
+
+// Len reports the total number of domain results.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, m := range s.data {
+		n += len(m)
+	}
+	return n
+}
+
+// WriteTo persists the store as JSONL (one DomainResult per line).
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	var err error
+	s.mu.RLock()
+	crawls := make([]string, 0, len(s.data))
+	for c := range s.data {
+		crawls = append(crawls, c)
+	}
+	sort.Strings(crawls)
+	for _, c := range crawls {
+		domains := make([]string, 0, len(s.data[c]))
+		for d := range s.data[c] {
+			domains = append(domains, d)
+		}
+		sort.Strings(domains)
+		for _, d := range domains {
+			var line []byte
+			line, err = json.Marshal(s.data[c][d])
+			if err != nil {
+				break
+			}
+			var m int
+			m, err = bw.Write(append(line, '\n'))
+			n += int64(m)
+			if err != nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	s.mu.RUnlock()
+	if err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// Read loads a JSONL dump into a new store.
+func Read(r io.Reader) (*Store, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var dr DomainResult
+		if err := json.Unmarshal(sc.Bytes(), &dr); err != nil {
+			return nil, fmt.Errorf("store: line %d: %w", line, err)
+		}
+		s.Put(&dr)
+	}
+	return s, sc.Err()
+}
+
+// Save writes the store to a file.
+func (s *Store) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := s.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a store from a file.
+func Load(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

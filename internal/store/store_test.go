@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sample(crawl, domain string, violations map[string]int) *DomainResult {
+	return &DomainResult{
+		Crawl: crawl, Domain: domain,
+		PagesFound: 10, PagesAnalyzed: 9,
+		Violations: violations,
+		Signals:    map[string]int{SignalUsesMath: 1},
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	s.Put(sample("c1", "a.example", map[string]int{"FB2": 3}))
+	s.Put(sample("c1", "b.example", nil))
+	s.Put(sample("c2", "a.example", map[string]int{"DM3": 1}))
+
+	if got := s.Get("c1", "a.example"); got == nil || got.Violations["FB2"] != 3 {
+		t.Fatalf("Get = %+v", got)
+	}
+	if s.Get("c1", "missing") != nil {
+		t.Fatal("phantom result")
+	}
+	if got := s.Crawls(); len(got) != 2 || got[0] != "c1" {
+		t.Fatalf("Crawls = %v", got)
+	}
+	if got := s.Domains("c1"); len(got) != 2 || got[0].Domain != "a.example" {
+		t.Fatalf("Domains = %v", got)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	n := 0
+	s.ForEach(func(*DomainResult) { n++ })
+	if n != 3 {
+		t.Fatalf("ForEach visited %d", n)
+	}
+}
+
+func TestViolatedAnalyzed(t *testing.T) {
+	d := sample("c", "d", map[string]int{"FB1": 0})
+	if d.Violated() {
+		t.Fatal("zero-count violation counted")
+	}
+	d.Violations["FB1"] = 1
+	if !d.Violated() {
+		t.Fatal("violation missed")
+	}
+	d.PagesAnalyzed = 0
+	if d.Analyzed() {
+		t.Fatal("unanalyzed domain reported analyzed")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := New()
+	for i := 0; i < 50; i++ {
+		s.Put(sample("c1", fmt.Sprintf("d%02d.example", i), map[string]int{"FB2": i}))
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic output: sorted by crawl then domain.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 50 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "d00.example") || !strings.Contains(lines[49], "d49.example") {
+		t.Fatalf("order wrong: first %q last %q", lines[0], lines[49])
+	}
+	s2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 50 {
+		t.Fatalf("read back %d", s2.Len())
+	}
+	if got := s2.Get("c1", "d07.example"); got == nil || got.Violations["FB2"] != 7 {
+		t.Fatalf("Get after read = %+v", got)
+	}
+
+	if _, err := Read(strings.NewReader("{broken json")); err == nil {
+		t.Fatal("bad JSONL accepted")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	s := New()
+	s.Put(sample("c1", "a.example", map[string]int{"HF4": 2}))
+	path := t.TempDir() + "/r.jsonl"
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Get("c1", "a.example").Violations["HF4"] != 2 {
+		t.Fatal("load mismatch")
+	}
+	if _, err := Load(path + ".missing"); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+// TestConcurrentWriters: the pipeline writes from many goroutines.
+func TestConcurrentWriters(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Put(sample(fmt.Sprintf("c%d", w%3), fmt.Sprintf("d%d-%d", w, i), nil))
+				_ = s.Len()
+				_ = s.Crawls()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 8*200 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestCrawlStatsAvgPages(t *testing.T) {
+	s := CrawlStats{Analyzed: 4, PagesAnalyzed: 30}
+	if got := s.AvgPages(); got != 7.5 {
+		t.Fatalf("AvgPages = %f", got)
+	}
+	if (CrawlStats{}).AvgPages() != 0 {
+		t.Fatal("zero division")
+	}
+}

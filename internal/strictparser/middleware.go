@@ -1,0 +1,197 @@
+package strictparser
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Middleware wraps an http.Handler with STRICT-PARSER enforcement, playing
+// the role a hardened browser engine would: it buffers HTML responses,
+// evaluates the response's own Strict-Parser header, blocks violating
+// documents (per mode) with a warning page, and posts violation reports to
+// the policy's monitor URL.
+type Middleware struct {
+	next     http.Handler
+	enforcer *Enforcer
+	reporter *Reporter
+}
+
+// NewMiddleware wraps next. enforcer may be nil (defaults apply).
+func NewMiddleware(next http.Handler, enforcer *Enforcer) *Middleware {
+	if enforcer == nil {
+		enforcer = NewEnforcer(nil)
+	}
+	return &Middleware{next: next, enforcer: enforcer, reporter: NewReporter(nil)}
+}
+
+// Reporter exposes the middleware's monitor reporter (to flush in tests).
+func (m *Middleware) Reporter() *Reporter { return m.reporter }
+
+type bufferingWriter struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferingWriter) Header() http.Header { return b.header }
+func (b *bufferingWriter) WriteHeader(s int)   { b.status = s }
+func (b *bufferingWriter) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	return b.body.Write(p)
+}
+
+// ServeHTTP implements http.Handler.
+func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	bw := &bufferingWriter{header: make(http.Header)}
+	m.next.ServeHTTP(bw, r)
+
+	copyHeader(w.Header(), bw.header)
+	ct := bw.header.Get("Content-Type")
+	if !strings.HasPrefix(ct, "text/html") || bw.status != http.StatusOK {
+		w.WriteHeader(statusOr200(bw.status))
+		_, _ = w.Write(bw.body.Bytes())
+		return
+	}
+	policy, err := ParsePolicy(bw.header.Get(HeaderName))
+	if err != nil {
+		// An unparseable policy fails closed to the default mode.
+		policy = Policy{}
+	}
+	decision, err := m.enforcer.Evaluate(bw.body.Bytes(), policy)
+	if err != nil {
+		// Not UTF-8 decodable: out of scope, pass through.
+		w.WriteHeader(statusOr200(bw.status))
+		_, _ = w.Write(bw.body.Bytes())
+		return
+	}
+	if policy.Monitor != "" && len(decision.Violations) > 0 {
+		m.reporter.Report(policy.Monitor, r.URL.String(), decision)
+	}
+	// Stage 1 of the paper's rollout: before anything is enforced,
+	// developers get a succinct, specific warning for each violation —
+	// surfaced here as a response header the developer console can show.
+	if len(decision.Violations) > 0 && !decision.Blocked() {
+		w.Header().Set(WarningsHeader, strings.Join(violatedIDs(decision), ", "))
+	}
+	if decision.Blocked() {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		_, _ = w.Write(blockedPage(decision))
+		return
+	}
+	w.WriteHeader(statusOr200(bw.status))
+	_, _ = w.Write(bw.body.Bytes())
+}
+
+// WarningsHeader carries the rule IDs of unenforced violations, the
+// deprecation-warning stage of the rollout (§5.3.2).
+const WarningsHeader = "Strict-Parser-Warnings"
+
+func violatedIDs(d *Decision) []string {
+	ids := map[string]bool{}
+	for _, f := range d.Violations {
+		ids[f.RuleID] = true
+	}
+	out := make([]string, 0, len(ids))
+	for id := range ids {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func statusOr200(s int) int {
+	if s == 0 {
+		return http.StatusOK
+	}
+	return s
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+func blockedPage(d *Decision) []byte {
+	var b bytes.Buffer
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\"><head><title>Blocked by STRICT-PARSER</title></head><body>\n")
+	b.WriteString("<h1>Document blocked</h1>\n<p>This page violates deprecated HTML parsing behaviour (mode: ")
+	b.WriteString(d.Policy.Mode.String())
+	b.WriteString("):</p>\n<ul>\n")
+	for _, id := range d.BlockedBy {
+		b.WriteString("<li><code>" + id + "</code></li>\n")
+	}
+	b.WriteString("</ul>\n</body></html>\n")
+	return b.Bytes()
+}
+
+// MonitorReport is the JSON document posted to a policy's monitor URL,
+// shaped after CSP violation reports.
+type MonitorReport struct {
+	DocumentURL string    `json:"document_url"`
+	Policy      string    `json:"policy"`
+	Blocked     bool      `json:"blocked"`
+	Violations  []string  `json:"violations"`
+	Time        time.Time `json:"time"`
+}
+
+// Reporter delivers monitor reports asynchronously with bounded
+// concurrency; failures are dropped (reporting must never break serving).
+type Reporter struct {
+	client *http.Client
+	wg     sync.WaitGroup
+	sem    chan struct{}
+}
+
+// NewReporter builds a reporter; client may be nil.
+func NewReporter(client *http.Client) *Reporter {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &Reporter{client: client, sem: make(chan struct{}, 8)}
+}
+
+// Report posts one violation report in the background.
+func (r *Reporter) Report(monitorURL, documentURL string, d *Decision) {
+	ids := map[string]bool{}
+	for _, f := range d.Violations {
+		ids[f.RuleID] = true
+	}
+	report := MonitorReport{
+		DocumentURL: documentURL,
+		Policy:      d.Policy.String(),
+		Blocked:     d.Blocked(),
+		Time:        time.Now().UTC(),
+	}
+	for id := range ids {
+		report.Violations = append(report.Violations, id)
+	}
+	sort.Strings(report.Violations)
+	body, err := json.Marshal(report)
+	if err != nil {
+		return
+	}
+	r.wg.Add(1)
+	r.sem <- struct{}{}
+	go func() {
+		defer func() { <-r.sem; r.wg.Done() }()
+		resp, err := r.client.Post(monitorURL, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		resp.Body.Close()
+	}()
+}
+
+// Flush waits for in-flight reports (used by tests and shutdown paths).
+func (r *Reporter) Flush() { r.wg.Wait() }

@@ -1,0 +1,168 @@
+// Package strictparser implements the parser-hardening roadmap the paper
+// proposes in §5.3.2: a STRICT-PARSER response header with three modes
+// (strict, default, unsafe), a staged list of enforced deprecations that
+// starts with the rarest violations, and a monitor endpoint that receives
+// violation reports so developers can test policies without breakage —
+// the document.domain / SameSite playbook applied to error tolerance.
+package strictparser
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/hvscan/hvscan/internal/core"
+)
+
+// HeaderName is the proposed response header.
+const HeaderName = "Strict-Parser"
+
+// Mode selects the parsing strictness.
+type Mode int
+
+const (
+	// ModeDefault blocks only the enforced-deprecation list; it is also
+	// what browsers must assume when the header is absent.
+	ModeDefault Mode = iota
+	// ModeStrict blocks every catalogued violation (full opt-in).
+	ModeStrict
+	// ModeUnsafe ignores all deprecations — the escape hatch for sites
+	// that genuinely depend on a violation.
+	ModeUnsafe
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeStrict:
+		return "strict"
+	case ModeUnsafe:
+		return "unsafe"
+	}
+	return "default"
+}
+
+// Policy is a parsed STRICT-PARSER header.
+type Policy struct {
+	Mode Mode
+	// Monitor, when set, receives JSON violation reports regardless of
+	// mode, so developers can trial a stricter mode in the wild.
+	Monitor string
+}
+
+// String serializes the policy back to header form.
+func (p Policy) String() string {
+	if p.Monitor == "" {
+		return p.Mode.String()
+	}
+	return fmt.Sprintf("%s; monitor=%s", p.Mode, p.Monitor)
+}
+
+// ParsePolicy decodes a header value such as
+//
+//	strict
+//	default; monitor=https://example.org/report
+//	unsafe
+//
+// An empty value is the default policy. Unknown directives are errors —
+// a hardening header must not fail open on typos.
+func ParsePolicy(value string) (Policy, error) {
+	p := Policy{}
+	value = strings.TrimSpace(value)
+	if value == "" {
+		return p, nil
+	}
+	for i, part := range strings.Split(value, ";") {
+		part = strings.TrimSpace(part)
+		if i == 0 {
+			switch strings.ToLower(part) {
+			case "strict":
+				p.Mode = ModeStrict
+			case "default":
+				p.Mode = ModeDefault
+			case "unsafe":
+				p.Mode = ModeUnsafe
+			default:
+				return Policy{}, fmt.Errorf("strictparser: unknown mode %q", part)
+			}
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Policy{}, fmt.Errorf("strictparser: bad directive %q", part)
+		}
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "monitor":
+			p.Monitor = strings.TrimSpace(val)
+		default:
+			return Policy{}, fmt.Errorf("strictparser: unknown directive %q", key)
+		}
+	}
+	return p, nil
+}
+
+// EnforcedDeprecations is the staged list for the default mode. Stage 1
+// holds the violations the paper found rare enough to enforce immediately
+// (the math-element namespace confusion, the dangling-markup family);
+// later stages join as their usage decays, until default equals strict.
+var EnforcedDeprecations = []string{
+	"HF5_3", // 3 domains in eight years
+	"DE1",   // 0.10% of domains
+	"DE2",   // 0.27%
+	"DE3_3", // 0.93%
+	"HF5_2", // 1.22%
+	"DE3_1", // already mitigated by Chromium since 2017
+}
+
+// Decision is the outcome of evaluating a document under a policy.
+type Decision struct {
+	Policy     Policy
+	Violations []core.Finding
+	// BlockedBy lists the rule IDs that triggered blocking (empty means
+	// the document renders).
+	BlockedBy []string
+}
+
+// Blocked reports whether the document must not render.
+func (d *Decision) Blocked() bool { return len(d.BlockedBy) > 0 }
+
+// Enforcer evaluates documents against policies.
+type Enforcer struct {
+	checker  *core.Checker
+	enforced map[string]bool
+}
+
+// NewEnforcer builds an enforcer; enforced overrides the default staged
+// list when non-nil.
+func NewEnforcer(enforced []string) *Enforcer {
+	if enforced == nil {
+		enforced = EnforcedDeprecations
+	}
+	m := make(map[string]bool, len(enforced))
+	for _, id := range enforced {
+		m[id] = true
+	}
+	return &Enforcer{checker: core.NewChecker(), enforced: m}
+}
+
+// Evaluate checks the document and applies the policy semantics.
+func (e *Enforcer) Evaluate(html []byte, p Policy) (*Decision, error) {
+	rep, err := e.checker.Check(html)
+	if err != nil {
+		return nil, err
+	}
+	d := &Decision{Policy: p, Violations: rep.Findings}
+	if p.Mode == ModeUnsafe {
+		return d, nil
+	}
+	blocked := map[string]bool{}
+	for _, id := range rep.ViolatedIDs() {
+		if p.Mode == ModeStrict || e.enforced[id] {
+			blocked[id] = true
+		}
+	}
+	for id := range blocked {
+		d.BlockedBy = append(d.BlockedBy, id)
+	}
+	sort.Strings(d.BlockedBy)
+	return d, nil
+}

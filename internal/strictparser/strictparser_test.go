@@ -1,0 +1,230 @@
+package strictparser
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in      string
+		mode    Mode
+		monitor string
+		err     bool
+	}{
+		{"", ModeDefault, "", false},
+		{"strict", ModeStrict, "", false},
+		{"STRICT", ModeStrict, "", false},
+		{"unsafe", ModeUnsafe, "", false},
+		{"default", ModeDefault, "", false},
+		{"strict; monitor=https://m.example/r", ModeStrict, "https://m.example/r", false},
+		{"default;monitor=/local", ModeDefault, "/local", false},
+		{"lenient", 0, "", true},
+		{"strict; report=x", 0, "", true},
+		{"strict; monitor", 0, "", true},
+	}
+	for _, tc := range cases {
+		p, err := ParsePolicy(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParsePolicy(%q): want error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", tc.in, err)
+			continue
+		}
+		if p.Mode != tc.mode || p.Monitor != tc.monitor {
+			t.Errorf("ParsePolicy(%q) = %+v", tc.in, p)
+		}
+	}
+}
+
+func TestPolicyRoundTrip(t *testing.T) {
+	for _, p := range []Policy{
+		{},
+		{Mode: ModeStrict},
+		{Mode: ModeUnsafe, Monitor: "https://m/x"},
+	} {
+		q, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("round trip %v: %v", p, err)
+		}
+		if q != p {
+			t.Fatalf("round trip %v -> %v", p, q)
+		}
+	}
+}
+
+const cleanDoc = `<!DOCTYPE html><html><head><title>t</title></head><body><p>fine</p></body></html>`
+
+// violatingDoc carries FB2 (common, not in the staged list) and DE1 (rare,
+// stage-1 enforced).
+const violatingDoc = `<!DOCTYPE html><html><head><title>t</title></head><body><img src="x"alt="y"><form action="/f"><input type="submit"><textarea>leak`
+
+func TestEnforcerModes(t *testing.T) {
+	e := NewEnforcer(nil)
+
+	d, err := e.Evaluate([]byte(cleanDoc), Policy{Mode: ModeStrict})
+	if err != nil || d.Blocked() {
+		t.Fatalf("clean doc blocked under strict: %+v, %v", d, err)
+	}
+
+	d, err = e.Evaluate([]byte(violatingDoc), Policy{Mode: ModeStrict})
+	if err != nil || !d.Blocked() {
+		t.Fatalf("violating doc not blocked under strict: %+v", d)
+	}
+	if !containsID(d.BlockedBy, "FB2") || !containsID(d.BlockedBy, "DE1") {
+		t.Fatalf("strict blockedBy = %v", d.BlockedBy)
+	}
+
+	// Default mode: only the staged deprecations block.
+	d, err = e.Evaluate([]byte(violatingDoc), Policy{Mode: ModeDefault})
+	if err != nil || !d.Blocked() {
+		t.Fatalf("DE1 must block in default mode: %+v", d)
+	}
+	if containsID(d.BlockedBy, "FB2") {
+		t.Fatalf("FB2 must not block in default mode yet: %v", d.BlockedBy)
+	}
+
+	// Unsafe mode: never blocks, still reports violations.
+	d, err = e.Evaluate([]byte(violatingDoc), Policy{Mode: ModeUnsafe})
+	if err != nil || d.Blocked() {
+		t.Fatalf("unsafe mode blocked: %+v", d)
+	}
+	if len(d.Violations) == 0 {
+		t.Fatal("unsafe mode lost the violation report")
+	}
+}
+
+func containsID(ids []string, id string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func serveDoc(doc, policyHeader string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if policyHeader != "" {
+			w.Header().Set(HeaderName, policyHeader)
+		}
+		_, _ = io.WriteString(w, doc)
+	})
+}
+
+func TestMiddlewareBlocksAndPasses(t *testing.T) {
+	// Strict + violating -> blocked page.
+	mw := NewMiddleware(serveDoc(violatingDoc, "strict"), nil)
+	rec := httptest.NewRecorder()
+	mw.ServeHTTP(rec, httptest.NewRequest("GET", "/page", nil))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "STRICT-PARSER") {
+		t.Fatalf("no warning page: %q", rec.Body.String())
+	}
+
+	// Unsafe + violating -> passes verbatim.
+	mw = NewMiddleware(serveDoc(violatingDoc, "unsafe"), nil)
+	rec = httptest.NewRecorder()
+	mw.ServeHTTP(rec, httptest.NewRequest("GET", "/page", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "textarea") {
+		t.Fatalf("unsafe pass-through broken: %d %q", rec.Code, rec.Body.String())
+	}
+
+	// Clean + strict -> passes.
+	mw = NewMiddleware(serveDoc(cleanDoc, "strict"), nil)
+	rec = httptest.NewRecorder()
+	mw.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != cleanDoc {
+		t.Fatalf("clean doc mangled: %d", rec.Code)
+	}
+
+	// Non-HTML passes untouched whatever it contains.
+	mw = NewMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(HeaderName, "strict")
+		_, _ = io.WriteString(w, `{"html":"<textarea>"}`)
+	}), nil)
+	rec = httptest.NewRecorder()
+	mw.ServeHTTP(rec, httptest.NewRequest("GET", "/api", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "textarea") {
+		t.Fatalf("non-HTML mangled: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestMonitorReporting(t *testing.T) {
+	var mu sync.Mutex
+	var reports []MonitorReport
+	monitor := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var rep MonitorReport
+		if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+			t.Errorf("bad report: %v", err)
+		}
+		mu.Lock()
+		reports = append(reports, rep)
+		mu.Unlock()
+	}))
+	defer monitor.Close()
+
+	mw := NewMiddleware(serveDoc(violatingDoc, "unsafe; monitor="+monitor.URL), nil)
+	rec := httptest.NewRecorder()
+	mw.ServeHTTP(rec, httptest.NewRequest("GET", "/monitored", nil))
+	mw.Reporter().Flush()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d, want 1", len(reports))
+	}
+	r := reports[0]
+	if r.DocumentURL != "/monitored" || r.Blocked {
+		t.Fatalf("report = %+v", r)
+	}
+	if !containsID(r.Violations, "FB2") || !containsID(r.Violations, "DE1") {
+		t.Fatalf("report violations = %v", r.Violations)
+	}
+}
+
+func TestWarningsHeader(t *testing.T) {
+	// Unsafe mode with violations: a warnings header, no blocking.
+	mw := NewMiddleware(serveDoc(violatingDoc, "unsafe"), nil)
+	rec := httptest.NewRecorder()
+	mw.ServeHTTP(rec, httptest.NewRequest("GET", "/w", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	warns := rec.Header().Get(WarningsHeader)
+	if !strings.Contains(warns, "FB2") || !strings.Contains(warns, "DE1") {
+		t.Fatalf("warnings = %q", warns)
+	}
+
+	// Clean document: no warnings header.
+	mw = NewMiddleware(serveDoc(cleanDoc, "strict"), nil)
+	rec = httptest.NewRecorder()
+	mw.ServeHTTP(rec, httptest.NewRequest("GET", "/c", nil))
+	if got := rec.Header().Get(WarningsHeader); got != "" {
+		t.Fatalf("clean doc got warnings %q", got)
+	}
+
+	// Blocked documents carry the block page, not the warning header.
+	mw = NewMiddleware(serveDoc(violatingDoc, "strict"), nil)
+	rec = httptest.NewRecorder()
+	mw.ServeHTTP(rec, httptest.NewRequest("GET", "/b", nil))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if got := rec.Header().Get(WarningsHeader); got != "" {
+		t.Fatalf("blocked doc got warnings %q", got)
+	}
+}

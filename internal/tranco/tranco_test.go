@@ -1,0 +1,66 @@
+package tranco
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, id, csv string) *List {
+	t.Helper()
+	l, err := Parse(id, strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestParse(t *testing.T) {
+	l := mustParse(t, "L1", "2,b.example\n1,a.example\n\n# comment\n3,c.example\n")
+	if len(l.Entries) != 3 {
+		t.Fatalf("entries = %v", l.Entries)
+	}
+	// Sorted by rank.
+	if l.Entries[0].Domain != "a.example" || l.Entries[2].Rank != 3 {
+		t.Fatalf("order wrong: %v", l.Entries)
+	}
+	for _, bad := range []string{"x,y,z\nnotanumber,d\n", "norank\n"} {
+		if _, err := Parse("bad", strings.NewReader(bad)); err == nil {
+			t.Errorf("no error for %q", bad)
+		}
+	}
+}
+
+func TestWriteToRoundTrip(t *testing.T) {
+	l := mustParse(t, "L", "1,a.example\n2,b.example\n")
+	var b strings.Builder
+	if _, err := l.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustParse(t, "L", b.String())
+	if len(l2.Entries) != 2 || l2.Entries[1].Domain != "b.example" {
+		t.Fatalf("round trip: %v", l2.Entries)
+	}
+}
+
+func TestIntersectTop(t *testing.T) {
+	// a and b are on all lists; trending is only on list 2; c is ranked
+	// too low on list 3.
+	l1 := mustParse(t, "1", "1,a.example\n2,b.example\n3,c.example\n")
+	l2 := mustParse(t, "2", "1,trending.example\n2,a.example\n3,b.example\n4,c.example\n")
+	l3 := mustParse(t, "3", "1,b.example\n2,a.example\n9,c.example\n")
+
+	stable := IntersectTop([]*List{l1, l2, l3}, 5)
+	if len(stable) != 2 {
+		t.Fatalf("stable = %v", stable)
+	}
+	// Ordered by average rank: a = (1+2+2)/3 = 1.67, b = (2+3+1)/3 = 2.
+	if stable[0].Domain != "a.example" || stable[1].Domain != "b.example" {
+		t.Fatalf("order = %v", stable)
+	}
+	if got := AverageRank(stable); got < 1.5 || got > 2.2 {
+		t.Fatalf("avg rank = %f", got)
+	}
+	if IntersectTop(nil, 5) != nil {
+		t.Fatal("empty input should yield nil")
+	}
+}

@@ -1,0 +1,256 @@
+package warc
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var testDate = time.Date(2022, 1, 30, 12, 0, 0, 0, time.UTC)
+
+func TestRecordRoundTripPlain(t *testing.T) {
+	roundTrip(t, NewPlainWriter)
+}
+
+func TestRecordRoundTripCompressed(t *testing.T) {
+	roundTrip(t, NewWriter)
+}
+
+func roundTrip(t *testing.T, newWriter func(io.Writer) *Writer) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := newWriter(&buf)
+
+	bodies := []string{"<html>one</html>", "<html>two</html>", strings.Repeat("x", 100_000)}
+	type loc struct{ off, length int64 }
+	var locs []loc
+	for i, body := range bodies {
+		block := BuildHTTPResponse(200, "text/html; charset=utf-8", []byte(body))
+		rec := NewResponse("https://example.org/p/"+string(rune('a'+i)), testDate, block)
+		off, length, err := w.Write(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if length <= 0 {
+			t.Fatalf("record %d: length = %d", i, length)
+		}
+		locs = append(locs, loc{off, length})
+	}
+
+	// Sequential read.
+	recs, err := NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(bodies) {
+		t.Fatalf("read %d records, want %d", len(recs), len(bodies))
+	}
+	for i, rec := range recs {
+		if rec.Type() != TypeResponse {
+			t.Fatalf("record %d type = %q", i, rec.Type())
+		}
+		resp, err := ParseHTTPResponse(rec.Block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp.Body) != bodies[i] {
+			t.Fatalf("record %d body mismatch (%d vs %d bytes)", i, len(resp.Body), len(bodies[i]))
+		}
+		if d, err := rec.Date(); err != nil || !d.Equal(testDate) {
+			t.Fatalf("record %d date = %v, %v", i, d, err)
+		}
+	}
+
+	// Random access via (offset, length) — the CDX access path.
+	for i := len(locs) - 1; i >= 0; i-- {
+		rec, err := ReadRecordAt(buf.Bytes(), locs[i].off, locs[i].length)
+		if err != nil {
+			t.Fatalf("ReadRecordAt(%d): %v", i, err)
+		}
+		resp, _ := ParseHTTPResponse(rec.Block)
+		if string(resp.Body) != bodies[i] {
+			t.Fatalf("random access %d: wrong body", i)
+		}
+	}
+}
+
+func TestWarcinfoLeads(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	info := NewWarcinfo("seg-0001.warc.gz", testDate, map[string]string{"software": "test"})
+	if _, _, err := w.Write(info); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Type() != TypeWarcinfo {
+		t.Fatalf("recs = %v", recs)
+	}
+	if !strings.Contains(string(recs[0].Block), "software: test") {
+		t.Fatalf("block = %q", recs[0].Block)
+	}
+}
+
+func TestHeadersCaseInsensitive(t *testing.T) {
+	var h Headers
+	h.Set("WARC-Type", "response")
+	h.Set("warc-type", "request") // replaces, case-insensitively
+	if got := h.Get("WARC-TYPE"); got != "request" {
+		t.Fatalf("Get = %q", got)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestMalformedRecords(t *testing.T) {
+	cases := []string{
+		"NOT-WARC/1.0\r\n\r\n",
+		"WARC/1.0\r\nContent-Length: -5\r\n\r\n",
+		"WARC/1.0\r\nContent-Length: xyz\r\n\r\n",
+		"WARC/1.0\r\nbroken header line\r\n\r\n",
+		"WARC/1.0\r\nContent-Length: 100\r\n\r\nshort",
+	}
+	for _, in := range cases {
+		if _, err := NewReader(strings.NewReader(in)).Next(); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestReadRecordAtBounds(t *testing.T) {
+	data := []byte("WARC/1.0\r\nContent-Length: 0\r\n\r\n\r\n\r\n")
+	if _, err := ReadRecordAt(data, -1, 10); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := ReadRecordAt(data, 0, int64(len(data))+1); err == nil {
+		t.Error("overlong range accepted")
+	}
+	if _, err := ReadRecordAt(data, 0, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+}
+
+func TestDeterministicRecordIDs(t *testing.T) {
+	a := NewResponse("https://x.example/", testDate, []byte("b"))
+	b := NewResponse("https://x.example/", testDate, []byte("b"))
+	c := NewResponse("https://y.example/", testDate, []byte("b"))
+	if a.Headers.Get(HeaderRecordID) != b.Headers.Get(HeaderRecordID) {
+		t.Fatal("identical inputs produced different record IDs")
+	}
+	if a.Headers.Get(HeaderRecordID) == c.Headers.Get(HeaderRecordID) {
+		t.Fatal("different URIs produced identical record IDs")
+	}
+}
+
+func TestHTTPResponseParse(t *testing.T) {
+	block := BuildHTTPResponse(404, "text/html", []byte("<h1>404</h1>"))
+	resp, err := ParseHTTPResponse(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 || resp.Status != "Not Found" {
+		t.Fatalf("status = %d %q", resp.StatusCode, resp.Status)
+	}
+	if got := resp.Headers.Get("Content-Type"); got != "text/html" {
+		t.Fatalf("content-type = %q", got)
+	}
+	if string(resp.Body) != "<h1>404</h1>" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+
+	for _, bad := range []string{"", "garbage", "HTTP/1.1 abc OK\r\n\r\n"} {
+		if _, err := ParseHTTPResponse([]byte(bad)); err == nil {
+			t.Errorf("no error for %q", bad)
+		}
+	}
+}
+
+// TestPropertyHTTPBlockRoundTrip: any body survives the HTTP block
+// round trip byte-exactly.
+func TestPropertyHTTPBlockRoundTrip(t *testing.T) {
+	f := func(body []byte, status uint8) bool {
+		code := 200
+		if status%2 == 0 {
+			code = 404
+		}
+		resp, err := ParseHTTPResponse(BuildHTTPResponse(code, "text/html", body))
+		if err != nil {
+			return false
+		}
+		return resp.StatusCode == code && bytes.Equal(resp.Body, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyWarcRoundTrip: any block survives the WARC round trip, both
+// compressed and plain, sequential and random access.
+func TestPropertyWarcRoundTrip(t *testing.T) {
+	f := func(block []byte, compressed bool) bool {
+		var buf bytes.Buffer
+		var w *Writer
+		if compressed {
+			w = NewWriter(&buf)
+		} else {
+			w = NewPlainWriter(&buf)
+		}
+		rec := NewResponse("https://e.example/", testDate, block)
+		off, length, err := w.Write(rec)
+		if err != nil {
+			return false
+		}
+		got, err := ReadRecordAt(buf.Bytes(), off, length)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Block, block)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestRecordPairing(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	resp := NewResponse("https://example.org/p", testDate,
+		BuildHTTPResponse(200, "text/html", []byte("<p>x</p>")))
+	req := NewRequest("https://example.org/p", testDate,
+		BuildHTTPRequest("https://example.org/p"), resp.Headers.Get(HeaderRecordID))
+	if _, _, err := w.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	off, length, err := w.Write(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential readers see both records, in order, correctly linked.
+	recs, err := NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Type() != TypeRequest || recs[1].Type() != TypeResponse {
+		t.Fatalf("recs = %v", recs)
+	}
+	if got := recs[0].Headers.Get(HeaderConcurrentTo); got != recs[1].Headers.Get(HeaderRecordID) {
+		t.Fatalf("pairing broken: %q", got)
+	}
+	if !strings.HasPrefix(string(recs[0].Block), "GET /p HTTP/1.1\r\nHost: example.org\r\n") {
+		t.Fatalf("request block = %q", recs[0].Block)
+	}
+	// CDX-style random access still lands exactly on the response.
+	rec, err := ReadRecordAt(buf.Bytes(), off, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type() != TypeResponse {
+		t.Fatalf("random access got %s", rec.Type())
+	}
+}
