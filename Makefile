@@ -2,9 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench study report fuzz clean
+.PHONY: all build test vet bench bench-json ci fmt-check study report fuzz clean
 
 all: build test
+
+# Mirrors .github/workflows/ci.yml so the tier-1 gate is reproducible
+# locally: build, vet, formatting, race-enabled tests, fuzz smoke.
+ci: build vet fmt-check
+	$(GO) test -race ./...
+	$(GO) test -run '^$$' -fuzz='^FuzzParse$$' -fuzztime=15s ./internal/htmlparse
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -18,6 +28,12 @@ vet:
 # Regenerates every table/figure as benchmark metrics (paper values inline).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark run for the perf trajectory across PRs:
+# test2json event stream, one file per day.
+bench-json:
+	$(GO) test -json -bench=. -benchmem -run '^$$' . > BENCH_$$(date +%Y%m%d).json
+	@echo "wrote BENCH_$$(date +%Y%m%d).json"
 
 # The full eight-snapshot study at laptop scale, then the report.
 study:

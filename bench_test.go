@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/hvscan/hvscan/internal/analysis"
 	"github.com/hvscan/hvscan/internal/autofix"
@@ -25,6 +26,7 @@ import (
 	"github.com/hvscan/hvscan/internal/corpus"
 	"github.com/hvscan/hvscan/internal/crawler"
 	"github.com/hvscan/hvscan/internal/htmlparse"
+	"github.com/hvscan/hvscan/internal/obs"
 	"github.com/hvscan/hvscan/internal/prestudy"
 	"github.com/hvscan/hvscan/internal/report"
 	"github.com/hvscan/hvscan/internal/sanitizer"
@@ -390,6 +392,71 @@ func benchmarkPipelineWidth(b *testing.B, workers int) {
 func BenchmarkAblationPipelineWidth1(b *testing.B)  { benchmarkPipelineWidth(b, 1) }
 func BenchmarkAblationPipelineWidth4(b *testing.B)  { benchmarkPipelineWidth(b, 4) }
 func BenchmarkAblationPipelineWidth16(b *testing.B) { benchmarkPipelineWidth(b, 16) }
+
+// ---- Observability (internal/obs) ----
+
+// BenchmarkPipelineInstrumented runs one snapshot with the full metrics
+// stack (pipeline stages + per-rule counters + archive outcomes) and
+// reports throughput and the check-stage tail from the metrics themselves
+// — the numbers `hvcrawl` prints in its run summary.
+func BenchmarkPipelineInstrumented(b *testing.B) {
+	g := corpus.New(corpus.Config{Seed: 7, Domains: 200, MaxPages: 3})
+	arch := commoncrawl.NewSynthetic(g)
+	domains := g.Universe()
+	crawl := arch.Crawls()[0]
+	b.ResetTimer()
+	var summary crawler.RunSummary
+	for i := 0; i < b.N; i++ {
+		reg := obs.NewRegistry()
+		pipe := crawler.New(commoncrawl.Instrument(arch, reg),
+			core.NewChecker().Instrument(reg), store.New().Instrument(reg),
+			crawler.Config{PagesPerDomain: 3, Registry: reg})
+		start := time.Now()
+		if _, err := pipe.RunSnapshot(context.Background(), crawl, domains); err != nil {
+			b.Fatal(err)
+		}
+		summary = pipe.Summary(time.Since(start))
+	}
+	b.ReportMetric(summary.PagesPerSec, "pages/sec")
+	for _, st := range summary.Stages {
+		if st.Stage == "check" {
+			b.ReportMetric(st.P95ms, "check_p95_ms")
+		}
+	}
+}
+
+// BenchmarkAblationCheckInstrumented quantifies the metrics overhead on
+// the hottest path: the same check loop as BenchmarkCheckDocument, with
+// per-rule counters enabled. The delta should be nanoseconds per page.
+func BenchmarkAblationCheckInstrumented(b *testing.B) {
+	pages := samplePages(32)
+	checker := core.NewChecker().Instrument(obs.NewRegistry())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checker.Check(pages[i%len(pages)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHistogramObserve is the cost of one metric observation — the
+// unit the pipeline pays four times per page.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := obs.NewHistogram(obs.DurationBuckets)
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.0001
+		for pb.Next() {
+			h.Observe(v)
+			v *= 1.7
+			if v > 20 {
+				v = 0.0001
+			}
+		}
+	})
+	if h.Count() == 0 {
+		b.Fatal("no observations")
+	}
+}
 
 // ---- Discussion-section reproductions (§5.1–§5.3) ----
 

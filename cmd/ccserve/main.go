@@ -3,9 +3,14 @@
 // It serves either a directory written by hvgen (-dir) or the synthetic
 // archive directly from the generator (default).
 //
+// With -metrics a second listener exposes the archive's query/read
+// counters on /metrics and pprof on /debug/pprof/, so a long-running
+// archive server can be profiled while hvcrawl hammers it.
+//
 // Usage:
 //
-//	ccserve [-addr :8087] [-dir ./archive | -domains 2400 -pages 20 -seed 22]
+//	ccserve [-addr :8087] [-metrics :9091]
+//	        [-dir ./archive | -domains 2400 -pages 20 -seed 22]
 package main
 
 import (
@@ -18,11 +23,13 @@ import (
 
 	"github.com/hvscan/hvscan/internal/commoncrawl"
 	"github.com/hvscan/hvscan/internal/corpus"
+	"github.com/hvscan/hvscan/internal/obs"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", ":8087", "listen address")
+		metrics = flag.String("metrics", "", "serve /metrics and /debug/pprof/ on this address (empty = off)")
 		dir     = flag.String("dir", "", "serve an hvgen-written archive directory")
 		domains = flag.Int("domains", 2400, "synthetic: domain universe size")
 		pages   = flag.Int("pages", 20, "synthetic: max pages per domain")
@@ -45,6 +52,18 @@ func main() {
 		archive = commoncrawl.NewSynthetic(g)
 		log.Printf("serving synthetic archive (seed=%d, %d domains, <=%d pages)",
 			*seed, *domains, *pages)
+	}
+
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		archive = commoncrawl.Instrument(archive, reg)
+		srv, err := obs.StartServer(*metrics, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccserve:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		log.Printf("metrics: http://%s/metrics (pprof on /debug/pprof/)", srv.Addr)
 	}
 
 	srv := &http.Server{

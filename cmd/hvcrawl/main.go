@@ -6,10 +6,17 @@
 // The archive comes either from a ccserve instance (-server, the network
 // path) or is generated in-process (the fast path).
 //
+// With -metrics the process serves live observability endpoints while the
+// crawl runs: Prometheus-style counters and stage latency histograms on
+// /metrics, and the full pprof suite on /debug/pprof/. At the end of the
+// run a summary (pages/sec, per-stage p50/p95/p99, error rates) is logged
+// and embedded in the stats file.
+//
 // Usage:
 //
 //	hvcrawl -out results.jsonl -stats stats.json [-server http://...]
 //	        [-domains 2400 -pages 20 -seed 22] [-workers N] [-snapshots 8]
+//	        [-metrics :9090] [-retries N]
 package main
 
 import (
@@ -27,64 +34,107 @@ import (
 	"github.com/hvscan/hvscan/internal/core"
 	"github.com/hvscan/hvscan/internal/corpus"
 	"github.com/hvscan/hvscan/internal/crawler"
+	"github.com/hvscan/hvscan/internal/obs"
 	"github.com/hvscan/hvscan/internal/store"
 	"github.com/hvscan/hvscan/internal/tranco"
 )
 
+// options collects the command-line configuration.
+type options struct {
+	server    string
+	out       string
+	statsOut  string
+	metrics   string
+	domains   int
+	pages     int
+	seed      int64
+	workers   int
+	snapshots int
+	lists     int
+	cutoff    int
+	retries   int
+}
+
+// statsFile is the persisted shape of -stats: the per-snapshot Table 2
+// rows plus the whole-run observability summary. hvreport accepts both
+// this and the bare snapshot array older runs wrote.
+type statsFile struct {
+	Snapshots []store.CrawlStats `json:"snapshots"`
+	Summary   crawler.RunSummary `json:"summary"`
+}
+
 func main() {
-	var (
-		server    = flag.String("server", "", "ccserve base URL (default: in-process synthetic archive)")
-		out       = flag.String("out", "results.jsonl", "result store output path")
-		statsOut  = flag.String("stats", "stats.json", "crawl statistics output path")
-		domains   = flag.Int("domains", 2400, "synthetic: domain universe size")
-		pages     = flag.Int("pages", 20, "pages per domain to analyze (paper: 100)")
-		seed      = flag.Int64("seed", 22, "synthetic: generator seed")
-		workers   = flag.Int("workers", 0, "concurrent domain workers (default: NumCPU)")
-		snapshots = flag.Int("snapshots", 8, "number of snapshots to crawl (oldest first)")
-		lists     = flag.Int("lists", 5, "Tranco-style lists for the dataset intersection")
-		cutoff    = flag.Int("cutoff", 0, "rank cutoff for the intersection (default: universe size)")
-	)
+	var o options
+	flag.StringVar(&o.server, "server", "", "ccserve base URL (default: in-process synthetic archive)")
+	flag.StringVar(&o.out, "out", "results.jsonl", "result store output path")
+	flag.StringVar(&o.statsOut, "stats", "stats.json", "crawl statistics output path")
+	flag.StringVar(&o.metrics, "metrics", "", "serve /metrics and /debug/pprof/ on this address (e.g. :9090; empty = off)")
+	flag.IntVar(&o.domains, "domains", 2400, "synthetic: domain universe size")
+	flag.IntVar(&o.pages, "pages", 20, "pages per domain to analyze (paper: 100)")
+	flag.Int64Var(&o.seed, "seed", 22, "synthetic: generator seed")
+	flag.IntVar(&o.workers, "workers", 0, "concurrent domain workers (default: NumCPU)")
+	flag.IntVar(&o.snapshots, "snapshots", 8, "number of snapshots to crawl (oldest first)")
+	flag.IntVar(&o.lists, "lists", 5, "Tranco-style lists for the dataset intersection")
+	flag.IntVar(&o.cutoff, "cutoff", 0, "rank cutoff for the intersection (default: universe size)")
+	flag.IntVar(&o.retries, "retries", 0, "retries per index query / record fetch (0 = default of 2, -1 = disabled)")
 	flag.Parse()
-	if err := run(*server, *out, *statsOut, *domains, *pages, *seed, *workers, *snapshots, *lists, *cutoff); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "hvcrawl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, out, statsOut string, domains, pages int, seed int64, workers, snapshots, lists, cutoff int) error {
-	g := corpus.New(corpus.Config{Seed: seed, Domains: domains, MaxPages: pages})
+func run(o options) error {
+	g := corpus.New(corpus.Config{Seed: o.seed, Domains: o.domains, MaxPages: o.pages})
 
 	// Dataset derivation (paper §4.1): intersect the top cutoff of every
 	// list, order by average rank.
-	if cutoff <= 0 {
-		cutoff = domains
+	if o.cutoff <= 0 {
+		o.cutoff = o.domains
 	}
-	stable := tranco.IntersectTop(g.TrancoLists(lists), cutoff)
+	stable := tranco.IntersectTop(g.TrancoLists(o.lists), o.cutoff)
 	dataset := make([]string, len(stable))
 	for i, e := range stable {
 		dataset[i] = e.Domain
 	}
 	log.Printf("dataset: %d domains (intersection of %d lists at rank <= %d, avg rank %.0f)",
-		len(dataset), lists, cutoff, tranco.AverageRank(stable))
+		len(dataset), o.lists, o.cutoff, tranco.AverageRank(stable))
+
+	// One registry carries every layer's series: archive round trips,
+	// pipeline stages, per-rule hits, store writes.
+	reg := obs.NewRegistry()
 
 	var archive commoncrawl.Archive
-	if server != "" {
-		archive = commoncrawl.NewClient(server)
-		log.Printf("archive: %s", server)
+	if o.server != "" {
+		archive = commoncrawl.NewClient(o.server)
+		log.Printf("archive: %s", o.server)
 	} else {
 		archive = commoncrawl.NewSynthetic(g)
-		log.Printf("archive: in-process synthetic (seed=%d)", seed)
+		log.Printf("archive: in-process synthetic (seed=%d)", o.seed)
 	}
+	archive = commoncrawl.Instrument(archive, reg)
 
 	crawls := archive.Crawls()
-	if snapshots > 0 && snapshots < len(crawls) {
-		crawls = crawls[:snapshots]
+	if o.snapshots > 0 && o.snapshots < len(crawls) {
+		crawls = crawls[:o.snapshots]
 	}
 
-	st := store.New()
-	pipe := crawler.New(archive, core.NewChecker(), st, crawler.Config{
-		Workers:        workers,
-		PagesPerDomain: pages,
+	if o.metrics != "" {
+		srv, err := obs.StartServer(o.metrics, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		log.Printf("metrics: http://%s/metrics (pprof on /debug/pprof/)", srv.Addr)
+	}
+
+	st := store.New().Instrument(reg)
+	checker := core.NewChecker().Instrument(reg)
+	pipe := crawler.New(archive, checker, st, crawler.Config{
+		Workers:        o.workers,
+		PagesPerDomain: o.pages,
+		Retries:        o.retries,
+		Registry:       reg,
 	})
 
 	// Ctrl-C finishes the in-flight domains, saves what was measured and
@@ -93,6 +143,7 @@ func run(server, out, statsOut string, domains, pages int, seed int64, workers, 
 	defer stop()
 
 	var allStats []store.CrawlStats
+	runStart := time.Now()
 	for _, crawl := range crawls {
 		start := time.Now()
 		stats, err := pipe.RunSnapshot(ctx, crawl, dataset)
@@ -110,25 +161,27 @@ func run(server, out, statsOut string, domains, pages int, seed int64, workers, 
 			crawl, stats.Analyzed, stats.Found, stats.PagesAnalyzed, stats.AvgPages(),
 			elapsed.Round(time.Millisecond), ppm)
 	}
+	summary := pipe.Summary(time.Since(runStart))
+	log.Print(summary)
 
-	if err := st.Save(out); err != nil {
+	if err := st.Save(o.out); err != nil {
 		return err
 	}
-	log.Printf("results: %s (%d domain records)", out, st.Len())
+	log.Printf("results: %s (%d domain records)", o.out, st.Len())
 
-	f, err := os.Create(statsOut)
+	f, err := os.Create(o.statsOut)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(allStats); err != nil {
+	if err := enc.Encode(statsFile{Snapshots: allStats, Summary: summary}); err != nil {
 		f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	log.Printf("stats: %s", statsOut)
+	log.Printf("stats: %s", o.statsOut)
 	return nil
 }

@@ -48,7 +48,8 @@ func run(storePath, statsPath, exp, format string, seed int64, domains int, out 
 		if err != nil {
 			return err
 		}
-		if err := json.Unmarshal(data, &stats); err != nil {
+		stats, err = parseStats(data)
+		if err != nil {
 			return fmt.Errorf("stats: %w", err)
 		}
 	}
@@ -108,4 +109,21 @@ func run(storePath, statsPath, exp, format string, seed int64, domains int, out 
 	}
 	_, err = fmt.Fprint(out, s)
 	return err
+}
+
+// parseStats reads a stats file in either shape: the bare snapshot array
+// early hvcrawl versions wrote, or the current object with "snapshots"
+// plus the run summary.
+func parseStats(data []byte) ([]store.CrawlStats, error) {
+	var stats []store.CrawlStats
+	if err := json.Unmarshal(data, &stats); err == nil {
+		return stats, nil
+	}
+	var wrapped struct {
+		Snapshots []store.CrawlStats `json:"snapshots"`
+	}
+	if err := json.Unmarshal(data, &wrapped); err != nil {
+		return nil, err
+	}
+	return wrapped.Snapshots, nil
 }

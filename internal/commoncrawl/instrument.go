@@ -1,0 +1,66 @@
+package commoncrawl
+
+import (
+	"github.com/hvscan/hvscan/internal/cdx"
+	"github.com/hvscan/hvscan/internal/obs"
+)
+
+// instrumentedArchive wraps an Archive and counts every index query and
+// ranged read by outcome, plus the raw bytes read. It sits below the
+// crawler's own stage metrics: the crawler sees latencies including
+// retries, this layer sees each individual archive round trip.
+type instrumentedArchive struct {
+	inner Archive
+
+	queriesOK   *obs.Counter
+	queriesErr  *obs.Counter
+	queryRecs   *obs.Counter
+	readsOK     *obs.Counter
+	readsErr    *obs.Counter
+	bytesServed *obs.Counter
+}
+
+// Instrument wraps a (possibly remote) archive with fetch outcome counters
+// registered on reg:
+//
+//	commoncrawl_queries_total{outcome="ok"|"error"}
+//	commoncrawl_query_records_total
+//	commoncrawl_reads_total{outcome="ok"|"error"}
+//	commoncrawl_read_bytes_total
+func Instrument(a Archive, reg *obs.Registry) Archive {
+	return &instrumentedArchive{
+		inner:       a,
+		queriesOK:   reg.Counter(`commoncrawl_queries_total{outcome="ok"}`),
+		queriesErr:  reg.Counter(`commoncrawl_queries_total{outcome="error"}`),
+		queryRecs:   reg.Counter("commoncrawl_query_records_total"),
+		readsOK:     reg.Counter(`commoncrawl_reads_total{outcome="ok"}`),
+		readsErr:    reg.Counter(`commoncrawl_reads_total{outcome="error"}`),
+		bytesServed: reg.Counter("commoncrawl_read_bytes_total"),
+	}
+}
+
+var _ Archive = (*instrumentedArchive)(nil)
+
+func (a *instrumentedArchive) Crawls() []string { return a.inner.Crawls() }
+
+func (a *instrumentedArchive) Query(crawl, domain string, limit int) ([]*cdx.Record, error) {
+	recs, err := a.inner.Query(crawl, domain, limit)
+	if err != nil {
+		a.queriesErr.Inc()
+		return nil, err
+	}
+	a.queriesOK.Inc()
+	a.queryRecs.Add(uint64(len(recs)))
+	return recs, nil
+}
+
+func (a *instrumentedArchive) ReadRange(filename string, offset, length int64) ([]byte, error) {
+	data, err := a.inner.ReadRange(filename, offset, length)
+	if err != nil {
+		a.readsErr.Inc()
+		return nil, err
+	}
+	a.readsOK.Inc()
+	a.bytesServed.Add(uint64(len(data)))
+	return data, nil
+}

@@ -1,0 +1,56 @@
+package commoncrawl
+
+import (
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/corpus"
+	"github.com/hvscan/hvscan/internal/obs"
+)
+
+func TestInstrumentedArchiveCountsOutcomes(t *testing.T) {
+	g := corpus.New(corpus.Config{Seed: 5, Domains: 12, MaxPages: 3})
+	reg := obs.NewRegistry()
+	arch := Instrument(NewSynthetic(g), reg)
+	crawl := arch.Crawls()[0]
+
+	var fetched int
+	for _, d := range g.Universe() {
+		recs, err := arch.Query(crawl, d, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if _, err := FetchCapture(arch, rec); err != nil {
+				t.Fatal(err)
+			}
+			fetched++
+		}
+	}
+	if fetched == 0 {
+		t.Fatal("no captures fetched — counters untested")
+	}
+	if got, want := reg.Counter(`commoncrawl_queries_total{outcome="ok"}`).Value(),
+		uint64(len(g.Universe())); got != want {
+		t.Errorf("queries ok = %d, want %d", got, want)
+	}
+	if got := reg.Counter(`commoncrawl_reads_total{outcome="ok"}`).Value(); got != uint64(fetched) {
+		t.Errorf("reads ok = %d, want %d", got, fetched)
+	}
+	if reg.Counter("commoncrawl_read_bytes_total").Value() == 0 {
+		t.Error("read bytes = 0")
+	}
+
+	// Error outcomes land on the error series, not the ok one.
+	if _, err := arch.Query("no-such-crawl", "x.example", 1); err == nil {
+		t.Fatal("bogus crawl query succeeded")
+	}
+	if got := reg.Counter(`commoncrawl_queries_total{outcome="error"}`).Value(); got != 1 {
+		t.Errorf("queries error = %d, want 1", got)
+	}
+	if _, err := arch.ReadRange("bogus-file", 0, 10); err == nil {
+		t.Fatal("bogus read succeeded")
+	}
+	if got := reg.Counter(`commoncrawl_reads_total{outcome="error"}`).Value(); got != 1 {
+		t.Errorf("reads error = %d, want 1", got)
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
 	"github.com/hvscan/hvscan/internal/htmlparse"
+	"github.com/hvscan/hvscan/internal/obs"
 )
 
 // Report is the outcome of checking one page against the catalogue.
@@ -79,6 +81,11 @@ func (r *Report) OnlyAutoFixable() bool {
 // construct with NewChecker.
 type Checker struct {
 	rules []Rule
+	// hits, when instrumented, holds one counter per rule (parallel to
+	// rules); pages counts every document checked. Both stay nil on an
+	// uninstrumented checker, keeping the hot path a nil check.
+	hits  []*obs.Counter
+	pages *obs.Counter
 }
 
 // NewChecker returns a checker over the full catalogue, or over the given
@@ -112,6 +119,33 @@ func NewStreamingChecker() *Checker {
 // Rules returns the checker's rule set.
 func (c *Checker) Rules() []Rule { return c.rules }
 
+// Instrument registers per-rule hit counters (core_rule_hits_total,
+// labelled by rule ID) and a checked-pages counter on reg, and returns the
+// checker for chaining. The counters aggregate across every page the
+// checker sees, so a metrics endpoint answers "which rules fire most"
+// without waiting for the store to fill.
+func (c *Checker) Instrument(reg *obs.Registry) *Checker {
+	c.hits = make([]*obs.Counter, len(c.rules))
+	for i, r := range c.rules {
+		c.hits[i] = reg.Counter(fmt.Sprintf("core_rule_hits_total{rule=%q}", r.ID))
+	}
+	c.pages = reg.Counter("core_pages_checked_total")
+	return c
+}
+
+// countHits records a page's rule outcomes on the instrumented counters.
+func (c *Checker) countHits(rep *Report) {
+	if c.pages == nil {
+		return
+	}
+	c.pages.Inc()
+	for i, r := range c.rules {
+		if n := rep.RuleHits[r.ID]; n > 0 {
+			c.hits[i].Add(uint64(n))
+		}
+	}
+}
+
 // Check parses the document and runs every rule independently over the
 // single instrumented parse. It returns htmlparse.ErrNotUTF8 for documents
 // the pipeline must filter (paper §4.1).
@@ -134,6 +168,7 @@ func (c *Checker) CheckParsed(p *Page) *Report {
 		}
 	}
 	rep.Signals = computeSignals(p)
+	c.countHits(rep)
 	return rep
 }
 
@@ -172,6 +207,7 @@ func (c *Checker) CheckStream(html []byte) (*Report, error) {
 		}
 	}
 	rep.Signals = computeSignals(p)
+	c.countHits(rep)
 	return rep, nil
 }
 

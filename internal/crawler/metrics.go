@@ -1,0 +1,207 @@
+package crawler
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/hvscan/hvscan/internal/obs"
+)
+
+// Stage names, in pipeline order (Figure 6): index query, WARC fetch,
+// parse+check, store. Exported so tests and dashboards can iterate them.
+var Stages = []string{"query", "fetch", "check", "store"}
+
+// Metrics is the pipeline's instrumentation: one latency histogram per
+// stage, byte counters, retry/error counters, and in-flight gauges, all
+// registered on a shared obs.Registry so cmd-level servers can expose
+// them next to the checker's and archive's own series.
+type Metrics struct {
+	reg *obs.Registry
+
+	// stage latency histograms, keyed like Stages.
+	stageSeconds map[string]*obs.Histogram
+
+	// QueryErrors / FetchErrors count stage failures after retries were
+	// exhausted; Retries counts every re-attempt of either stage.
+	QueryErrors *obs.Counter
+	FetchErrors *obs.Counter
+	Retries     *obs.Counter
+
+	// DomainsStarted/DomainsDone/DomainErrors track the outer work units;
+	// InFlight is the number of domains currently being measured.
+	DomainsStarted *obs.Counter
+	DomainsDone    *obs.Counter
+	DomainErrors   *obs.Counter
+	InFlight       *obs.Gauge
+
+	// PagesFound counts index records returned, PagesFetched successful
+	// WARC fetches, PagesAnalyzed pages that passed every filter and were
+	// checked.
+	PagesFound    *obs.Counter
+	PagesFetched  *obs.Counter
+	PagesAnalyzed *obs.Counter
+
+	// BytesFetched is compressed WARC bytes read from the archive;
+	// DocBytes is the distribution of decoded HTML document sizes.
+	BytesFetched *obs.Counter
+	DocBytes     *obs.Histogram
+
+	// skipped counts filtered pages by reason (see skipReasons).
+	skipped map[string]*obs.Counter
+}
+
+// skipReasons are the filter outcomes of measureDomain, mirroring the
+// paper's §4.1 collection filters.
+var skipReasons = []string{"index-filter", "status", "mime", "oversize", "non-utf8"}
+
+// NewMetrics registers the pipeline series on reg (which must be non-nil)
+// and returns the typed handle. Calling it twice with the same registry
+// returns handles sharing the same underlying series.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		reg:          reg,
+		stageSeconds: make(map[string]*obs.Histogram, len(Stages)),
+		skipped:      make(map[string]*obs.Counter, len(skipReasons)),
+
+		QueryErrors: reg.Counter(`crawler_stage_errors_total{stage="query"}`),
+		FetchErrors: reg.Counter(`crawler_stage_errors_total{stage="fetch"}`),
+		Retries:     reg.Counter("crawler_retries_total"),
+
+		DomainsStarted: reg.Counter("crawler_domains_started_total"),
+		DomainsDone:    reg.Counter("crawler_domains_done_total"),
+		DomainErrors:   reg.Counter("crawler_domain_errors_total"),
+		InFlight:       reg.Gauge("crawler_domains_in_flight"),
+
+		PagesFound:    reg.Counter("crawler_pages_found_total"),
+		PagesFetched:  reg.Counter("crawler_pages_fetched_total"),
+		PagesAnalyzed: reg.Counter("crawler_pages_analyzed_total"),
+
+		BytesFetched: reg.Counter("crawler_fetch_bytes_total"),
+		DocBytes:     reg.Histogram("crawler_doc_bytes", obs.SizeBuckets),
+	}
+	for _, s := range Stages {
+		m.stageSeconds[s] = reg.Histogram(
+			fmt.Sprintf("crawler_stage_seconds{stage=%q}", s), obs.DurationBuckets)
+	}
+	for _, r := range skipReasons {
+		m.skipped[r] = reg.Counter(fmt.Sprintf("crawler_pages_skipped_total{reason=%q}", r))
+	}
+	return m
+}
+
+// Registry returns the registry the metrics are registered on.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// Stage returns the latency histogram of the named stage (see Stages).
+func (m *Metrics) Stage(name string) *obs.Histogram { return m.stageSeconds[name] }
+
+// Skipped returns the skip counter for reason, or nil for unknown reasons.
+func (m *Metrics) Skipped(reason string) *obs.Counter { return m.skipped[reason] }
+
+// PagesSkipped sums the skip counters across all reasons.
+func (m *Metrics) PagesSkipped() uint64 {
+	var n uint64
+	for _, c := range m.skipped {
+		n += c.Value()
+	}
+	return n
+}
+
+// observeStage records one stage latency.
+func (m *Metrics) observeStage(name string, t0 time.Time) {
+	m.stageSeconds[name].ObserveSince(t0)
+}
+
+// StageSummary is one row of the end-of-run report.
+type StageSummary struct {
+	Stage  string  `json:"stage"`
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	P50ms  float64 `json:"p50_ms"`
+	P95ms  float64 `json:"p95_ms"`
+	P99ms  float64 `json:"p99_ms"`
+}
+
+// RunSummary condenses a whole run — what an operator wants to know after
+// a multi-hour crawl, and what stats.json preserves for the perf
+// trajectory across PRs.
+type RunSummary struct {
+	ElapsedSeconds float64        `json:"elapsed_seconds"`
+	PagesAnalyzed  uint64         `json:"pages_analyzed"`
+	PagesPerSec    float64        `json:"pages_per_sec"`
+	PagesFound     uint64         `json:"pages_found"`
+	PagesSkipped   uint64         `json:"pages_skipped"`
+	BytesFetched   uint64         `json:"bytes_fetched"`
+	Retries        uint64         `json:"retries"`
+	DomainErrors   uint64         `json:"domain_errors"`
+	ErrorRate      float64        `json:"error_rate"` // failed domains / started domains
+	Stages         []StageSummary `json:"stages"`
+}
+
+// Summary snapshots the metrics into a RunSummary over the given wall
+// time.
+func (m *Metrics) Summary(elapsed time.Duration) RunSummary {
+	s := RunSummary{
+		ElapsedSeconds: elapsed.Seconds(),
+		PagesAnalyzed:  m.PagesAnalyzed.Value(),
+		PagesFound:     m.PagesFound.Value(),
+		PagesSkipped:   m.PagesSkipped(),
+		BytesFetched:   m.BytesFetched.Value(),
+		Retries:        m.Retries.Value(),
+		DomainErrors:   m.DomainErrors.Value(),
+	}
+	if elapsed > 0 {
+		s.PagesPerSec = float64(s.PagesAnalyzed) / elapsed.Seconds()
+	}
+	if started := m.DomainsStarted.Value(); started > 0 {
+		s.ErrorRate = float64(s.DomainErrors) / float64(started)
+	}
+	for _, name := range Stages {
+		h := m.stageSeconds[name]
+		row := StageSummary{
+			Stage: name,
+			Count: h.Count(),
+			P50ms: h.Quantile(0.50) * 1e3,
+			P95ms: h.Quantile(0.95) * 1e3,
+			P99ms: h.Quantile(0.99) * 1e3,
+		}
+		switch name {
+		case "query":
+			row.Errors = m.QueryErrors.Value()
+		case "fetch":
+			row.Errors = m.FetchErrors.Value()
+		}
+		s.Stages = append(s.Stages, row)
+	}
+	return s
+}
+
+// String renders the summary for log output.
+func (s RunSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run summary: %d pages analyzed in %.1fs (%.1f pages/sec, %.1f pages/min)\n",
+		s.PagesAnalyzed, s.ElapsedSeconds, s.PagesPerSec, s.PagesPerSec*60)
+	fmt.Fprintf(&b, "  found %d, skipped %d, fetched %s, retries %d, domain errors %d (rate %.2f%%)\n",
+		s.PagesFound, s.PagesSkipped, formatBytes(s.BytesFetched), s.Retries, s.DomainErrors,
+		100*s.ErrorRate)
+	fmt.Fprintf(&b, "  %-6s %10s %8s %10s %10s %10s\n", "stage", "count", "errors", "p50", "p95", "p99")
+	for _, st := range s.Stages {
+		fmt.Fprintf(&b, "  %-6s %10d %8d %9.2fms %9.2fms %9.2fms\n",
+			st.Stage, st.Count, st.Errors, st.P50ms, st.P95ms, st.P99ms)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func formatBytes(n uint64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := uint64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

@@ -4,6 +4,10 @@
 // store per-domain aggregates. Stages run on bounded worker pools; the
 // paper reports ~1,000 pages/minute from one machine, and this pipeline
 // comfortably exceeds that against the synthetic archive.
+//
+// Every stage is instrumented (metrics.go): latency histograms, byte and
+// outcome counters, and in-flight gauges, exposed through
+// Pipeline.Metrics() and any obs.Registry passed in Config.
 package crawler
 
 import (
@@ -18,8 +22,15 @@ import (
 	"github.com/hvscan/hvscan/internal/cdx"
 	"github.com/hvscan/hvscan/internal/commoncrawl"
 	"github.com/hvscan/hvscan/internal/core"
+	"github.com/hvscan/hvscan/internal/obs"
 	"github.com/hvscan/hvscan/internal/store"
 )
+
+// NoRetries disables retrying entirely when assigned to Config.Retries.
+// The zero value of Retries means "use the default" (2), so a sentinel is
+// needed to say "really zero retries" — any negative value works, but use
+// the constant to make call sites self-explanatory.
+const NoRetries = -1
 
 // Config tunes the pipeline.
 type Config struct {
@@ -28,8 +39,9 @@ type Config struct {
 	// PagesPerDomain caps captures per domain (the paper uses 100).
 	PagesPerDomain int
 	// Retries is how often a failed index query or record fetch is retried
-	// before the domain errors out (default 2). Long-running crawls over
-	// the network must survive transient faults.
+	// before the domain errors out. Zero means the default of 2 (long
+	// network crawls must survive transient faults); assign NoRetries to
+	// disable retrying.
 	Retries int
 	// RetryDelay separates attempts (default 50ms; tests use 0).
 	RetryDelay time.Duration
@@ -39,6 +51,9 @@ type Config struct {
 	MaxDocumentBytes int
 	// Progress, if set, receives one call per finished domain.
 	Progress func(crawl, domain string, done, total int)
+	// Registry receives the pipeline's metric series. Nil means a private
+	// registry, still reachable via Pipeline.Metrics().Registry().
+	Registry *obs.Registry
 }
 
 // Pipeline wires an archive to a checker and a store.
@@ -47,6 +62,7 @@ type Pipeline struct {
 	checker *core.Checker
 	store   *store.Store
 	cfg     Config
+	metrics *Metrics
 }
 
 // New assembles a pipeline.
@@ -58,9 +74,9 @@ func New(a commoncrawl.Archive, c *core.Checker, st *store.Store, cfg Config) *P
 		cfg.PagesPerDomain = 100
 	}
 	if cfg.Retries < 0 {
-		cfg.Retries = 0
+		cfg.Retries = 0 // NoRetries (or any negative): disabled
 	} else if cfg.Retries == 0 {
-		cfg.Retries = 2
+		cfg.Retries = 2 // unset: default
 	}
 	if cfg.RetryDelay == 0 {
 		cfg.RetryDelay = 50 * time.Millisecond
@@ -68,11 +84,21 @@ func New(a commoncrawl.Archive, c *core.Checker, st *store.Store, cfg Config) *P
 	if cfg.MaxDocumentBytes <= 0 {
 		cfg.MaxDocumentBytes = 2 << 20
 	}
-	return &Pipeline{archive: a, checker: c, store: st, cfg: cfg}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	return &Pipeline{
+		archive: a, checker: c, store: st, cfg: cfg,
+		metrics: NewMetrics(cfg.Registry),
+	}
 }
 
 // Store returns the pipeline's result store.
 func (p *Pipeline) Store() *store.Store { return p.store }
+
+// Metrics returns the pipeline's instrumentation, for exposition servers,
+// end-of-run summaries, and test assertions.
+func (p *Pipeline) Metrics() *Metrics { return p.metrics }
 
 // SnapshotStats summarizes one crawl run (one Table 2 row).
 type SnapshotStats = store.CrawlStats
@@ -90,17 +116,23 @@ func (p *Pipeline) RunSnapshot(ctx context.Context, crawl string, domains []stri
 	var wg sync.WaitGroup
 	var firstErr error
 	var errOnce sync.Once
+	m := p.metrics
 
 	for w := 0; w < p.cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				m.DomainsStarted.Inc()
+				m.InFlight.Inc()
 				dr, err := p.measureDomain(crawl, j.domain, j.rank)
+				m.InFlight.Dec()
 				if err != nil {
+					m.DomainErrors.Inc()
 					errOnce.Do(func() { firstErr = err })
 					continue
 				}
+				m.DomainsDone.Inc()
 				results <- dr
 			}
 		}()
@@ -128,7 +160,9 @@ func (p *Pipeline) RunSnapshot(ctx context.Context, crawl string, domains []stri
 		}
 		if dr.Analyzed() {
 			stats.Analyzed++
+			t0 := time.Now()
 			p.store.Put(dr)
+			m.observeStage("store", t0)
 		}
 		stats.PagesFound += dr.PagesFound
 		stats.PagesAnalyzed += dr.PagesAnalyzed
@@ -142,48 +176,77 @@ func (p *Pipeline) RunSnapshot(ctx context.Context, crawl string, domains []stri
 	return stats, ctx.Err()
 }
 
+// Summary snapshots the pipeline metrics over the given wall time; a
+// convenience shim for p.Metrics().Summary(elapsed).
+func (p *Pipeline) Summary(elapsed time.Duration) RunSummary {
+	return p.metrics.Summary(elapsed)
+}
+
 // measureDomain runs collect → fetch → check for one domain and returns
 // the aggregate.
 func (p *Pipeline) measureDomain(crawl, domain string, rank int) (*store.DomainResult, error) {
+	m := p.metrics
 	dr := &store.DomainResult{
 		Crawl: crawl, Domain: domain, Rank: rank,
 		Violations: make(map[string]int),
 		Signals:    make(map[string]int),
 	}
-	recs, err := withRetries(p.cfg.Retries, p.cfg.RetryDelay, func() ([]*cdx.Record, error) {
+	t0 := time.Now()
+	recs, err := withRetries(p.cfg.Retries, p.cfg.RetryDelay, m.Retries, func() ([]*cdx.Record, error) {
 		return p.archive.Query(crawl, domain, p.cfg.PagesPerDomain)
 	})
+	m.observeStage("query", t0)
 	if err != nil {
+		m.QueryErrors.Inc()
 		return nil, fmt.Errorf("crawler: query %s/%s: %w", crawl, domain, err)
 	}
 	dr.PagesFound = len(recs)
+	m.PagesFound.Add(uint64(len(recs)))
 	for _, rec := range recs {
 		// The index carries MIME and status; skip obvious non-pages before
 		// fetching, like the paper's metadata-driven collection does.
 		if rec.Status != 200 || !strings.HasPrefix(rec.MIME, "text/html") {
+			m.skipped["index-filter"].Inc()
 			continue
 		}
-		cap, err := withRetries(p.cfg.Retries, p.cfg.RetryDelay, func() (*commoncrawl.Capture, error) {
+		t0 = time.Now()
+		cap, err := withRetries(p.cfg.Retries, p.cfg.RetryDelay, m.Retries, func() (*commoncrawl.Capture, error) {
 			return commoncrawl.FetchCapture(p.archive, rec)
 		})
+		m.observeStage("fetch", t0)
 		if err != nil {
+			m.FetchErrors.Inc()
 			return nil, fmt.Errorf("crawler: fetch %s: %w", rec.URL, err)
 		}
-		if cap.Status != 200 || !strings.HasPrefix(cap.MIME, "text/html") {
+		m.PagesFetched.Inc()
+		m.BytesFetched.Add(uint64(rec.Length))
+		if cap.Status != 200 {
+			m.skipped["status"].Inc()
+			continue
+		}
+		if !strings.HasPrefix(cap.MIME, "text/html") {
+			m.skipped["mime"].Inc()
 			continue
 		}
 		if len(cap.Body) > p.cfg.MaxDocumentBytes {
+			m.skipped["oversize"].Inc()
 			continue
 		}
 		// Encoding filter (paper §4.1): only UTF-8-decodable documents.
 		if !utf8.Valid(cap.Body) {
+			m.skipped["non-utf8"].Inc()
 			continue
 		}
+		m.DocBytes.Observe(float64(len(cap.Body)))
+		t0 = time.Now()
 		rep, err := p.checker.Check(cap.Body)
+		m.observeStage("check", t0)
 		if err != nil {
+			m.skipped["non-utf8"].Inc()
 			continue // non-UTF-8 slipped through; same filter
 		}
 		dr.PagesAnalyzed++
+		m.PagesAnalyzed.Inc()
 		for id, n := range rep.RuleHits {
 			if n > 0 {
 				dr.Violations[id]++
@@ -195,11 +258,15 @@ func (p *Pipeline) measureDomain(crawl, domain string, rank int) (*store.DomainR
 }
 
 // withRetries runs f up to retries+1 times, sleeping delay between
-// attempts, and returns the first success or the last error.
-func withRetries[T any](retries int, delay time.Duration, f func() (T, error)) (T, error) {
+// attempts and counting each re-attempt on retried, and returns the first
+// success or the last error.
+func withRetries[T any](retries int, delay time.Duration, retried *obs.Counter, f func() (T, error)) (T, error) {
 	var out T
 	var err error
 	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			retried.Inc()
+		}
 		out, err = f()
 		if err == nil {
 			return out, nil

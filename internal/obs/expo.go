@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// WriteText renders every metric in the Prometheus text exposition format
+// (version 0.0.4), sorted by name, with one # TYPE line per metric family.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	seenType := make(map[string]bool)
+	r.each(func(name string, m any) {
+		base, labels := splitName(name)
+		switch v := m.(type) {
+		case *Counter:
+			writeType(bw, seenType, base, "counter")
+			fmt.Fprintf(bw, "%s %d\n", name, v.Value())
+		case *Gauge:
+			writeType(bw, seenType, base, "gauge")
+			fmt.Fprintf(bw, "%s %d\n", name, v.Value())
+		case *Histogram:
+			writeType(bw, seenType, base, "histogram")
+			bounds, cumulative, total := v.Buckets()
+			for i, ub := range bounds {
+				fmt.Fprintf(bw, "%s_bucket{%sle=%q} %d\n",
+					base, labelPrefix(labels), formatBound(ub), cumulative[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labelPrefix(labels), total)
+			fmt.Fprintf(bw, "%s_sum%s %v\n", base, labelSuffix(labels), v.Sum())
+			fmt.Fprintf(bw, "%s_count%s %d\n", base, labelSuffix(labels), total)
+		}
+	})
+	return bw.Flush()
+}
+
+func writeType(w *bufio.Writer, seen map[string]bool, base, kind string) {
+	if !seen[base] {
+		seen[base] = true
+		fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+	}
+}
+
+// labelPrefix renders inline labels for a bucket line that also carries
+// le= ("" or `stage="fetch",`).
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// labelSuffix renders inline labels for a _sum/_count line ("" or
+// `{stage="fetch"}`).
+func labelSuffix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// formatBound renders a bucket bound the way Prometheus does: shortest
+// representation that round-trips.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Handler serves the registry as a text exposition endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// NewDebugMux builds the observability endpoint set: /metrics for the
+// registry plus the full net/http/pprof suite under /debug/pprof/. The
+// pprof handlers are wired explicitly rather than via the package's
+// DefaultServeMux side-effect registration, so importing obs never
+// pollutes a caller's default mux.
+func NewDebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics/pprof HTTP listener.
+type Server struct {
+	// Addr is the bound address (resolves ":0" to the real port).
+	Addr string
+	srv  *http.Server
+}
+
+// StartServer listens on addr and serves the debug mux in the background.
+// Pass ":0" to bind an ephemeral port; the chosen address is in
+// Server.Addr. The caller owns the returned server and should Close it.
+func StartServer(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewDebugMux(r),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		// ErrServerClosed after Close is the normal shutdown path; any
+		// other serve error has nowhere useful to go from a background
+		// metrics listener.
+		_ = srv.Serve(ln)
+	}()
+	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,259 @@
+// Package obs is the dependency-free observability core of the scan
+// pipeline: atomic counters, gauges, and fixed-bucket histograms behind a
+// named registry, with Prometheus-style text exposition and pprof wiring
+// (expo.go). Every metric is safe for concurrent use without locks on the
+// hot path — one atomic add per observation — so instrumenting the
+// crawler costs nanoseconds per page, not microseconds.
+//
+// Metric names follow the Prometheus convention and may carry a fixed
+// label set inline: "crawler_stage_seconds{stage=\"fetch\"}" registers a
+// distinct time series per stage while the exposition handler still
+// groups them under one # TYPE family.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (e.g. in-flight requests).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// atomicFloat is a float64 updated via CAS on its bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram counts observations into fixed buckets (cumulative-style on
+// exposition, per-bucket internally). Bounds are upper bucket edges in
+// ascending order; observations above the last bound land in an implicit
+// +Inf bucket. Observations must be non-negative (latencies, sizes).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomicFloat
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// It panics on an empty or unsorted bound list — a construction-time
+// programmer error, never a runtime condition.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Mean returns the average observation, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// inside the bucket holding the target rank, the same estimate Prometheus'
+// histogram_quantile computes. Values in the +Inf bucket clamp to the last
+// finite bound. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	rank := q * float64(total)
+	cum, lower := 0.0, 0.0
+	for i, upper := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			return lower + (rank-cum)/c*(upper-lower)
+		}
+		cum += c
+		lower = upper
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Buckets returns the bucket bounds and the cumulative count at each
+// bound, plus the total (the +Inf count). The two slices are snapshots.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64, total uint64) {
+	bounds = h.bounds
+	cumulative = make([]uint64, len(h.bounds))
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		cumulative[i] = cum
+	}
+	return bounds, cumulative, h.count.Load()
+}
+
+// Default bucket sets for the two quantities the pipeline measures.
+var (
+	// DurationBuckets spans 100µs to 10s in roughly 1-2.5-5 steps — wide
+	// enough for in-process synthetic reads and cross-network WARC fetches.
+	DurationBuckets = []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+	// SizeBuckets spans 256 B to 4 MiB in powers of four (Common Crawl
+	// truncates records at 1 MiB; the pipeline caps documents at 2 MiB).
+	SizeBuckets = []float64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+)
+
+// Registry is a named collection of metrics. Registration (the cold path)
+// takes a lock; the returned metric objects are lock-free. Registering the
+// same name twice returns the same object, so independent components can
+// share a series; a name registered as two different kinds panics.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+func (r *Registry) register(name string, make func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := make()
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// Counter returns the counter registered under name, creating it if new.
+func (r *Registry) Counter(name string) *Counter {
+	m := r.register(name, func() any { return new(Counter) })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T, not a counter", name, m))
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if new.
+func (r *Registry) Gauge(name string) *Gauge {
+	m := r.register(name, func() any { return new(Gauge) })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T, not a gauge", name, m))
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bounds if new (existing registrations keep their bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	m := r.register(name, func() any { return NewHistogram(bounds) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T, not a histogram", name, m))
+	}
+	return h
+}
+
+// each visits all metrics sorted by name.
+func (r *Registry) each(f func(name string, m any)) {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make(map[string]any, len(names))
+	for _, n := range names {
+		metrics[n] = r.metrics[n]
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		f(n, metrics[n])
+	}
+}
+
+// splitName separates an inline label set from the metric base name:
+// `foo_total{rule="FB2"}` -> ("foo_total", `rule="FB2"`).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}

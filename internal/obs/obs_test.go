@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, each = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+			}
+			c.Add(5)
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), uint64(workers*(each+5)); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	const workers, each = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				g.Inc()
+				g.Dec()
+			}
+			g.Add(3)
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), int64(workers*3); got != want {
+		t.Fatalf("gauge = %d, want %d", got, want)
+	}
+	g.Set(-7)
+	if g.Value() != -7 {
+		t.Fatalf("Set: got %d", g.Value())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	const workers, each = 8, 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(float64(w % 10)) // 0..9, some into +Inf
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(workers*each); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	var wantSum float64
+	for w := 0; w < workers; w++ {
+		wantSum += float64(w%10) * each
+	}
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	_, cumulative, total := h.Buckets()
+	if cumulative[len(cumulative)-1] > total {
+		t.Fatalf("cumulative %v exceeds total %d", cumulative, total)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	// 100 observations of 1..100 into decade buckets: every bucket holds
+	// exactly 10, so interpolated quantiles are exact.
+	h := NewHistogram([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 50}, {0.95, 95}, {0.99, 99}, {1.0, 100}, {0.1, 10},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 50.5", got)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// Everything in the +Inf bucket clamps to the last finite bound.
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %v, want clamp to 2", got)
+	}
+	// Out-of-range q is clamped, not an error.
+	if got := h.Quantile(7); got != 2 {
+		t.Fatalf("Quantile(7) = %v, want 2", got)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {2, 1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestRegistrySharesByName(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total")
+	b := r.Counter("x_total")
+	if a != b {
+		t.Fatal("same name returned different counters")
+	}
+	h1 := r.Histogram("h_seconds", DurationBuckets)
+	h2 := r.Histogram("h_seconds", SizeBuckets) // bounds of first registration win
+	if h1 != h2 {
+		t.Fatal("same name returned different histograms")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind mismatch did not panic")
+			}
+		}()
+		r.Gauge("x_total")
+	}()
+}
+
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared_total").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pages_total").Add(42)
+	r.Counter(`rule_hits_total{rule="FB2"}`).Add(7)
+	r.Counter(`rule_hits_total{rule="HF4"}`).Add(3)
+	r.Gauge("in_flight").Set(5)
+	h := r.Histogram(`stage_seconds{stage="fetch"}`, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE pages_total counter\npages_total 42\n",
+		"# TYPE in_flight gauge\nin_flight 5\n",
+		`rule_hits_total{rule="FB2"} 7`,
+		`rule_hits_total{rule="HF4"} 3`,
+		"# TYPE stage_seconds histogram",
+		`stage_seconds_bucket{stage="fetch",le="0.1"} 1`,
+		`stage_seconds_bucket{stage="fetch",le="1"} 2`,
+		`stage_seconds_bucket{stage="fetch",le="+Inf"} 3`,
+		`stage_seconds_count{stage="fetch"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with per-label series.
+	if got := strings.Count(out, "# TYPE rule_hits_total counter"); got != 1 {
+		t.Errorf("rule_hits_total TYPE lines = %d, want 1", got)
+	}
+}
+
+func TestServerServesMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total").Inc()
+	srv, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "up_total 1") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index looks wrong:\n%.200s", body)
+	}
+}

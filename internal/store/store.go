@@ -12,6 +12,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"github.com/hvscan/hvscan/internal/obs"
 )
 
 // DomainResult aggregates one domain within one crawl snapshot.
@@ -79,11 +81,26 @@ func (s CrawlStats) AvgPages() float64 {
 type Store struct {
 	mu   sync.RWMutex
 	data map[string]map[string]*DomainResult // crawl -> domain -> result
+
+	// puts/size, when instrumented, count writes and track the live
+	// result count; nil otherwise.
+	puts *obs.Counter
+	size *obs.Gauge
 }
 
 // New returns an empty store.
 func New() *Store {
 	return &Store{data: make(map[string]map[string]*DomainResult)}
+}
+
+// Instrument registers write and size metrics (store_puts_total,
+// store_domain_results) on reg and returns the store for chaining.
+func (s *Store) Instrument(reg *obs.Registry) *Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts = reg.Counter("store_puts_total")
+	s.size = reg.Gauge("store_domain_results")
+	return s
 }
 
 // Put inserts or replaces a domain result.
@@ -94,6 +111,12 @@ func (s *Store) Put(r *DomainResult) {
 	if m == nil {
 		m = make(map[string]*DomainResult)
 		s.data[r.Crawl] = m
+	}
+	if _, replaced := m[r.Domain]; !replaced && s.size != nil {
+		s.size.Inc()
+	}
+	if s.puts != nil {
+		s.puts.Inc()
 	}
 	m[r.Domain] = r
 }
