@@ -2,15 +2,25 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json ci fmt-check study report fuzz clean
+.PHONY: all build test vet bench bench-json ci chaos fmt-check study report fuzz clean
 
 all: build test
 
 # Mirrors .github/workflows/ci.yml so the tier-1 gate is reproducible
-# locally: build, vet, formatting, race-enabled tests, fuzz smoke.
+# locally: build, vet, formatting, race-enabled tests, chaos smoke,
+# fuzz smokes.
 ci: build vet fmt-check
 	$(GO) test -race ./...
+	$(MAKE) chaos
 	$(GO) test -run '^$$' -fuzz='^FuzzParse$$' -fuzztime=15s ./internal/htmlparse
+	$(GO) test -run '^$$' -fuzz='^FuzzClassify$$' -fuzztime=10s ./internal/resilience
+	$(GO) test -run '^$$' -fuzz='^FuzzReadJournal$$' -fuzztime=10s ./internal/store
+
+# Chaos smoke: the seeded fault-injection acceptance tests (~10%
+# transient faults, deterministic schedule) under the race detector —
+# budget compliance, crash-and-resume equivalence, breaker behavior.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestResume|TestBreaker' ./internal/crawler ./internal/commoncrawl
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -45,6 +55,12 @@ report:
 # Continuous fuzzing entry points (Ctrl-C to stop).
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 60s ./internal/htmlparse
+
+fuzz-resilience:
+	$(GO) test -fuzz FuzzClassify -fuzztime 60s ./internal/resilience
+
+fuzz-journal:
+	$(GO) test -fuzz FuzzReadJournal -fuzztime 60s ./internal/store
 
 clean:
 	rm -f results.jsonl stats.json

@@ -12,11 +12,19 @@
 // run a summary (pages/sec, per-stage p50/p95/p99, error rates) is logged
 // and embedded in the stats file.
 //
+// The crawl is crash-safe: every finished (crawl, domain) pair is
+// appended to a resume journal (-journal, default <out>.journal), and
+// -resume replays it on restart so completed work is never repeated.
+// Failed domains consume an error budget (-max-domain-failures) instead
+// of aborting the run; partial results are saved even when the budget
+// is exhausted.
+//
 // Usage:
 //
 //	hvcrawl -out results.jsonl -stats stats.json [-server http://...]
 //	        [-domains 2400 -pages 20 -seed 22] [-workers N] [-snapshots 8]
-//	        [-metrics :9090] [-retries N]
+//	        [-metrics :9090] [-retries N] [-resume] [-journal path]
+//	        [-max-domain-failures N]
 package main
 
 import (
@@ -53,6 +61,9 @@ type options struct {
 	lists     int
 	cutoff    int
 	retries   int
+	maxFail   int
+	journal   string
+	resume    bool
 }
 
 // statsFile is the persisted shape of -stats: the per-snapshot Table 2
@@ -77,6 +88,9 @@ func main() {
 	flag.IntVar(&o.lists, "lists", 5, "Tranco-style lists for the dataset intersection")
 	flag.IntVar(&o.cutoff, "cutoff", 0, "rank cutoff for the intersection (default: universe size)")
 	flag.IntVar(&o.retries, "retries", 0, "retries per index query / record fetch (0 = default of 2, -1 = disabled)")
+	flag.IntVar(&o.maxFail, "max-domain-failures", 0, "error budget: failed domains tolerated per snapshot (0 = default of 10%, -1 = unlimited)")
+	flag.StringVar(&o.journal, "journal", "", "resume journal path (default: <out>.journal)")
+	flag.BoolVar(&o.resume, "resume", false, "replay the journal and skip already-completed (crawl, domain) pairs")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "hvcrawl:", err)
@@ -115,6 +129,12 @@ func run(o options) error {
 	archive = commoncrawl.Instrument(archive, reg)
 
 	crawls := archive.Crawls()
+	if len(crawls) == 0 {
+		// The Archive interface can't surface a listing error, so an
+		// unreachable -server shows up here; zero snapshots silently
+		// "succeeding" would mask a dead archive.
+		return fmt.Errorf("archive lists no crawls (is %s reachable?)", o.server)
+	}
 	if o.snapshots > 0 && o.snapshots < len(crawls) {
 		crawls = crawls[:o.snapshots]
 	}
@@ -128,13 +148,39 @@ func run(o options) error {
 		log.Printf("metrics: http://%s/metrics (pprof on /debug/pprof/)", srv.Addr)
 	}
 
+	// The resume journal is always maintained (crash safety costs one
+	// appended line per domain); -resume decides whether an existing one
+	// is replayed or cleared.
+	journalPath := o.journal
+	if journalPath == "" {
+		journalPath = o.out + ".journal"
+	}
+	if !o.resume {
+		if err := os.Remove(journalPath); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("clearing stale journal: %w", err)
+		}
+	}
+	jr, warn, err := store.OpenJournal(journalPath)
+	if err != nil {
+		return err
+	}
+	defer jr.Close()
+	if warn != "" {
+		log.Printf("warning: %s", warn)
+	}
+	if o.resume && jr.Len() > 0 {
+		log.Printf("resume: journal %s records %d completed (crawl, domain) pairs", journalPath, jr.Len())
+	}
+
 	st := store.New().Instrument(reg)
 	checker := core.NewChecker().Instrument(reg)
 	pipe := crawler.New(archive, checker, st, crawler.Config{
-		Workers:        o.workers,
-		PagesPerDomain: o.pages,
-		Retries:        o.retries,
-		Registry:       reg,
+		Workers:           o.workers,
+		PagesPerDomain:    o.pages,
+		Retries:           o.retries,
+		MaxDomainFailures: o.maxFail,
+		Journal:           jr,
+		Registry:          reg,
 	})
 
 	// Ctrl-C finishes the in-flight domains, saves what was measured and
@@ -143,23 +189,36 @@ func run(o options) error {
 	defer stop()
 
 	var allStats []store.CrawlStats
+	var runErr error
 	runStart := time.Now()
 	for _, crawl := range crawls {
 		start := time.Now()
 		stats, err := pipe.RunSnapshot(ctx, crawl, dataset)
+		// Whatever happened, the stats describe real completed work:
+		// keep them so partial results survive budget exhaustion and
+		// interrupts alike.
+		allStats = append(allStats, stats)
 		if err != nil {
 			if ctx.Err() != nil {
-				log.Printf("interrupted during %s; saving partial results", crawl)
+				log.Printf("interrupted during %s; saving partial results (restart with -resume to continue)", crawl)
 				break
 			}
-			return err
+			log.Printf("%s: snapshot failed: %v", crawl, err)
+			runErr = err
+			break
 		}
-		allStats = append(allStats, stats)
 		elapsed := time.Since(start)
 		ppm := float64(stats.PagesAnalyzed) / elapsed.Minutes()
-		log.Printf("%s: %d/%d domains analyzed, %d pages (avg %.1f/domain) in %s (%.0f pages/min)",
+		extra := ""
+		if stats.DomainsFailed > 0 {
+			extra = fmt.Sprintf(", %d domains failed %v", stats.DomainsFailed, stats.FailedByClass)
+		}
+		if stats.DomainsResumed > 0 {
+			extra += fmt.Sprintf(", %d resumed from journal", stats.DomainsResumed)
+		}
+		log.Printf("%s: %d/%d domains analyzed, %d pages (avg %.1f/domain) in %s (%.0f pages/min)%s",
 			crawl, stats.Analyzed, stats.Found, stats.PagesAnalyzed, stats.AvgPages(),
-			elapsed.Round(time.Millisecond), ppm)
+			elapsed.Round(time.Millisecond), ppm, extra)
 	}
 	summary := pipe.Summary(time.Since(runStart))
 	log.Print(summary)
@@ -183,5 +242,7 @@ func run(o options) error {
 		return err
 	}
 	log.Printf("stats: %s", o.statsOut)
-	return nil
+	// Results and stats are on disk; now surface the failure (if any) in
+	// the exit code.
+	return runErr
 }

@@ -13,6 +13,7 @@ import (
 
 	"github.com/hvscan/hvscan/internal/cdx"
 	"github.com/hvscan/hvscan/internal/corpus"
+	"github.com/hvscan/hvscan/internal/resilience"
 	"github.com/hvscan/hvscan/internal/warc"
 )
 
@@ -134,7 +135,10 @@ func splitBlobName(filename string) (crawl, domain string, ok bool) {
 func (a *SyntheticArchive) blob(crawl, domain string) (*domainBlob, error) {
 	snap, ok := corpus.SnapshotByID(crawl)
 	if !ok {
-		return nil, fmt.Errorf("commoncrawl: unknown crawl %q", crawl)
+		// Asking for a snapshot that does not exist is a configuration
+		// error, not archive weather: mark it fatal so a crawl run stops
+		// immediately instead of burning its error budget on it.
+		return nil, resilience.Fatal(fmt.Errorf("commoncrawl: unknown crawl %q", crawl))
 	}
 	key := blobName(crawl, domain)
 	a.mu.Lock()

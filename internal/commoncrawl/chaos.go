@@ -1,0 +1,176 @@
+package commoncrawl
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hvscan/hvscan/internal/cdx"
+	"github.com/hvscan/hvscan/internal/resilience"
+)
+
+// ChaosArchive wraps an Archive and injects the fault profile of the
+// real Common Crawl access path: transient errors that clear on retry,
+// permanent errors that never clear, latency spikes, truncated WARC
+// bodies, and garbage bytes. Every decision is a pure function of
+// (seed, operation key, fault kind), so a run is deterministic
+// regardless of worker scheduling — the property the crawler's chaos
+// tests rely on to compare interrupted-and-resumed runs against
+// uninterrupted ones.
+type ChaosArchive struct {
+	inner Archive
+	cfg   ChaosConfig
+
+	mu       sync.Mutex
+	attempts map[string]int // per-key call counts, for transient faults
+
+	stats chaosCounters
+}
+
+// ChaosConfig sets the injection rates (each in [0,1], fraction of
+// operation keys affected). The zero value injects nothing.
+type ChaosConfig struct {
+	// Seed decorrelates runs; the same seed reproduces the same faults.
+	Seed int64
+	// TransientRate is the fraction of operations that fail on their
+	// first attempt and succeed on retry (injected on Query and
+	// ReadRange).
+	TransientRate float64
+	// PermanentRate is the fraction of operations that always fail with
+	// a permanent (404-style) error.
+	PermanentRate float64
+	// LatencyRate is the fraction of operations delayed by Latency
+	// before proceeding.
+	LatencyRate float64
+	// Latency is the injected delay (default 2ms when LatencyRate > 0).
+	Latency time.Duration
+	// TruncateRate is the fraction of ReadRange results cut short —
+	// the archive's mid-record disconnects.
+	TruncateRate float64
+	// GarbageRate is the fraction of ReadRange results whose bytes are
+	// scrambled — proxy mangling, bad disks, bit rot.
+	GarbageRate float64
+}
+
+// ChaosStats counts injected faults, for test assertions that a chaotic
+// run actually was chaotic.
+type ChaosStats struct {
+	Transient uint64
+	Permanent uint64
+	Latency   uint64
+	Truncated uint64
+	Garbage   uint64
+}
+
+type chaosCounters struct {
+	transient, permanent, latency, truncated, garbage atomic.Uint64
+}
+
+// ErrChaosTransient is the injected transient fault (classifies as
+// retryable by default).
+var ErrChaosTransient = errors.New("chaos: injected transient fault")
+
+// ErrChaosPermanent is the root of injected permanent faults; the
+// wrapped error carries a resilience.Permanent mark.
+var ErrChaosPermanent = errors.New("chaos: injected permanent fault")
+
+// NewChaos wraps inner with fault injection.
+func NewChaos(inner Archive, cfg ChaosConfig) *ChaosArchive {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 2 * time.Millisecond
+	}
+	return &ChaosArchive{inner: inner, cfg: cfg, attempts: make(map[string]int)}
+}
+
+var _ Archive = (*ChaosArchive)(nil)
+
+// Stats snapshots the injected-fault counters.
+func (c *ChaosArchive) Stats() ChaosStats {
+	return ChaosStats{
+		Transient: c.stats.transient.Load(),
+		Permanent: c.stats.permanent.Load(),
+		Latency:   c.stats.latency.Load(),
+		Truncated: c.stats.truncated.Load(),
+		Garbage:   c.stats.garbage.Load(),
+	}
+}
+
+// roll maps (seed, kind, key) to a uniform [0,1) float, deterministically.
+func (c *ChaosArchive) roll(kind, key string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", c.cfg.Seed, kind, key)
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// attempt counts calls per key (1-based return).
+func (c *ChaosArchive) attempt(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.attempts[key]++
+	return c.attempts[key]
+}
+
+// inject runs the common Query/ReadRange fault schedule for key and
+// returns a non-nil error when the call should fail.
+func (c *ChaosArchive) inject(key string) error {
+	if c.cfg.LatencyRate > 0 && c.roll("latency", key) < c.cfg.LatencyRate {
+		c.stats.latency.Add(1)
+		time.Sleep(c.cfg.Latency)
+	}
+	if c.cfg.PermanentRate > 0 && c.roll("permanent", key) < c.cfg.PermanentRate {
+		c.stats.permanent.Add(1)
+		return resilience.Permanent(fmt.Errorf("%w: %s", ErrChaosPermanent, key))
+	}
+	if c.cfg.TransientRate > 0 && c.roll("transient", key) < c.cfg.TransientRate {
+		if c.attempt(key) == 1 {
+			c.stats.transient.Add(1)
+			return fmt.Errorf("%w: %s", ErrChaosTransient, key)
+		}
+	}
+	return nil
+}
+
+// Crawls passes through: listing snapshots is metadata, not I/O worth
+// injecting on.
+func (c *ChaosArchive) Crawls() []string { return c.inner.Crawls() }
+
+// Query injects transient/permanent faults and latency on the index
+// path.
+func (c *ChaosArchive) Query(crawl, domain string, limit int) ([]*cdx.Record, error) {
+	if err := c.inject("q|" + crawl + "|" + domain); err != nil {
+		return nil, err
+	}
+	return c.inner.Query(crawl, domain, limit)
+}
+
+// ReadRange injects the full schedule — errors, latency, truncation,
+// and garbage — on the data path.
+func (c *ChaosArchive) ReadRange(filename string, offset, length int64) ([]byte, error) {
+	key := fmt.Sprintf("r|%s|%d", filename, offset)
+	if err := c.inject(key); err != nil {
+		return nil, err
+	}
+	data, err := c.inner.ReadRange(filename, offset, length)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.TruncateRate > 0 && c.roll("truncate", key) < c.cfg.TruncateRate {
+		c.stats.truncated.Add(1)
+		cut := append([]byte(nil), data[:len(data)/2]...)
+		return cut, nil
+	}
+	if c.cfg.GarbageRate > 0 && c.roll("garbage", key) < c.cfg.GarbageRate {
+		c.stats.garbage.Add(1)
+		bad := append([]byte(nil), data...)
+		// Deterministic scramble: flip bits with a key-derived pattern.
+		x := byte(0xA5 ^ uint8(c.roll("garbage-pat", key)*255))
+		for i := range bad {
+			bad[i] ^= x + byte(i)
+		}
+		return bad, nil
+	}
+	return data, nil
+}

@@ -1,0 +1,167 @@
+package commoncrawl
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/corpus"
+	"github.com/hvscan/hvscan/internal/resilience"
+)
+
+func chaosTestArchive(t *testing.T) *SyntheticArchive {
+	t.Helper()
+	return NewSynthetic(corpus.New(corpus.Config{Seed: 7, Domains: 40, MaxPages: 3}))
+}
+
+func TestChaosZeroConfigIsTransparent(t *testing.T) {
+	arch := chaosTestArchive(t)
+	chaos := NewChaos(arch, ChaosConfig{})
+	crawl := arch.Crawls()[0]
+	for _, d := range arch.Generator().Universe()[:10] {
+		recs, err := chaos.Query(crawl, d, 3)
+		if err != nil {
+			t.Fatalf("zero-config chaos failed a query: %v", err)
+		}
+		for _, r := range recs {
+			want, err := arch.ReadRange(r.Filename, r.Offset, r.Length)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := chaos.ReadRange(r.Filename, r.Offset, r.Length)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("zero-config chaos altered bytes for %s: %v", r.URL, err)
+			}
+		}
+	}
+	if s := chaos.Stats(); s != (ChaosStats{}) {
+		t.Fatalf("zero-config chaos injected faults: %+v", s)
+	}
+}
+
+func TestChaosTransientFaultsClearOnRetry(t *testing.T) {
+	arch := chaosTestArchive(t)
+	chaos := NewChaos(arch, ChaosConfig{Seed: 3, TransientRate: 1}) // every key faults once
+	crawl := arch.Crawls()[0]
+	d := arch.Generator().Universe()[0]
+	if _, err := chaos.Query(crawl, d, 3); !errors.Is(err, ErrChaosTransient) {
+		t.Fatalf("first attempt: %v, want transient fault", err)
+	}
+	if _, err := chaos.Query(crawl, d, 3); err != nil {
+		t.Fatalf("second attempt must clear: %v", err)
+	}
+	if got := resilience.Classify(ErrChaosTransient); got != resilience.ClassRetryable {
+		t.Fatalf("transient fault classifies %v", got)
+	}
+}
+
+func TestChaosPermanentFaultsNeverClear(t *testing.T) {
+	arch := chaosTestArchive(t)
+	chaos := NewChaos(arch, ChaosConfig{Seed: 3, PermanentRate: 1})
+	crawl := arch.Crawls()[0]
+	d := arch.Generator().Universe()[0]
+	for i := 0; i < 3; i++ {
+		_, err := chaos.Query(crawl, d, 3)
+		if !errors.Is(err, ErrChaosPermanent) {
+			t.Fatalf("attempt %d: %v, want permanent fault", i, err)
+		}
+		if got := resilience.Classify(err); got != resilience.ClassPermanent {
+			t.Fatalf("permanent fault classifies %v", got)
+		}
+	}
+}
+
+func TestChaosDeterministicAcrossRunsAndOrdering(t *testing.T) {
+	cfg := ChaosConfig{Seed: 11, TransientRate: 0.3, PermanentRate: 0.1, TruncateRate: 0.2, GarbageRate: 0.2}
+	arch := chaosTestArchive(t)
+	crawl := arch.Crawls()[0]
+	domains := arch.Generator().Universe()
+
+	// outcome fingerprint of a (first-attempt) sweep over every domain.
+	sweep := func(c *ChaosArchive, order []string) map[string]string {
+		out := make(map[string]string)
+		for _, d := range order {
+			recs, err := c.Query(crawl, d, 3)
+			if err != nil {
+				out["q|"+d] = err.Error()
+				continue
+			}
+			out["q|"+d] = "ok"
+			for _, r := range recs {
+				got, err := c.ReadRange(r.Filename, r.Offset, r.Length)
+				if err != nil {
+					out[r.URL] = err.Error()
+					continue
+				}
+				want, _ := arch.ReadRange(r.Filename, r.Offset, r.Length)
+				switch {
+				case bytes.Equal(got, want):
+					out[r.URL] = "ok"
+				case len(got) < len(want):
+					out[r.URL] = "truncated"
+				default:
+					out[r.URL] = "garbage"
+				}
+			}
+		}
+		return out
+	}
+
+	a := sweep(NewChaos(arch, cfg), domains)
+	reversed := append([]string(nil), domains...)
+	for i, j := 0, len(reversed)-1; i < j; i, j = i+1, j-1 {
+		reversed[i], reversed[j] = reversed[j], reversed[i]
+	}
+	b := sweep(NewChaos(arch, cfg), reversed)
+	if len(a) != len(b) {
+		t.Fatalf("sweeps differ in size: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("outcome for %s differs across ordering: %q vs %q", k, v, b[k])
+		}
+	}
+
+	// Different seed → different fault pattern (overwhelmingly likely).
+	cfg2 := cfg
+	cfg2.Seed = 12
+	c2 := sweep(NewChaos(arch, cfg2), domains)
+	same := true
+	for k, v := range a {
+		if c2[k] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("changing the seed changed nothing — injection is not seed-driven")
+	}
+}
+
+func TestChaosConcurrentAccess(t *testing.T) {
+	arch := chaosTestArchive(t)
+	chaos := NewChaos(arch, ChaosConfig{Seed: 5, TransientRate: 0.5, PermanentRate: 0.1, LatencyRate: 0.2, Latency: 1})
+	crawl := arch.Crawls()[0]
+	domains := arch.Generator().Universe()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, d := range domains {
+				recs, err := chaos.Query(crawl, d, 3)
+				if err != nil {
+					continue
+				}
+				for _, r := range recs {
+					chaos.ReadRange(r.Filename, r.Offset, r.Length)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := chaos.Stats(); s.Transient == 0 {
+		t.Fatalf("expected transient injections at rate 0.5: %+v", s)
+	}
+}

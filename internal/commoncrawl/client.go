@@ -13,6 +13,24 @@ import (
 	"github.com/hvscan/hvscan/internal/cdx"
 )
 
+// HTTPError is a non-2xx response from the archive server. It exposes
+// the status code (resilience.StatusCoder), so the pipeline's error
+// classifier can retry 5xx/429 and permanently skip 404s without
+// string-matching.
+type HTTPError struct {
+	Code int
+	Op   string
+	Body string
+}
+
+// Error renders the failure with its status and response snippet.
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("commoncrawl: %s: status %d: %s", e.Op, e.Code, e.Body)
+}
+
+// HTTPStatus returns the response status code.
+func (e *HTTPError) HTTPStatus() int { return e.Code }
+
 // Client talks to a Server over HTTP and itself satisfies Archive, so the
 // crawl pipeline runs identically in-process and across the network.
 type Client struct {
@@ -62,7 +80,7 @@ func (c *Client) Query(crawl, domain string, limit int) ([]*cdx.Record, error) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("commoncrawl: index query %s: %s: %s", u, resp.Status, body)
+		return nil, &HTTPError{Code: resp.StatusCode, Op: "index query " + u, Body: string(body)}
 	}
 	var out []*cdx.Record
 	sc := bufio.NewScanner(resp.Body)
@@ -94,7 +112,8 @@ func (c *Client) ReadRange(filename string, offset, length int64) ([]byte, error
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusPartialContent && resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("commoncrawl: range read %s@%d: %s: %s", filename, offset, resp.Status, body)
+		return nil, &HTTPError{Code: resp.StatusCode,
+			Op: fmt.Sprintf("range read %s@%d", filename, offset), Body: string(body)}
 	}
 	return io.ReadAll(resp.Body)
 }

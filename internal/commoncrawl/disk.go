@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"github.com/hvscan/hvscan/internal/cdx"
+	"github.com/hvscan/hvscan/internal/resilience"
 )
 
 // DiskArchive serves a directory written by cmd/hvgen:
@@ -88,7 +89,9 @@ func (a *DiskArchive) Crawls() []string { return append([]string(nil), a.crawls.
 func (a *DiskArchive) Query(crawl, domain string, limit int) ([]*cdx.Record, error) {
 	ix, ok := a.indexes[crawl]
 	if !ok {
-		return nil, fmt.Errorf("commoncrawl: unknown crawl %q", crawl)
+		// Same contract as the synthetic archive: a nonexistent snapshot
+		// is a configuration error and must stop a crawl run outright.
+		return nil, resilience.Fatal(fmt.Errorf("commoncrawl: unknown crawl %q", crawl))
 	}
 	return ix.LookupPrefix(domain, limit), nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/hvscan/hvscan/internal/obs"
+	"github.com/hvscan/hvscan/internal/resilience"
 )
 
 // Stage names, in pipeline order (Figure 6): index query, WARC fetch,
@@ -29,11 +30,23 @@ type Metrics struct {
 	Retries     *obs.Counter
 
 	// DomainsStarted/DomainsDone/DomainErrors track the outer work units;
-	// InFlight is the number of domains currently being measured.
+	// InFlight is the number of domains currently being measured;
+	// DomainsResumed counts pairs replayed from a resume journal instead
+	// of re-crawled.
 	DomainsStarted *obs.Counter
 	DomainsDone    *obs.Counter
 	DomainErrors   *obs.Counter
+	DomainsResumed *obs.Counter
 	InFlight       *obs.Gauge
+
+	// CheckPanics counts checker panics recovered into per-page
+	// failures (adversarial HTML must not crash the run).
+	CheckPanics *obs.Counter
+
+	// Res is the resilience layer's series on the same registry:
+	// per-class error counters, retry/backoff counters, and the circuit
+	// breaker state gauge and trip/shed counters.
+	Res *resilience.Metrics
 
 	// PagesFound counts index records returned, PagesFetched successful
 	// WARC fetches, PagesAnalyzed pages that passed every filter and were
@@ -52,8 +65,9 @@ type Metrics struct {
 }
 
 // skipReasons are the filter outcomes of measureDomain, mirroring the
-// paper's §4.1 collection filters.
-var skipReasons = []string{"index-filter", "status", "mime", "oversize", "non-utf8"}
+// paper's §4.1 collection filters, plus "check-panic" for pages whose
+// check stage panicked and was recovered.
+var skipReasons = []string{"index-filter", "status", "mime", "oversize", "non-utf8", "check-panic"}
 
 // NewMetrics registers the pipeline series on reg (which must be non-nil)
 // and returns the typed handle. Calling it twice with the same registry
@@ -71,7 +85,11 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		DomainsStarted: reg.Counter("crawler_domains_started_total"),
 		DomainsDone:    reg.Counter("crawler_domains_done_total"),
 		DomainErrors:   reg.Counter("crawler_domain_errors_total"),
+		DomainsResumed: reg.Counter("crawler_domains_resumed_total"),
 		InFlight:       reg.Gauge("crawler_domains_in_flight"),
+
+		CheckPanics: reg.Counter("crawler_check_panics_total"),
+		Res:         resilience.NewMetrics(reg),
 
 		PagesFound:    reg.Counter("crawler_pages_found_total"),
 		PagesFetched:  reg.Counter("crawler_pages_fetched_total"),
@@ -135,6 +153,10 @@ type RunSummary struct {
 	BytesFetched   uint64         `json:"bytes_fetched"`
 	Retries        uint64         `json:"retries"`
 	DomainErrors   uint64         `json:"domain_errors"`
+	DomainsResumed uint64         `json:"domains_resumed,omitempty"`
+	CheckPanics    uint64         `json:"check_panics,omitempty"`
+	BreakerTrips   uint64         `json:"breaker_trips,omitempty"`
+	BreakerShed    uint64         `json:"breaker_shed,omitempty"`
 	ErrorRate      float64        `json:"error_rate"` // failed domains / started domains
 	Stages         []StageSummary `json:"stages"`
 }
@@ -150,6 +172,10 @@ func (m *Metrics) Summary(elapsed time.Duration) RunSummary {
 		BytesFetched:   m.BytesFetched.Value(),
 		Retries:        m.Retries.Value(),
 		DomainErrors:   m.DomainErrors.Value(),
+		DomainsResumed: m.DomainsResumed.Value(),
+		CheckPanics:    m.CheckPanics.Value(),
+		BreakerTrips:   m.Res.BreakerTrips.Value(),
+		BreakerShed:    m.Res.BreakerShed.Value(),
 	}
 	if elapsed > 0 {
 		s.PagesPerSec = float64(s.PagesAnalyzed) / elapsed.Seconds()
@@ -185,6 +211,10 @@ func (s RunSummary) String() string {
 	fmt.Fprintf(&b, "  found %d, skipped %d, fetched %s, retries %d, domain errors %d (rate %.2f%%)\n",
 		s.PagesFound, s.PagesSkipped, formatBytes(s.BytesFetched), s.Retries, s.DomainErrors,
 		100*s.ErrorRate)
+	if s.DomainsResumed+s.CheckPanics+s.BreakerTrips+s.BreakerShed > 0 {
+		fmt.Fprintf(&b, "  resumed %d domains, recovered %d check panics, breaker trips %d (shed %d calls)\n",
+			s.DomainsResumed, s.CheckPanics, s.BreakerTrips, s.BreakerShed)
+	}
 	fmt.Fprintf(&b, "  %-6s %10s %8s %10s %10s %10s\n", "stage", "count", "errors", "p50", "p95", "p99")
 	for _, st := range s.Stages {
 		fmt.Fprintf(&b, "  %-6s %10d %8d %9.2fms %9.2fms %9.2fms\n",

@@ -5,6 +5,16 @@
 // paper reports ~1,000 pages/minute from one machine, and this pipeline
 // comfortably exceeds that against the synthetic archive.
 //
+// The pipeline degrades gracefully under partial failure: archive calls
+// run under a retry policy (exponential backoff + jitter) behind a
+// circuit breaker, errors are classified (retryable / permanent /
+// fatal, internal/resilience), and a failed domain consumes one unit of
+// the snapshot's error budget instead of aborting the run — only
+// budget exhaustion or a fatal error stops a snapshot. A checker panic
+// on adversarial HTML is recovered into a per-page failure. With a
+// resume journal configured (internal/store), completed (crawl, domain)
+// pairs survive a crash and are skipped on restart.
+//
 // Every stage is instrumented (metrics.go): latency histograms, byte and
 // outcome counters, and in-flight gauges, exposed through
 // Pipeline.Metrics() and any obs.Registry passed in Config.
@@ -12,6 +22,7 @@ package crawler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -23,6 +34,7 @@ import (
 	"github.com/hvscan/hvscan/internal/commoncrawl"
 	"github.com/hvscan/hvscan/internal/core"
 	"github.com/hvscan/hvscan/internal/obs"
+	"github.com/hvscan/hvscan/internal/resilience"
 	"github.com/hvscan/hvscan/internal/store"
 )
 
@@ -31,6 +43,24 @@ import (
 // needed to say "really zero retries" — any negative value works, but use
 // the constant to make call sites self-explanatory.
 const NoRetries = -1
+
+// NoDelay disables the sleep between retry attempts when assigned to
+// Config.RetryDelay. Like NoRetries, it exists because the zero value
+// means "use the default" (50ms) — before this sentinel, tests asking
+// for 0 silently got 50ms per retry.
+const NoDelay time.Duration = -1
+
+// UnlimitedFailures disables the per-snapshot error budget when
+// assigned to Config.MaxDomainFailures: every domain may fail and the
+// snapshot still completes (only fatal errors stop it).
+const UnlimitedFailures = -1
+
+// Checker runs the violation rules over one HTML document.
+// *core.Checker is the production implementation; tests substitute
+// adversarial ones.
+type Checker interface {
+	Check(html []byte) (*core.Report, error)
+}
 
 // Config tunes the pipeline.
 type Config struct {
@@ -43,13 +73,34 @@ type Config struct {
 	// network crawls must survive transient faults); assign NoRetries to
 	// disable retrying.
 	Retries int
-	// RetryDelay separates attempts (default 50ms; tests use 0).
+	// RetryDelay is the base backoff between attempts, growing
+	// exponentially with ±50% jitter. Zero means the default of 50ms;
+	// assign NoDelay to really disable sleeping (tests).
 	RetryDelay time.Duration
+	// MaxDomainFailures is the per-snapshot error budget: how many
+	// domains may fail (after retries) before RunSnapshot gives up.
+	// Zero means the default of 10% of the snapshot's domains (at least
+	// 1); assign UnlimitedFailures to never stop on domain failures.
+	MaxDomainFailures int
+	// BreakerThreshold is how many consecutive retryable archive
+	// failures open the circuit breaker that sheds archive load. Zero
+	// means the default of max(8, 2×Workers); any negative value
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds load before
+	// probing the archive again (default 5s).
+	BreakerCooldown time.Duration
 	// MaxDocumentBytes skips captures larger than this before checking
 	// (default 2 MiB — Common Crawl itself truncates records at 1 MiB, so
 	// anything bigger is either truncated junk or a decompression bomb).
 	MaxDocumentBytes int
-	// Progress, if set, receives one call per finished domain.
+	// Journal, if set, records every completed (crawl, domain) pair and
+	// is consulted before measuring: already-journaled pairs are
+	// replayed into the stats and store instead of re-crawled. This is
+	// the crash-safe resume path of `hvcrawl -resume`.
+	Journal *store.Journal
+	// Progress, if set, receives one call per finished domain —
+	// measured, failed, or replayed from the journal.
 	Progress func(crawl, domain string, done, total int)
 	// Registry receives the pipeline's metric series. Nil means a private
 	// registry, still reachable via Pipeline.Metrics().Registry().
@@ -59,14 +110,16 @@ type Config struct {
 // Pipeline wires an archive to a checker and a store.
 type Pipeline struct {
 	archive commoncrawl.Archive
-	checker *core.Checker
+	checker Checker
 	store   *store.Store
 	cfg     Config
 	metrics *Metrics
+	policy  resilience.Policy
+	breaker *resilience.Breaker // nil when disabled
 }
 
 // New assembles a pipeline.
-func New(a commoncrawl.Archive, c *core.Checker, st *store.Store, cfg Config) *Pipeline {
+func New(a commoncrawl.Archive, c Checker, st *store.Store, cfg Config) *Pipeline {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
 	}
@@ -78,19 +131,53 @@ func New(a commoncrawl.Archive, c *core.Checker, st *store.Store, cfg Config) *P
 	} else if cfg.Retries == 0 {
 		cfg.Retries = 2 // unset: default
 	}
-	if cfg.RetryDelay == 0 {
+	if cfg.RetryDelay < 0 {
+		cfg.RetryDelay = 0 // NoDelay (or any negative): disabled
+	} else if cfg.RetryDelay == 0 {
 		cfg.RetryDelay = 50 * time.Millisecond
 	}
 	if cfg.MaxDocumentBytes <= 0 {
 		cfg.MaxDocumentBytes = 2 << 20
 	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
-	return &Pipeline{
+	m := NewMetrics(cfg.Registry)
+	p := &Pipeline{
 		archive: a, checker: c, store: st, cfg: cfg,
-		metrics: NewMetrics(cfg.Registry),
+		metrics: m,
 	}
+	p.policy = resilience.Policy{
+		MaxAttempts: cfg.Retries + 1,
+		BaseDelay:   cfg.RetryDelay,
+		Jitter:      0.5,
+		OnRetry: func(attempt int, sleep time.Duration, err error) {
+			m.Retries.Inc()
+			m.Res.Retries.Inc()
+			m.Res.BackoffSeconds.Observe(sleep.Seconds())
+		},
+	}
+	if cfg.BreakerThreshold >= 0 {
+		threshold := cfg.BreakerThreshold
+		if threshold == 0 {
+			// Workers fail in bursts: every worker can lose its in-flight
+			// call to one archive hiccup, so the default threshold scales
+			// with concurrency to avoid tripping on a single blip.
+			threshold = 2 * cfg.Workers
+			if threshold < 8 {
+				threshold = 8
+			}
+		}
+		p.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: threshold,
+			Cooldown:         cfg.BreakerCooldown,
+			OnStateChange:    m.Res.BreakerHook(),
+		})
+	}
+	return p
 }
 
 // Store returns the pipeline's result store.
@@ -100,24 +187,107 @@ func (p *Pipeline) Store() *store.Store { return p.store }
 // end-of-run summaries, and test assertions.
 func (p *Pipeline) Metrics() *Metrics { return p.metrics }
 
+// Breaker returns the archive circuit breaker, or nil when disabled.
+func (p *Pipeline) Breaker() *resilience.Breaker { return p.breaker }
+
 // SnapshotStats summarizes one crawl run (one Table 2 row).
 type SnapshotStats = store.CrawlStats
 
-// RunSnapshot measures all domains against one crawl. The context cancels
-// in-flight work between domains.
+// guard runs one archive call through the circuit breaker (when
+// enabled): shed with ErrBreakerOpen while the archive is failing,
+// record the outcome otherwise.
+func (p *Pipeline) guard(f func() error) error {
+	if p.breaker == nil {
+		return f()
+	}
+	if err := p.breaker.Allow(); err != nil {
+		p.metrics.Res.BreakerShed.Inc()
+		return err
+	}
+	err := f()
+	p.breaker.Record(err)
+	return err
+}
+
+// domainOutcome is one worker's verdict on one domain: the (possibly
+// partial) result, and the classified error if the domain failed.
+type domainOutcome struct {
+	dr    *store.DomainResult
+	err   error
+	class resilience.Class
+}
+
+// RunSnapshot measures all domains against one crawl.
+//
+// Failure semantics: a domain that exhausts its retries (or hits a
+// permanent fault) is recorded in the returned stats — DomainsFailed,
+// FailedByClass, and the per-domain Failed ledger, with its partial
+// page counts — and the run continues. The snapshot stops early only
+// when the error budget (Config.MaxDomainFailures) is exhausted, a
+// fatal error surfaces, or ctx is canceled; in every case the stats
+// reflect all work completed up to that point. Cancellation interrupts
+// in-flight domains between pages, not just between domains.
 func (p *Pipeline) RunSnapshot(ctx context.Context, crawl string, domains []string) (SnapshotStats, error) {
 	stats := SnapshotStats{Crawl: crawl, Domains: len(domains)}
+	budget := p.cfg.MaxDomainFailures
+	if budget == 0 {
+		if budget = len(domains) / 10; budget < 1 {
+			budget = 1
+		}
+	} else if budget < 0 {
+		budget = len(domains) + 1 // UnlimitedFailures: never exhausted
+	}
+	m := p.metrics
+
+	// Cancellation fans out to every in-flight worker: budget
+	// exhaustion and fatal errors use the same mechanism as the caller.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Resume: replay journaled pairs into stats and store before
+	// dispatching anything; only the remainder is measured.
 	type job struct {
 		domain string
 		rank   int
 	}
-	jobs := make(chan job)
-	results := make(chan *store.DomainResult)
-	var wg sync.WaitGroup
-	var firstErr error
-	var errOnce sync.Once
-	m := p.metrics
+	todo := make([]job, 0, len(domains))
+	total := len(domains)
+	done := 0
+	for i, d := range domains {
+		if p.cfg.Journal != nil {
+			if e, ok := p.cfg.Journal.Entry(crawl, d); ok {
+				done++
+				p.replay(e, &stats)
+				if p.cfg.Progress != nil {
+					p.cfg.Progress(crawl, d, done, total)
+				}
+				continue
+			}
+		}
+		todo = append(todo, job{domain: d, rank: i + 1})
+	}
 
+	// A resumed run may already be over budget (the previous run ended
+	// that way); surface it before doing more work.
+	var failErr error
+	noteFailure := func(o domainOutcome) {
+		if o.class == resilience.ClassFatal && failErr == nil {
+			failErr = fmt.Errorf("crawler: fatal error on %s: %w", o.dr.Domain, o.err)
+			cancel()
+		} else if stats.DomainsFailed > budget && failErr == nil {
+			failErr = fmt.Errorf("crawler: error budget exhausted (%d domains failed, budget %d), last: %w",
+				stats.DomainsFailed, budget, o.err)
+			cancel()
+		}
+	}
+	if stats.DomainsFailed > budget {
+		return stats, fmt.Errorf("crawler: error budget already exhausted by resumed journal (%d failed, budget %d)",
+			stats.DomainsFailed, budget)
+	}
+
+	jobs := make(chan job)
+	results := make(chan domainOutcome)
+	var wg sync.WaitGroup
 	for w := 0; w < p.cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -125,23 +295,21 @@ func (p *Pipeline) RunSnapshot(ctx context.Context, crawl string, domains []stri
 			for j := range jobs {
 				m.DomainsStarted.Inc()
 				m.InFlight.Inc()
-				dr, err := p.measureDomain(crawl, j.domain, j.rank)
+				dr, err := p.measureDomain(ctx, crawl, j.domain, j.rank)
 				m.InFlight.Dec()
+				o := domainOutcome{dr: dr, err: err}
 				if err != nil {
-					m.DomainErrors.Inc()
-					errOnce.Do(func() { firstErr = err })
-					continue
+					o.class = resilience.Classify(err)
 				}
-				m.DomainsDone.Inc()
-				results <- dr
+				results <- o
 			}
 		}()
 	}
 	go func() {
 		defer close(jobs)
-		for i, d := range domains {
+		for _, j := range todo {
 			select {
-			case jobs <- job{domain: d, rank: i + 1}:
+			case jobs <- j:
 			case <-ctx.Done():
 				return
 			}
@@ -152,9 +320,46 @@ func (p *Pipeline) RunSnapshot(ctx context.Context, crawl string, domains []stri
 		close(results)
 	}()
 
-	done := 0
-	for dr := range results {
+	for o := range results {
+		dr := o.dr
+		if o.err != nil && (errors.Is(o.err, context.Canceled) || errors.Is(o.err, context.DeadlineExceeded)) && ctx.Err() != nil {
+			// The run is being torn down; an interrupted domain is not
+			// failed — it was never finished, and a resumed run will
+			// measure it from scratch.
+			continue
+		}
 		done++
+		if o.err != nil {
+			m.DomainErrors.Inc()
+			m.Res.ObserveError(o.class)
+			stats.DomainsFailed++
+			if stats.FailedByClass == nil {
+				stats.FailedByClass = make(map[string]int)
+			}
+			stats.FailedByClass[o.class.String()]++
+			// The partial work still counts: pages measured before the
+			// fault are real measurements (see FailedDomain).
+			stats.PagesFound += dr.PagesFound
+			stats.PagesAnalyzed += dr.PagesAnalyzed
+			fd := store.FailedDomain{
+				Domain: dr.Domain, Class: o.class.String(), Err: truncErr(o.err),
+				PagesFound: dr.PagesFound, PagesAnalyzed: dr.PagesAnalyzed,
+			}
+			stats.Failed = append(stats.Failed, fd)
+			if jerr := p.journal(store.JournalEntry{
+				Crawl: crawl, Domain: dr.Domain,
+				Failed: true, Class: fd.Class, Error: fd.Err, Result: dr,
+			}); jerr != nil && failErr == nil {
+				failErr = jerr
+				cancel()
+			}
+			noteFailure(o)
+			if p.cfg.Progress != nil {
+				p.cfg.Progress(crawl, dr.Domain, done, total)
+			}
+			continue
+		}
+		m.DomainsDone.Inc()
 		if dr.PagesFound > 0 {
 			stats.Found++
 		}
@@ -166,14 +371,77 @@ func (p *Pipeline) RunSnapshot(ctx context.Context, crawl string, domains []stri
 		}
 		stats.PagesFound += dr.PagesFound
 		stats.PagesAnalyzed += dr.PagesAnalyzed
+		if jerr := p.journal(store.JournalEntry{Crawl: crawl, Domain: dr.Domain, Result: dr}); jerr != nil && failErr == nil {
+			failErr = jerr
+			cancel()
+		}
 		if p.cfg.Progress != nil {
-			p.cfg.Progress(crawl, dr.Domain, done, len(domains))
+			p.cfg.Progress(crawl, dr.Domain, done, total)
 		}
 	}
-	if firstErr != nil {
-		return stats, firstErr
+	if failErr != nil {
+		return stats, failErr
 	}
 	return stats, ctx.Err()
+}
+
+// journal records one completion entry, when a journal is configured. A
+// journal write failure is fatal: continuing without crash safety would
+// silently break the resume contract.
+func (p *Pipeline) journal(e store.JournalEntry) error {
+	if p.cfg.Journal == nil {
+		return nil
+	}
+	if err := p.cfg.Journal.Record(e); err != nil {
+		return resilience.Fatal(fmt.Errorf("crawler: journal write: %w", err))
+	}
+	return nil
+}
+
+// replay folds one journaled completion into the stats (and, for
+// analyzed domains, the store) exactly as the live path would have.
+func (p *Pipeline) replay(e store.JournalEntry, stats *SnapshotStats) {
+	p.metrics.DomainsResumed.Inc()
+	stats.DomainsResumed++
+	dr := e.Result
+	if e.Failed {
+		stats.DomainsFailed++
+		if stats.FailedByClass == nil {
+			stats.FailedByClass = make(map[string]int)
+		}
+		stats.FailedByClass[e.Class]++
+		fd := store.FailedDomain{Domain: e.Domain, Class: e.Class, Err: e.Error}
+		if dr != nil {
+			fd.PagesFound, fd.PagesAnalyzed = dr.PagesFound, dr.PagesAnalyzed
+			stats.PagesFound += dr.PagesFound
+			stats.PagesAnalyzed += dr.PagesAnalyzed
+		}
+		stats.Failed = append(stats.Failed, fd)
+		return
+	}
+	if dr == nil {
+		return
+	}
+	if dr.PagesFound > 0 {
+		stats.Found++
+	}
+	if dr.Analyzed() {
+		stats.Analyzed++
+		p.store.Put(dr)
+	}
+	stats.PagesFound += dr.PagesFound
+	stats.PagesAnalyzed += dr.PagesAnalyzed
+}
+
+// truncErr caps an error message for the stats ledger (a recovered
+// panic carries a stack trace; the ledger only needs the head).
+func truncErr(err error) string {
+	const max = 512
+	s := err.Error()
+	if len(s) > max {
+		return s[:max] + "…"
+	}
+	return s
 }
 
 // Summary snapshots the pipeline metrics over the given wall time; a
@@ -183,8 +451,11 @@ func (p *Pipeline) Summary(elapsed time.Duration) RunSummary {
 }
 
 // measureDomain runs collect → fetch → check for one domain and returns
-// the aggregate.
-func (p *Pipeline) measureDomain(crawl, domain string, rank int) (*store.DomainResult, error) {
+// the aggregate. On error the returned result carries the partial work
+// completed before the fault (never nil), and the error's resilience
+// class is preserved through the wrapping. Cancellation is honoured
+// between pages and inside retry backoffs.
+func (p *Pipeline) measureDomain(ctx context.Context, crawl, domain string, rank int) (*store.DomainResult, error) {
 	m := p.metrics
 	dr := &store.DomainResult{
 		Crawl: crawl, Domain: domain, Rank: rank,
@@ -192,31 +463,53 @@ func (p *Pipeline) measureDomain(crawl, domain string, rank int) (*store.DomainR
 		Signals:    make(map[string]int),
 	}
 	t0 := time.Now()
-	recs, err := withRetries(p.cfg.Retries, p.cfg.RetryDelay, m.Retries, func() ([]*cdx.Record, error) {
-		return p.archive.Query(crawl, domain, p.cfg.PagesPerDomain)
+	recs, err := resilience.Do(ctx, p.policy, func() ([]*cdx.Record, error) {
+		var recs []*cdx.Record
+		gerr := p.guard(func() error {
+			var qerr error
+			recs, qerr = p.archive.Query(crawl, domain, p.cfg.PagesPerDomain)
+			return qerr
+		})
+		return recs, gerr
 	})
 	m.observeStage("query", t0)
 	if err != nil {
-		m.QueryErrors.Inc()
-		return nil, fmt.Errorf("crawler: query %s/%s: %w", crawl, domain, err)
+		if ctx.Err() == nil {
+			m.QueryErrors.Inc() // a real failure, not run teardown
+		}
+		return dr, fmt.Errorf("crawler: query %s/%s: %w", crawl, domain, err)
 	}
 	dr.PagesFound = len(recs)
 	m.PagesFound.Add(uint64(len(recs)))
 	for _, rec := range recs {
+		// Cancellation stops mid-domain: the bound is one in-flight
+		// page, not one domain.
+		if cerr := ctx.Err(); cerr != nil {
+			return dr, cerr
+		}
 		// The index carries MIME and status; skip obvious non-pages before
 		// fetching, like the paper's metadata-driven collection does.
 		if rec.Status != 200 || !strings.HasPrefix(rec.MIME, "text/html") {
 			m.skipped["index-filter"].Inc()
 			continue
 		}
+		rec := rec
 		t0 = time.Now()
-		cap, err := withRetries(p.cfg.Retries, p.cfg.RetryDelay, m.Retries, func() (*commoncrawl.Capture, error) {
-			return commoncrawl.FetchCapture(p.archive, rec)
+		cap, err := resilience.Do(ctx, p.policy, func() (*commoncrawl.Capture, error) {
+			var cap *commoncrawl.Capture
+			gerr := p.guard(func() error {
+				var ferr error
+				cap, ferr = commoncrawl.FetchCapture(p.archive, rec)
+				return ferr
+			})
+			return cap, gerr
 		})
 		m.observeStage("fetch", t0)
 		if err != nil {
-			m.FetchErrors.Inc()
-			return nil, fmt.Errorf("crawler: fetch %s: %w", rec.URL, err)
+			if ctx.Err() == nil {
+				m.FetchErrors.Inc()
+			}
+			return dr, fmt.Errorf("crawler: fetch %s: %w", rec.URL, err)
 		}
 		m.PagesFetched.Inc()
 		m.BytesFetched.Add(uint64(rec.Length))
@@ -239,9 +532,22 @@ func (p *Pipeline) measureDomain(crawl, domain string, rank int) (*store.DomainR
 		}
 		m.DocBytes.Observe(float64(len(cap.Body)))
 		t0 = time.Now()
-		rep, err := p.checker.Check(cap.Body)
+		rep, err := p.checkPage(cap.Body)
 		m.observeStage("check", t0)
 		if err != nil {
+			var pe *pagePanicError
+			if errors.As(err, &pe) {
+				// A checker panic on adversarial HTML is a per-page
+				// failure, not a process crash: record it and move on.
+				m.CheckPanics.Inc()
+				m.skipped["check-panic"].Inc()
+				dr.PagesFailed++
+				if len(dr.PageFailures) < maxPageFailures {
+					dr.PageFailures = append(dr.PageFailures,
+						fmt.Sprintf("%s: %v", rec.URL, err))
+				}
+				continue
+			}
 			m.skipped["non-utf8"].Inc()
 			continue // non-UTF-8 slipped through; same filter
 		}
@@ -257,25 +563,31 @@ func (p *Pipeline) measureDomain(crawl, domain string, rank int) (*store.DomainR
 	return dr, nil
 }
 
-// withRetries runs f up to retries+1 times, sleeping delay between
-// attempts and counting each re-attempt on retried, and returns the first
-// success or the last error.
-func withRetries[T any](retries int, delay time.Duration, retried *obs.Counter, f func() (T, error)) (T, error) {
-	var out T
-	var err error
-	for attempt := 0; attempt <= retries; attempt++ {
-		if attempt > 0 {
-			retried.Inc()
+// maxPageFailures caps the per-domain failure sample kept in the store;
+// DomainResult.PagesFailed keeps the true count.
+const maxPageFailures = 8
+
+// pagePanicError is a recovered checker panic, carrying the stack.
+type pagePanicError struct {
+	value any
+	stack []byte
+}
+
+func (e *pagePanicError) Error() string {
+	return fmt.Sprintf("checker panic: %v\n%s", e.value, e.stack)
+}
+
+// checkPage runs the checker with panic recovery: a panicking rule on
+// adversarial HTML must cost one page, not the whole multi-day run.
+func (p *Pipeline) checkPage(body []byte) (rep *core.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 8<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			rep, err = nil, &pagePanicError{value: r, stack: buf}
 		}
-		out, err = f()
-		if err == nil {
-			return out, nil
-		}
-		if attempt < retries && delay > 0 {
-			time.Sleep(delay)
-		}
-	}
-	return out, err
+	}()
+	return p.checker.Check(body)
 }
 
 func addSignals(m map[string]int, s core.Signals) {

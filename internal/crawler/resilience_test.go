@@ -1,0 +1,404 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hvscan/hvscan/internal/cdx"
+	"github.com/hvscan/hvscan/internal/commoncrawl"
+	"github.com/hvscan/hvscan/internal/core"
+	"github.com/hvscan/hvscan/internal/resilience"
+	"github.com/hvscan/hvscan/internal/store"
+)
+
+// TestNoDelaySentinel pins the Config.RetryDelay contract, the twin of
+// TestNoRetriesSentinel: zero means the default of 50ms, and the
+// NoDelay sentinel really disables sleeping — before it, tests asking
+// for 0 silently got 50ms per retry.
+func TestNoDelaySentinel(t *testing.T) {
+	arch := testArchive(5, 2)
+	cases := []struct {
+		give time.Duration
+		want time.Duration
+	}{
+		{NoDelay, 0},
+		{-7 * time.Second, 0}, // any negative disables
+		{0, 50 * time.Millisecond},
+		{7 * time.Millisecond, 7 * time.Millisecond},
+	}
+	for _, c := range cases {
+		p := New(arch, core.NewChecker(), store.New(), Config{RetryDelay: c.give})
+		if p.cfg.RetryDelay != c.want || p.policy.BaseDelay != c.want {
+			t.Errorf("RetryDelay %v: normalized to cfg=%v policy=%v, want %v",
+				c.give, p.cfg.RetryDelay, p.policy.BaseDelay, c.want)
+		}
+	}
+
+	// Behavioral check: a NoDelay pipeline retries without sleeping, so
+	// a fully flaky archive still finishes fast.
+	flaky := newFlaky(arch)
+	p := New(flaky, core.NewChecker(), store.New(), Config{
+		Workers: 2, PagesPerDomain: 2, Retries: 2, RetryDelay: NoDelay,
+	})
+	start := time.Now()
+	if _, err := p.RunSnapshot(context.Background(), arch.Crawls()[0], arch.Generator().Universe()); err != nil {
+		t.Fatal(err)
+	}
+	if flaky.faults == 0 {
+		t.Fatal("no faults — vacuous")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("NoDelay run took %v — the sentinel did not disable sleeping", elapsed)
+	}
+}
+
+// failFetchArchive serves the index normally but permanently fails
+// ReadRange for the selected domains after allowing `allow` reads each.
+type failFetchArchive struct {
+	commoncrawl.Archive
+	fail  map[string]bool // domain -> fail its fetches
+	allow int
+
+	mu    sync.Mutex
+	reads map[string]int
+}
+
+var errRecordGone = errors.New("record gone")
+
+func (a *failFetchArchive) ReadRange(filename string, offset, length int64) ([]byte, error) {
+	// Synthetic filenames are "crawl/domain.warc.gz".
+	domain := strings.TrimSuffix(filename[strings.Index(filename, "/")+1:], ".warc.gz")
+	if a.fail[domain] {
+		a.mu.Lock()
+		a.reads[domain]++
+		n := a.reads[domain]
+		a.mu.Unlock()
+		if n > a.allow {
+			return nil, resilience.Permanent(fmt.Errorf("%w: %s@%d", errRecordGone, filename, offset))
+		}
+	}
+	return a.Archive.ReadRange(filename, offset, length)
+}
+
+// TestPartialStatsOnDomainFailure: a domain that errors after some
+// pages were fetched must still contribute its partial work to
+// PagesFound/PagesAnalyzed and carry it in the failed-domain record —
+// before this fix, a domain dying on page 3 of 4 contributed nothing.
+func TestPartialStatsOnDomainFailure(t *testing.T) {
+	arch := testArchive(30, 4)
+	crawl := arch.Crawls()[0]
+	domains := arch.Generator().Universe()
+
+	// Pick a victim with several analyzable pages in the first crawl.
+	victim := ""
+	for _, d := range domains {
+		recs, err := arch.Query(crawl, d, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		html := 0
+		for _, r := range recs {
+			if r.Status == 200 && strings.HasPrefix(r.MIME, "text/html") {
+				html++
+			}
+		}
+		if html >= 3 {
+			victim = d
+			break
+		}
+	}
+	if victim == "" {
+		t.Skip("no domain with enough pages in this corpus")
+	}
+
+	ff := &failFetchArchive{Archive: arch, fail: map[string]bool{victim: true},
+		allow: 1, reads: make(map[string]int)}
+	st := store.New()
+	p := New(ff, core.NewChecker(), st, Config{
+		Workers: 2, PagesPerDomain: 4, Retries: NoRetries, RetryDelay: NoDelay,
+		MaxDomainFailures: 5,
+	})
+	stats, err := p.RunSnapshot(context.Background(), crawl, domains)
+	if err != nil {
+		t.Fatalf("one failed domain must not kill the snapshot: %v", err)
+	}
+	if stats.DomainsFailed != 1 || len(stats.Failed) != 1 {
+		t.Fatalf("DomainsFailed=%d Failed=%v, want exactly the victim", stats.DomainsFailed, stats.Failed)
+	}
+	fd := stats.Failed[0]
+	if fd.Domain != victim || fd.Class != "permanent" {
+		t.Fatalf("failure ledger wrong: %+v", fd)
+	}
+	if fd.PagesFound == 0 || fd.PagesAnalyzed == 0 {
+		t.Fatalf("partial work lost from the ledger: %+v", fd)
+	}
+
+	// The partial pages are in the snapshot totals: compare with a run
+	// that excludes the victim entirely.
+	rest := make([]string, 0, len(domains)-1)
+	for _, d := range domains {
+		if d != victim {
+			rest = append(rest, d)
+		}
+	}
+	st2 := store.New()
+	p2 := New(arch, core.NewChecker(), st2, Config{Workers: 2, PagesPerDomain: 4})
+	stats2, err := p2.RunSnapshot(context.Background(), crawl, rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PagesAnalyzed != stats2.PagesAnalyzed+fd.PagesAnalyzed {
+		t.Fatalf("partial pages not in totals: %d != %d + %d",
+			stats.PagesAnalyzed, stats2.PagesAnalyzed, fd.PagesAnalyzed)
+	}
+	if st.Get(crawl, victim) != nil {
+		t.Fatal("failed domain must not be stored as a success")
+	}
+}
+
+// alwaysFailArchive fails every query with a retryable error.
+type alwaysFailArchive struct{ commoncrawl.Archive }
+
+var errArchiveDown = errors.New("archive down")
+
+func (alwaysFailArchive) Query(string, string, int) ([]*cdx.Record, error) {
+	return nil, errArchiveDown
+}
+
+// TestErrorBudgetExhaustionStopsSnapshot: when more domains fail than
+// the budget allows, the snapshot stops with an error wrapping the
+// last failure, and the stats record what happened up to that point.
+func TestErrorBudgetExhaustionStopsSnapshot(t *testing.T) {
+	arch := testArchive(40, 2)
+	p := New(alwaysFailArchive{arch}, core.NewChecker(), store.New(), Config{
+		Workers: 2, PagesPerDomain: 2, Retries: 1, RetryDelay: NoDelay,
+		MaxDomainFailures: 3,
+	})
+	stats, err := p.RunSnapshot(context.Background(), arch.Crawls()[0], arch.Generator().Universe())
+	if err == nil {
+		t.Fatal("budget exhaustion must surface an error")
+	}
+	if !errors.Is(err, errArchiveDown) {
+		t.Fatalf("budget error must wrap the triggering failure: %v", err)
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("error should name the budget: %v", err)
+	}
+	if stats.DomainsFailed < 4 {
+		t.Fatalf("DomainsFailed=%d, want > budget of 3", stats.DomainsFailed)
+	}
+	// Cancellation tears the rest down: nowhere near all 40 failed.
+	if stats.DomainsFailed > 3+2*4 {
+		t.Fatalf("teardown kept failing domains: %d failed", stats.DomainsFailed)
+	}
+	if stats.FailedByClass["retryable"] != stats.DomainsFailed {
+		t.Fatalf("class breakdown inconsistent: %+v", stats.FailedByClass)
+	}
+}
+
+// TestUnlimitedFailuresCompletes: with the budget disabled, even an
+// archive that fails every domain lets the snapshot run to the end.
+func TestUnlimitedFailuresCompletes(t *testing.T) {
+	arch := testArchive(25, 2)
+	domains := arch.Generator().Universe()
+	p := New(alwaysFailArchive{arch}, core.NewChecker(), store.New(), Config{
+		Workers: 4, PagesPerDomain: 2, Retries: NoRetries, RetryDelay: NoDelay,
+		MaxDomainFailures: UnlimitedFailures, BreakerThreshold: -1,
+	})
+	stats, err := p.RunSnapshot(context.Background(), arch.Crawls()[0], domains)
+	if err != nil {
+		t.Fatalf("unlimited budget must not stop: %v", err)
+	}
+	if stats.DomainsFailed != len(domains) || len(stats.Failed) != len(domains) {
+		t.Fatalf("failed %d/%d, ledger %d", stats.DomainsFailed, len(domains), len(stats.Failed))
+	}
+}
+
+// TestFatalErrorStopsImmediately: a fatal (configuration) error must
+// stop the snapshot at once instead of burning the error budget.
+func TestFatalErrorStopsImmediately(t *testing.T) {
+	arch := testArchive(40, 2)
+	p := New(arch, core.NewChecker(), store.New(), Config{
+		Workers: 2, PagesPerDomain: 2, Retries: NoRetries, RetryDelay: NoDelay,
+		MaxDomainFailures: UnlimitedFailures,
+	})
+	stats, err := p.RunSnapshot(context.Background(), "CC-MAIN-BOGUS", arch.Generator().Universe())
+	if err == nil || !strings.Contains(err.Error(), "fatal") {
+		t.Fatalf("err = %v, want a fatal-classified stop", err)
+	}
+	if !strings.Contains(err.Error(), "unknown crawl") {
+		t.Fatalf("fatal error lost its cause: %v", err)
+	}
+	// Fatal cancels the run: only in-flight workers can add failures.
+	if stats.DomainsFailed > 4 {
+		t.Fatalf("fatal error burned %d budget units before stopping", stats.DomainsFailed)
+	}
+}
+
+// panickyChecker panics on a deterministic subset of pages —
+// the adversarial-HTML-crashes-the-parser scenario.
+type panickyChecker struct {
+	inner  Checker
+	panics atomic.Uint64
+}
+
+func (c *panickyChecker) Check(html []byte) (*core.Report, error) {
+	if len(html)%3 == 0 {
+		c.panics.Add(1)
+		panic(fmt.Sprintf("parser blew up on %d adversarial bytes", len(html)))
+	}
+	return c.inner.Check(html)
+}
+
+// TestCheckerPanicRecovered: a panicking checker costs pages, never the
+// process or even the domain.
+func TestCheckerPanicRecovered(t *testing.T) {
+	arch := testArchive(60, 3)
+	crawl := arch.Crawls()[0]
+	domains := arch.Generator().Universe()
+	pc := &panickyChecker{inner: core.NewChecker()}
+	st := store.New()
+	p := New(arch, pc, st, Config{Workers: 4, PagesPerDomain: 3})
+	stats, err := p.RunSnapshot(context.Background(), crawl, domains)
+	if err != nil {
+		t.Fatalf("panics must be contained: %v", err)
+	}
+	if pc.panics.Load() == 0 {
+		t.Fatal("checker never panicked — test is vacuous")
+	}
+	m := p.Metrics()
+	if got := m.CheckPanics.Value(); got != pc.panics.Load() {
+		t.Fatalf("check panics counter = %d, want %d", got, pc.panics.Load())
+	}
+	if got := m.Skipped("check-panic").Value(); got != pc.panics.Load() {
+		t.Fatalf("check-panic skip counter = %d, want %d", got, pc.panics.Load())
+	}
+	if stats.DomainsFailed != 0 {
+		t.Fatalf("page panics must not fail domains: %d failed", stats.DomainsFailed)
+	}
+	// The failures are recorded on the domain results, URL and stack
+	// included, and page accounting still reconciles.
+	recordedFailures := 0
+	sampled := 0
+	st.ForEach(func(dr *store.DomainResult) {
+		recordedFailures += dr.PagesFailed
+		sampled += len(dr.PageFailures)
+		for _, f := range dr.PageFailures {
+			if !strings.Contains(f, "checker panic") || !strings.Contains(f, "http") {
+				t.Fatalf("page failure lacks cause or URL: %q", f)
+			}
+			if !strings.Contains(f, "crawler.(*panickyChecker).Check") {
+				t.Fatalf("page failure lacks the panic stack: %.200q", f)
+			}
+		}
+	})
+	if recordedFailures == 0 || sampled == 0 {
+		t.Fatalf("panics not recorded on domain results (count=%d sample=%d); some may be on all-failed domains",
+			recordedFailures, sampled)
+	}
+	if uint64(recordedFailures) > pc.panics.Load() {
+		t.Fatalf("recorded %d page failures from %d panics", recordedFailures, pc.panics.Load())
+	}
+}
+
+// cancelAfterReads cancels the context as the Nth ReadRange begins and
+// counts every read, to measure how promptly cancellation lands.
+type cancelAfterReads struct {
+	commoncrawl.Archive
+	n      int64
+	cancel context.CancelFunc
+	reads  atomic.Int64
+}
+
+func (a *cancelAfterReads) ReadRange(filename string, offset, length int64) ([]byte, error) {
+	if a.reads.Add(1) == a.n {
+		a.cancel()
+	}
+	return a.Archive.ReadRange(filename, offset, length)
+}
+
+// TestMidSnapshotCancellationIsPageBounded: canceling ctx stops
+// in-flight work within one page per worker — not one domain — and
+// RunSnapshot returns ctx.Err() with consistent stats.
+func TestMidSnapshotCancellationIsPageBounded(t *testing.T) {
+	arch := testArchive(20, 8)
+	crawl := arch.Crawls()[0]
+	domains := arch.Generator().Universe()
+	ctx, cancel := context.WithCancel(context.Background())
+	ca := &cancelAfterReads{Archive: arch, n: 3, cancel: cancel}
+	st := store.New()
+	p := New(ca, core.NewChecker(), st, Config{
+		Workers: 1, PagesPerDomain: 8, Retries: NoRetries, RetryDelay: NoDelay,
+	})
+	stats, err := p.RunSnapshot(ctx, crawl, domains)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ctx.Err()", err)
+	}
+	// One worker, cancel on read 3: the in-flight page finishes, the
+	// next per-page ctx check stops the domain. Generously allow one
+	// extra read for scheduling; dozens would mean per-domain checks.
+	if got := ca.reads.Load(); got > 4 {
+		t.Fatalf("%d reads after cancel-at-3 — cancellation is not page-bounded", got)
+	}
+	// Interrupted domains are not "failed", and nothing analyzed was
+	// beyond what the reads allow.
+	if stats.DomainsFailed != 0 {
+		t.Fatalf("cancellation recorded %d domain failures", stats.DomainsFailed)
+	}
+	if stats.PagesAnalyzed > 3 {
+		t.Fatalf("stats claim %d analyzed pages from ≤3 reads", stats.PagesAnalyzed)
+	}
+	if stats.Analyzed != st.Len() {
+		t.Fatalf("stats.Analyzed=%d but store holds %d", stats.Analyzed, st.Len())
+	}
+}
+
+// TestBreakerShedsLoadWhenArchiveDown: consecutive retryable failures
+// open the breaker; the remaining domains shed fast instead of
+// hammering a dead archive, and the metrics show the trip.
+func TestBreakerShedsLoadWhenArchiveDown(t *testing.T) {
+	arch := testArchive(60, 2)
+	queries := atomic.Int64{}
+	down := countingFailArchive{Archive: arch, calls: &queries}
+	p := New(down, core.NewChecker(), store.New(), Config{
+		Workers: 1, PagesPerDomain: 2, Retries: NoRetries, RetryDelay: NoDelay,
+		MaxDomainFailures: UnlimitedFailures, BreakerThreshold: 5, BreakerCooldown: time.Hour,
+	})
+	stats, err := p.RunSnapshot(context.Background(), arch.Crawls()[0], arch.Generator().Universe())
+	if err != nil {
+		t.Fatalf("unlimited budget: %v", err)
+	}
+	if stats.DomainsFailed != 60 {
+		t.Fatalf("failed %d, want all 60", stats.DomainsFailed)
+	}
+	m := p.Metrics()
+	if m.Res.BreakerTrips.Value() == 0 {
+		t.Fatal("breaker never tripped")
+	}
+	if m.Res.BreakerShed.Value() == 0 {
+		t.Fatal("open breaker shed nothing")
+	}
+	// The whole point: far fewer archive calls than domains.
+	if got := queries.Load(); got > 10 {
+		t.Fatalf("archive saw %d queries through an open breaker, want ≤ threshold+margin", got)
+	}
+	if p.Breaker().State() != resilience.StateOpen {
+		t.Fatalf("breaker state = %v, want open", p.Breaker().State())
+	}
+}
+
+type countingFailArchive struct {
+	commoncrawl.Archive
+	calls *atomic.Int64
+}
+
+func (a countingFailArchive) Query(string, string, int) ([]*cdx.Record, error) {
+	a.calls.Add(1)
+	return nil, errArchiveDown
+}

@@ -1,0 +1,75 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// The resilience primitives sit on the pipeline's per-page hot path, so
+// their happy-path overhead must be noise: a handful of nanoseconds for
+// Policy.Do (one ctx.Err check + one call), one mutex round trip for
+// the breaker, and a few errors.As probes for Classify.
+
+func BenchmarkPolicyDoHappyPath(b *testing.B) {
+	p := Policy{MaxAttempts: 3, BaseDelay: 50}
+	ctx := context.Background()
+	f := func() error { return nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Do(ctx, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBreakerHappyPath(b *testing.B) {
+	br := NewBreaker(BreakerConfig{})
+	f := func() error { return nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.Do(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolicyAndBreakerComposed(b *testing.B) {
+	// The exact shape the crawler uses per archive call.
+	p := Policy{MaxAttempts: 3, BaseDelay: 50}
+	br := NewBreaker(BreakerConfig{})
+	ctx := context.Background()
+	f := func() error { return nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := p.Do(ctx, func() error { return br.Do(f) })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassifyUnknown(b *testing.B) {
+	err := errors.New("some transient network thing")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Classify(err) != ClassRetryable {
+			b.Fatal("misclassified")
+		}
+	}
+}
+
+func BenchmarkClassifyMarked(b *testing.B) {
+	err := Permanent(errors.New("gone"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Classify(err) != ClassPermanent {
+			b.Fatal("misclassified")
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package resilience provides the fault-handling primitives of the scan
+// pipeline: an error classifier (retryable / permanent / fatal), a retry
+// policy with exponential backoff, jitter, and context-aware sleeping,
+// and a circuit breaker that sheds load from a failing backend. The
+// primitives are generic — nothing here knows about Common Crawl or the
+// crawler — and the pipeline composes them around every archive call.
+//
+// The classification model (DESIGN.md "Failure model"): a multi-day
+// crawl against a remote archive sees three kinds of trouble.
+// Retryable faults (timeouts, 5xx, connection resets, truncated reads)
+// are the archive having a bad moment — back off and try again.
+// Permanent faults (404, robots exclusion, malformed capture) will fail
+// identically on every attempt — skip the work unit and move on.
+// Fatal faults (bad configuration, impossible state) mean the run
+// itself is wrong — stop everything. Unknown errors classify as
+// retryable: on a long network crawl, optimism is cheaper than losing a
+// domain to a transient blip we failed to enumerate.
+package resilience
+
+import (
+	"context"
+	"errors"
+)
+
+// Class is the retry-relevant category of an error.
+type Class int
+
+const (
+	// ClassRetryable errors are transient: the same call may succeed if
+	// repeated after a backoff (timeouts, 5xx, connection resets).
+	ClassRetryable Class = iota
+	// ClassPermanent errors will recur on every attempt (404, gone,
+	// malformed record): skip the work unit, keep the run going.
+	ClassPermanent
+	// ClassFatal errors invalidate the whole run (bad configuration,
+	// impossible state): stop everything.
+	ClassFatal
+)
+
+// Classes lists every class, in severity order, for metric registration
+// and exhaustive tests.
+var Classes = []Class{ClassRetryable, ClassPermanent, ClassFatal}
+
+// String returns the class label used in metrics and stats.
+func (c Class) String() string {
+	switch c {
+	case ClassRetryable:
+		return "retryable"
+	case ClassPermanent:
+		return "permanent"
+	case ClassFatal:
+		return "fatal"
+	}
+	return "unknown"
+}
+
+// classified wraps an error with an explicit class; Classify honours it
+// above every heuristic.
+type classified struct {
+	err   error
+	class Class
+}
+
+func (e *classified) Error() string { return e.err.Error() }
+func (e *classified) Unwrap() error { return e.err }
+
+// mark wraps err with an explicit class; nil stays nil.
+func mark(err error, c Class) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: c}
+}
+
+// Retryable marks err as explicitly retryable.
+func Retryable(err error) error { return mark(err, ClassRetryable) }
+
+// Permanent marks err as permanent: retrying cannot help.
+func Permanent(err error) error { return mark(err, ClassPermanent) }
+
+// Fatal marks err as fatal: the run must stop.
+func Fatal(err error) error { return mark(err, ClassFatal) }
+
+// StatusCoder is implemented by transport errors that carry an HTTP
+// status code (e.g. commoncrawl.HTTPError); Classify maps 5xx and
+// throttling statuses to retryable and other 4xx to permanent.
+type StatusCoder interface{ HTTPStatus() int }
+
+// Classify determines the Class of err. Explicit marks (Retryable,
+// Permanent, Fatal) win; then HTTP status codes, context and network
+// errors; anything unrecognized is ClassRetryable — see the package
+// comment for why the default is optimistic. Classify(nil) returns
+// ClassRetryable and never panics, whatever the error wraps.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassRetryable
+	}
+	var cl *classified
+	if errors.As(err, &cl) {
+		return cl.class
+	}
+	var sc StatusCoder
+	if errors.As(err, &sc) {
+		return classifyStatus(sc.HTTPStatus())
+	}
+	// A canceled context is the caller abandoning the call, not the
+	// backend failing: retrying cannot help. Everything else — deadline
+	// timeouts, net.Error timeouts, connection resets, truncated reads,
+	// and errors we cannot recognize — falls through to the retryable
+	// default.
+	if errors.Is(err, context.Canceled) {
+		return ClassPermanent
+	}
+	return ClassRetryable
+}
+
+// classifyStatus maps an HTTP status to a class: server-side and
+// throttling failures retry, client-side failures are permanent.
+func classifyStatus(code int) Class {
+	switch {
+	case code >= 500:
+		return ClassRetryable
+	case code == 408 || code == 425 || code == 429:
+		return ClassRetryable // timeout / too-early / throttled
+	case code >= 400:
+		return ClassPermanent
+	}
+	return ClassRetryable
+}

@@ -1,0 +1,77 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// statusErr is a minimal StatusCoder for classifier tests.
+type statusErr struct{ code int }
+
+func (e *statusErr) Error() string   { return fmt.Sprintf("http status %d", e.code) }
+func (e *statusErr) HTTPStatus() int { return e.code }
+
+func TestClassify(t *testing.T) {
+	base := errors.New("boom")
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"nil", nil, ClassRetryable},
+		{"unknown", base, ClassRetryable},
+		{"marked-retryable", Retryable(base), ClassRetryable},
+		{"marked-permanent", Permanent(base), ClassPermanent},
+		{"marked-fatal", Fatal(base), ClassFatal},
+		{"wrapped-mark", fmt.Errorf("outer: %w", Permanent(base)), ClassPermanent},
+		{"deep-wrapped-fatal", fmt.Errorf("a: %w", fmt.Errorf("b: %w", Fatal(base))), ClassFatal},
+		{"status-500", &statusErr{500}, ClassRetryable},
+		{"status-503-wrapped", fmt.Errorf("query: %w", &statusErr{503}), ClassRetryable},
+		{"status-429", &statusErr{429}, ClassRetryable},
+		{"status-408", &statusErr{408}, ClassRetryable},
+		{"status-404", &statusErr{404}, ClassPermanent},
+		{"status-403", &statusErr{403}, ClassPermanent},
+		{"status-200", &statusErr{200}, ClassRetryable},
+		{"canceled", context.Canceled, ClassPermanent},
+		{"canceled-wrapped", fmt.Errorf("fetch: %w", context.Canceled), ClassPermanent},
+		{"deadline", context.DeadlineExceeded, ClassRetryable},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMarksPreserveUnwrapAndNil(t *testing.T) {
+	base := errors.New("boom")
+	if !errors.Is(Permanent(base), base) {
+		t.Error("Permanent broke the errors.Is chain")
+	}
+	if Retryable(nil) != nil || Permanent(nil) != nil || Fatal(nil) != nil {
+		t.Error("marking nil must stay nil")
+	}
+	if msg := Fatal(base).Error(); msg != "boom" {
+		t.Errorf("mark changed the message: %q", msg)
+	}
+}
+
+func TestInnermostMarkVisibleFirstWins(t *testing.T) {
+	// Double-marked: the outermost mark is what errors.As finds first,
+	// matching "the closest decision wins" semantics.
+	err := Permanent(Retryable(errors.New("boom")))
+	if got := Classify(err); got != ClassPermanent {
+		t.Errorf("outer mark should win, got %v", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{ClassRetryable: "retryable", ClassPermanent: "permanent", ClassFatal: "fatal", Class(42): "unknown"}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+}

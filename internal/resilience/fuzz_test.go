@@ -1,0 +1,59 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// FuzzClassify throws arbitrarily built and wrapped errors at the
+// classifier: whatever the shape, it must return a valid class and
+// never panic. The seed corpus exercises every construction path the
+// fuzzer mutates over.
+func FuzzClassify(f *testing.F) {
+	f.Add("boom", 0, 500, uint8(0))
+	f.Add("", 1, 404, uint8(3))
+	f.Add("timeout", 2, 0, uint8(1))
+	f.Add("ctx", 3, 429, uint8(2))
+	f.Add("deep", 4, 99, uint8(7))
+	f.Fuzz(func(t *testing.T, msg string, kind int, status int, wraps uint8) {
+		var err error
+		switch kind % 6 {
+		case 0:
+			err = errors.New(msg)
+		case 1:
+			err = &statusErr{code: status}
+		case 2:
+			err = context.Canceled
+		case 3:
+			err = context.DeadlineExceeded
+		case 4:
+			err = nil
+		case 5:
+			err = errors.Join(errors.New(msg), &statusErr{code: status})
+		}
+		// Layer marks and wrappers on top, driven by the wrap bits.
+		for i := 0; i < int(wraps%8); i++ {
+			switch (int(wraps) + i) % 4 {
+			case 0:
+				err = Retryable(err)
+			case 1:
+				err = Permanent(err)
+			case 2:
+				err = Fatal(err)
+			case 3:
+				if err != nil {
+					err = fmt.Errorf("wrap %d: %w", i, err)
+				}
+			}
+		}
+		got := Classify(err)
+		if got != ClassRetryable && got != ClassPermanent && got != ClassFatal {
+			t.Fatalf("Classify returned invalid class %d for %v", got, err)
+		}
+		if err == nil && got != ClassRetryable {
+			t.Fatalf("Classify(nil) = %v, want retryable", got)
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package resilience
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hvscan/hvscan/internal/obs"
+)
+
+// Metrics is the resilience layer's instrumentation on an obs.Registry:
+//
+//	resilience_errors_total{class="retryable"|"permanent"|"fatal"}
+//	resilience_retries_total
+//	resilience_backoff_seconds   (histogram of backoff sleeps)
+//	resilience_breaker_state     (0 closed, 1 half-open, 2 open)
+//	resilience_breaker_trips_total
+//	resilience_breaker_shed_total
+//
+// Wire it into a Policy and Breaker with PolicyHook / BreakerHook, or
+// drive the counters directly.
+type Metrics struct {
+	Errors         map[Class]*obs.Counter
+	Retries        *obs.Counter
+	BackoffSeconds *obs.Histogram
+	BreakerState   *obs.Gauge
+	BreakerTrips   *obs.Counter
+	BreakerShed    *obs.Counter
+}
+
+// NewMetrics registers the resilience series on reg. Registering twice
+// on the same registry returns handles sharing the underlying series.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		Errors:         make(map[Class]*obs.Counter, len(Classes)),
+		Retries:        reg.Counter("resilience_retries_total"),
+		BackoffSeconds: reg.Histogram("resilience_backoff_seconds", obs.DurationBuckets),
+		BreakerState:   reg.Gauge("resilience_breaker_state"),
+		BreakerTrips:   reg.Counter("resilience_breaker_trips_total"),
+		BreakerShed:    reg.Counter("resilience_breaker_shed_total"),
+	}
+	for _, c := range Classes {
+		m.Errors[c] = reg.Counter(fmt.Sprintf("resilience_errors_total{class=%q}", c))
+	}
+	return m
+}
+
+// ObserveError counts one classified failure.
+func (m *Metrics) ObserveError(c Class) { m.Errors[c].Inc() }
+
+// PolicyHook returns an OnRetry callback that counts re-attempts and
+// backoff time. Compose it with an existing hook by calling both.
+func (m *Metrics) PolicyHook() func(attempt int, sleep time.Duration, err error) {
+	return func(_ int, sleep time.Duration, _ error) {
+		m.Retries.Inc()
+		m.BackoffSeconds.Observe(sleep.Seconds())
+	}
+}
+
+// BreakerHook returns an OnStateChange callback that tracks the breaker
+// state gauge and counts trips (transitions into the open state).
+func (m *Metrics) BreakerHook() func(from, to BreakerState) {
+	return func(_, to BreakerState) {
+		m.BreakerState.Set(int64(to))
+		if to == StateOpen {
+			m.BreakerTrips.Inc()
+		}
+	}
+}

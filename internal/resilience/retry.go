@@ -1,0 +1,144 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Policy is a retry schedule: how many attempts, and how the delay
+// between them grows. The zero value means "one attempt, no sleeping" —
+// every field has a safe zero so a Policy literal only states what it
+// changes.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	// Values below 1 mean 1: a single attempt, no retrying.
+	MaxAttempts int
+	// BaseDelay is the sleep before the first retry; 0 disables
+	// sleeping entirely (tests, in-process archives).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown delay. 0 means 20×BaseDelay — enough for
+	// the default multiplier to run four doublings before clipping.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts; values ≤ 1 mean the
+	// default of 2 (exponential doubling).
+	Multiplier float64
+	// Jitter spreads each delay uniformly over ±Jitter×delay, breaking
+	// retry synchronization between workers hammering the same backend.
+	// 0 means no jitter; values are clamped to [0, 1].
+	Jitter float64
+	// Rand supplies jitter randomness in [0,1); nil uses a cheap
+	// time-seeded source. Tests inject a deterministic function.
+	Rand func() float64
+	// OnRetry, if set, observes every re-attempt before its backoff
+	// sleep: the attempt number just failed (1-based), the sleep about
+	// to happen, and the error. Used for metrics wiring.
+	OnRetry func(attempt int, sleep time.Duration, err error)
+}
+
+// Delay returns the backoff before retry number n (0-based: Delay(0) is
+// the sleep between the first failure and the second attempt), jittered
+// and capped.
+func (p Policy) Delay(n int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 20 * p.BaseDelay
+	}
+	d := float64(p.BaseDelay)
+	for i := 0; i < n; i++ {
+		d *= mult
+		if d >= float64(max) {
+			break
+		}
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	if j := p.Jitter; j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		r := 0.5
+		if p.Rand != nil {
+			r = p.Rand()
+		} else {
+			// Cheap decorrelation without math/rand: the low bits of
+			// the clock differ between concurrent workers.
+			r = float64(time.Now().UnixNano()%1024) / 1024
+		}
+		d *= 1 - j + 2*j*r
+	}
+	return time.Duration(d)
+}
+
+// Do runs f under the policy: retry on ClassRetryable errors with
+// backoff until attempts or the context run out. ClassPermanent and
+// ClassFatal errors return immediately. The returned error is the last
+// attempt's error; if the context ends during a backoff sleep the
+// context error is joined in, so callers can match either cause with
+// errors.Is.
+func (p Policy) Do(ctx context.Context, f func() error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return errors.Join(err, cerr)
+			}
+			return cerr
+		}
+		err = f()
+		if err == nil {
+			return nil
+		}
+		if attempt >= attempts || Classify(err) != ClassRetryable {
+			return err
+		}
+		sleep := p.Delay(attempt - 1)
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, sleep, err)
+		}
+		if !sleepCtx(ctx, sleep) {
+			return errors.Join(err, ctx.Err())
+		}
+	}
+}
+
+// Do runs f under the policy and returns its value; see Policy.Do for
+// the retry semantics.
+func Do[T any](ctx context.Context, p Policy, f func() (T, error)) (T, error) {
+	var out T
+	err := p.Do(ctx, func() error {
+		var ferr error
+		out, ferr = f()
+		return ferr
+	})
+	return out, err
+}
+
+// sleepCtx sleeps for d unless the context ends first; it reports
+// whether the full sleep happened. A non-positive d is a yield-free
+// no-op — the hot path must not touch timers.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

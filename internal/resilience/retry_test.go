@@ -1,0 +1,136 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	err := Policy{MaxAttempts: 5}.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on attempt 3", err, calls)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	calls := 0
+	boom := errors.New("gone")
+	err := Policy{MaxAttempts: 5}.Do(context.Background(), func() error {
+		calls++
+		return Permanent(boom)
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want 1 attempt surfacing the permanent error", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	boom := errors.New("flaky")
+	err := Policy{MaxAttempts: 3}.Do(context.Background(), func() error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want the last error after 3 attempts", err, calls)
+	}
+}
+
+func TestDoZeroValuePolicyIsSingleAttempt(t *testing.T) {
+	calls := 0
+	_ = Policy{}.Do(context.Background(), func() error { calls++; return errors.New("x") })
+	if calls != 1 {
+		t.Fatalf("zero policy made %d attempts, want 1", calls)
+	}
+}
+
+func TestDoHonorsContextDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	boom := errors.New("flaky")
+	start := time.Now()
+	err := Policy{MaxAttempts: 10, BaseDelay: time.Hour}.Do(ctx, func() error {
+		calls++
+		cancel() // cancel while the policy would sleep an hour
+		return boom
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("backoff ignored cancellation (%v)", elapsed)
+	}
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1", calls)
+	}
+	// Both causes must be matchable.
+	if !errors.Is(err, boom) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want both the attempt error and context.Canceled", err)
+	}
+}
+
+func TestDoPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Policy{MaxAttempts: 3}.Do(ctx, func() error { calls++; return nil })
+	if calls != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("calls=%d err=%v, want no attempts on a dead context", calls, err)
+	}
+}
+
+func TestDelayGrowthAndCap(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 80, 100, 100} // ms; doubled then capped
+	for i, w := range want {
+		if got := p.Delay(i); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	if (Policy{}).Delay(3) != 0 {
+		t.Error("zero BaseDelay must not sleep")
+	}
+}
+
+func TestDelayJitterBounds(t *testing.T) {
+	for _, r := range []float64{0, 0.25, 0.5, 0.999} {
+		r := r
+		p := Policy{BaseDelay: 100 * time.Millisecond, Jitter: 0.5, Rand: func() float64 { return r }}
+		d := p.Delay(0)
+		lo, hi := 50*time.Millisecond, 150*time.Millisecond
+		if d < lo || d > hi {
+			t.Errorf("rand=%.3f: jittered delay %v outside [%v,%v]", r, d, lo, hi)
+		}
+	}
+}
+
+func TestOnRetryObservesEveryReattempt(t *testing.T) {
+	var attempts []int
+	p := Policy{MaxAttempts: 4, OnRetry: func(attempt int, _ time.Duration, _ error) {
+		attempts = append(attempts, attempt)
+	}}
+	_ = p.Do(context.Background(), func() error { return errors.New("x") })
+	if len(attempts) != 3 || attempts[0] != 1 || attempts[2] != 3 {
+		t.Fatalf("OnRetry saw %v, want [1 2 3]", attempts)
+	}
+}
+
+func TestDoGenericReturnsValue(t *testing.T) {
+	calls := 0
+	v, err := Do(context.Background(), Policy{MaxAttempts: 3}, func() (string, error) {
+		calls++
+		if calls < 2 {
+			return "", errors.New("flaky")
+		}
+		return "ok", nil
+	})
+	if err != nil || v != "ok" {
+		t.Fatalf("v=%q err=%v", v, err)
+	}
+}

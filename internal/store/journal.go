@@ -1,0 +1,264 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// The resume journal is the crash-safety layer of a multi-day crawl: an
+// append-only log next to the result store recording every finished
+// (crawl, domain) pair — successes with their full DomainResult,
+// failures with their error class and whatever partial work happened.
+// On restart, `hvcrawl -resume` replays the journal: completed pairs
+// are skipped, their results re-enter the store and the snapshot stats,
+// and the run continues exactly where the crash cut it off.
+//
+// Format: one header line ("#hvscan-journal v1") followed by one JSON
+// entry per line. Each entry is written in a single write(2), so a
+// crash can leave at most one torn line — at the tail — which the
+// reader silently drops. Any other malformation means the file is not
+// a journal (or was corrupted at rest) and reading fails with
+// ErrCorruptJournal; callers degrade to starting fresh with a warning,
+// never a panic (see FuzzReadJournal).
+
+// JournalHeader is the versioned first line of a resume journal.
+const JournalHeader = "#hvscan-journal v1"
+
+// ErrCorruptJournal reports a journal that cannot be trusted: wrong
+// header, or a malformed line before the final one.
+var ErrCorruptJournal = errors.New("store: corrupt resume journal")
+
+// JournalEntry records one finished (crawl, domain) pair.
+type JournalEntry struct {
+	Crawl  string `json:"crawl"`
+	Domain string `json:"domain"`
+	// Failed marks a domain that exhausted its retries or hit a
+	// permanent fault; Class and Error describe why.
+	Failed bool   `json:"failed,omitempty"`
+	Class  string `json:"class,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Result carries the measured aggregate — complete for successes,
+	// partial (the pages finished before the fault) for failures — so a
+	// resumed run reconstructs stats without re-crawling.
+	Result *DomainResult `json:"result,omitempty"`
+}
+
+// ReadJournal parses a journal stream. It returns the entries, plus how
+// many trailing torn lines were dropped (0 or 1: the crash-truncated
+// tail). A missing/short stream yields no entries and no error; a wrong
+// header or malformed interior line returns ErrCorruptJournal.
+func ReadJournal(r io.Reader) (entries []JournalEntry, dropped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, 0, err
+		}
+		return nil, 0, nil // empty file: a fresh journal
+	}
+	if sc.Text() != JournalHeader {
+		return nil, 0, fmt.Errorf("%w: bad header %.40q", ErrCorruptJournal, sc.Text())
+	}
+	line := 1
+	pendingBad := 0 // malformed lines seen; tolerable only at the tail
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e JournalEntry
+		if jerr := json.Unmarshal(sc.Bytes(), &e); jerr != nil || e.Crawl == "" || e.Domain == "" {
+			pendingBad++
+			continue
+		}
+		if pendingBad > 0 {
+			// A valid entry after a malformed line: the damage is in the
+			// middle of the file, not a torn tail.
+			return nil, 0, fmt.Errorf("%w: malformed line %d", ErrCorruptJournal, line-1)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if pendingBad > 1 {
+		// More than one bad line cannot come from a single torn write.
+		return nil, 0, fmt.Errorf("%w: %d malformed trailing lines", ErrCorruptJournal, pendingBad)
+	}
+	return entries, pendingBad, nil
+}
+
+// Journal is an open resume journal: an in-memory index of completed
+// pairs plus an append handle. Safe for concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]*JournalEntry
+	path string
+}
+
+func journalKey(crawl, domain string) string { return crawl + "\x00" + domain }
+
+// OpenJournal opens (or creates) the journal at path and replays its
+// entries. A corrupt journal is moved aside to path+".corrupt" and a
+// fresh one started; warn describes what happened and is empty on a
+// clean open. Only I/O-level failures return a non-nil error.
+func OpenJournal(path string) (j *Journal, warn string, err error) {
+	entries, dropped, rerr := readJournalFile(path)
+	if rerr != nil {
+		if !errors.Is(rerr, ErrCorruptJournal) {
+			return nil, "", rerr
+		}
+		// Corrupt: preserve the evidence, start fresh.
+		if mvErr := os.Rename(path, path+".corrupt"); mvErr != nil && !os.IsNotExist(mvErr) {
+			return nil, "", fmt.Errorf("store: quarantining corrupt journal: %w", mvErr)
+		}
+		warn = fmt.Sprintf("journal %s is corrupt (%v); starting fresh (old file kept as %s.corrupt)",
+			path, rerr, path)
+		entries = nil
+	} else if dropped > 0 {
+		warn = fmt.Sprintf("journal %s: dropped %d torn trailing line(s) from an interrupted write", path, dropped)
+	}
+
+	done := make(map[string]*JournalEntry, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		done[journalKey(e.Crawl, e.Domain)] = e
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, "", err
+	}
+	j = &Journal{f: f, done: done, path: path}
+	if len(entries) == 0 {
+		// New or quarantined: (re)write the header. The file may hold a
+		// headerless fragment if it was corrupt but unmovable; truncate.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, "", err
+		}
+		if _, err := f.Write([]byte(JournalHeader + "\n")); err != nil {
+			f.Close()
+			return nil, "", err
+		}
+	} else if dropped > 0 {
+		// Drop the torn tail from disk too, so the file and the index
+		// agree byte-for-byte.
+		if err := j.rewrite(entries); err != nil {
+			f.Close()
+			return nil, "", err
+		}
+	}
+	return j, warn, nil
+}
+
+// readJournalFile reads path; a missing file is an empty journal.
+func readJournalFile(path string) ([]JournalEntry, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	defer f.Close()
+	return ReadJournal(f)
+}
+
+// rewrite replaces the file's contents with header + entries. Caller
+// must be the sole writer (OpenJournal, before concurrent use).
+func (j *Journal) rewrite(entries []JournalEntry) error {
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 256*len(entries))
+	buf = append(buf, JournalHeader+"\n"...)
+	for i := range entries {
+		line, err := json.Marshal(&entries[i])
+		if err != nil {
+			return err
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	_, err := j.f.Write(buf)
+	return err
+}
+
+// Record appends one completion entry and indexes it. The line goes out
+// in a single write, so an interrupted Record leaves only a torn tail
+// that the next OpenJournal drops.
+func (j *Journal) Record(e JournalEntry) error {
+	if e.Crawl == "" || e.Domain == "" {
+		return fmt.Errorf("store: journal entry needs crawl and domain: %+v", e)
+	}
+	line, err := json.Marshal(&e)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	j.done[journalKey(e.Crawl, e.Domain)] = &e
+	return nil
+}
+
+// Done reports whether the pair already completed (in this run or a
+// journaled previous one).
+func (j *Journal) Done(crawl, domain string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.done[journalKey(crawl, domain)]
+	return ok
+}
+
+// Entry returns the completion record for the pair, if present. The
+// returned entry is a copy; mutating it does not touch the journal.
+func (j *Journal) Entry(crawl, domain string) (JournalEntry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.done[journalKey(crawl, domain)]
+	if !ok {
+		return JournalEntry{}, false
+	}
+	return *e, true
+}
+
+// Len reports how many pairs the journal records.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Sync flushes the journal to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

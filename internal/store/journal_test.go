@@ -1,0 +1,180 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tmpJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "results.jsonl.journal")
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := tmpJournal(t)
+	j, warn, err := OpenJournal(path)
+	if err != nil || warn != "" {
+		t.Fatalf("open fresh: err=%v warn=%q", err, warn)
+	}
+	entries := []JournalEntry{
+		{Crawl: "CC-2015", Domain: "a.example", Result: &DomainResult{
+			Crawl: "CC-2015", Domain: "a.example", PagesFound: 4, PagesAnalyzed: 3,
+			Violations: map[string]int{"DE1": 2},
+		}},
+		{Crawl: "CC-2015", Domain: "b.example", Failed: true, Class: "retryable",
+			Error: "fetch: timeout", Result: &DomainResult{Crawl: "CC-2015", Domain: "b.example", PagesFound: 4, PagesAnalyzed: 1}},
+		{Crawl: "CC-2016", Domain: "a.example", Result: &DomainResult{Crawl: "CC-2016", Domain: "a.example"}},
+	}
+	for _, e := range entries {
+		if err := j.Record(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !j.Done("CC-2015", "b.example") || j.Done("CC-2015", "zzz") {
+		t.Fatal("Done lookup wrong")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything replays.
+	j2, warn, err := OpenJournal(path)
+	if err != nil || warn != "" {
+		t.Fatalf("reopen: err=%v warn=%q", err, warn)
+	}
+	defer j2.Close()
+	if j2.Len() != 3 {
+		t.Fatalf("replayed %d entries, want 3", j2.Len())
+	}
+	e, ok := j2.Entry("CC-2015", "a.example")
+	if !ok || e.Result == nil || e.Result.PagesAnalyzed != 3 || e.Result.Violations["DE1"] != 2 {
+		t.Fatalf("replayed entry lost data: %+v", e)
+	}
+	f, ok := j2.Entry("CC-2015", "b.example")
+	if !ok || !f.Failed || f.Class != "retryable" || f.Result.PagesAnalyzed != 1 {
+		t.Fatalf("failure entry lost data: %+v", f)
+	}
+}
+
+func TestJournalTornTailDropped(t *testing.T) {
+	path := tmpJournal(t)
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(JournalEntry{Crawl: "c", Domain: "d1"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate a crash mid-append: a torn, incomplete final line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"crawl":"c","domain":"d2","res`)
+	f.Close()
+
+	j2, warn, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail must not fail open: %v", err)
+	}
+	defer j2.Close()
+	if !strings.Contains(warn, "torn") {
+		t.Fatalf("want torn-line warning, got %q", warn)
+	}
+	if j2.Len() != 1 || !j2.Done("c", "d1") || j2.Done("c", "d2") {
+		t.Fatalf("torn line leaked into the index: len=%d", j2.Len())
+	}
+	// The tail was also dropped on disk: a third open is clean.
+	j2.Close()
+	_, warn, err = OpenJournal(path)
+	if err != nil || warn != "" {
+		t.Fatalf("rewrite left damage: err=%v warn=%q", err, warn)
+	}
+}
+
+func TestJournalCorruptStartsFreshWithWarning(t *testing.T) {
+	path := tmpJournal(t)
+	// Interior corruption: bad line followed by a valid one.
+	body := JournalHeader + "\n" +
+		"this is not json\n" +
+		`{"crawl":"c","domain":"d"}` + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, warn, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("corrupt journal must degrade, not fail: %v", err)
+	}
+	defer j.Close()
+	if warn == "" || !strings.Contains(warn, "corrupt") {
+		t.Fatalf("want corruption warning, got %q", warn)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("corrupt journal must start fresh, has %d entries", j.Len())
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt journal not quarantined: %v", err)
+	}
+	// And the fresh journal works.
+	if err := j.Record(JournalEntry{Crawl: "c", Domain: "d"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalBadHeaderIsCorrupt(t *testing.T) {
+	_, _, err := ReadJournal(strings.NewReader("not a journal\n{}\n"))
+	if !errors.Is(err, ErrCorruptJournal) {
+		t.Fatalf("err = %v, want ErrCorruptJournal", err)
+	}
+}
+
+func TestJournalEmptyFileIsFresh(t *testing.T) {
+	entries, dropped, err := ReadJournal(strings.NewReader(""))
+	if err != nil || len(entries) != 0 || dropped != 0 {
+		t.Fatalf("empty journal: %v %d %v", entries, dropped, err)
+	}
+}
+
+func TestJournalRecordRejectsAnonymousEntries(t *testing.T) {
+	j, _, err := OpenJournal(tmpJournal(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Record(JournalEntry{Crawl: "c"}); err == nil {
+		t.Fatal("entry without domain accepted")
+	}
+}
+
+// FuzzReadJournal: whatever bytes are on disk, reading must never
+// panic, and a nil error implies every entry is well-keyed. This is the
+// guarantee behind "a corrupt resume journal degrades to start-fresh".
+func FuzzReadJournal(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(JournalHeader + "\n"))
+	f.Add([]byte(JournalHeader + "\n" + `{"crawl":"c","domain":"d"}` + "\n"))
+	f.Add([]byte(JournalHeader + "\n" + `{"crawl":"c","domain":"d","failed":true,"class":"retryable","error":"x","result":{"crawl":"c","domain":"d","pages_found":3}}` + "\n"))
+	f.Add([]byte(JournalHeader + "\n" + `{"crawl":"c"` /* torn */))
+	f.Add([]byte("garbage header\n"))
+	f.Add([]byte(JournalHeader + "\nnull\n{}\n[]\n"))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, dropped, err := ReadJournal(strings.NewReader(string(data)))
+		if err != nil {
+			return // corrupt is a fine outcome; panicking is not
+		}
+		if dropped < 0 || dropped > 1 {
+			t.Fatalf("dropped = %d, want 0 or 1", dropped)
+		}
+		for _, e := range entries {
+			if e.Crawl == "" || e.Domain == "" {
+				t.Fatalf("accepted entry without key: %+v", e)
+			}
+		}
+	})
+}

@@ -27,6 +27,14 @@ type DomainResult struct {
 	// PagesAnalyzed is how many passed the MIME/UTF-8 filters and were
 	// checked.
 	PagesAnalyzed int `json:"pages_analyzed"`
+	// PagesFailed counts pages that errored during the check stage (e.g.
+	// a recovered checker panic on adversarial HTML) rather than being
+	// filtered out.
+	PagesFailed int `json:"pages_failed,omitempty"`
+	// PageFailures samples the first few per-page failure messages (URL
+	// plus cause), capped so adversarial input cannot bloat the store;
+	// PagesFailed keeps the true count.
+	PageFailures []string `json:"page_failures,omitempty"`
 	// Violations maps rule ID to the number of pages it fired on.
 	Violations map[string]int `json:"violations,omitempty"`
 	// Signals maps signal name to the number of pages showing it.
@@ -58,7 +66,9 @@ const (
 
 // CrawlStats summarizes one snapshot run of the pipeline (one Table 2
 // row): how many domains were attempted, found on the crawl, and
-// successfully analyzed, with page totals.
+// successfully analyzed, with page totals — plus the failure ledger a
+// graceful-degradation run keeps instead of aborting on the first
+// error (see the crawler's error budget).
 type CrawlStats struct {
 	Crawl         string
 	Domains       int // domains attempted
@@ -66,6 +76,32 @@ type CrawlStats struct {
 	Analyzed      int // domains with at least one analyzable page
 	PagesFound    int
 	PagesAnalyzed int
+
+	// DomainsFailed counts domains that exhausted their retries or hit
+	// a permanent fault; their partial work is still included in
+	// PagesFound / PagesAnalyzed and itemized in Failed.
+	DomainsFailed int `json:",omitempty"`
+	// DomainsResumed counts domains replayed from a resume journal
+	// instead of being re-crawled.
+	DomainsResumed int `json:",omitempty"`
+	// FailedByClass breaks DomainsFailed down by resilience error class
+	// ("retryable", "permanent", "fatal").
+	FailedByClass map[string]int `json:",omitempty"`
+	// Failed records each failed domain: what broke, how it classified,
+	// and how much partial work completed before the fault.
+	Failed []FailedDomain `json:",omitempty"`
+}
+
+// FailedDomain is one entry of the snapshot's failure ledger.
+type FailedDomain struct {
+	Domain string
+	Class  string
+	Err    string
+	// PagesFound / PagesAnalyzed record the partial work done before
+	// the fault — a domain that dies on page 90 of 100 still measured
+	// 89 pages.
+	PagesFound    int `json:",omitempty"`
+	PagesAnalyzed int `json:",omitempty"`
 }
 
 // AvgPages is the average number of analyzed pages per analyzed domain.
