@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json ci chaos fmt-check study report fuzz clean
+.PHONY: all build test vet lint bench bench-json ci chaos fmt-check study report fuzz clean
 
 all: build test
 
 # Mirrors .github/workflows/ci.yml so the tier-1 gate is reproducible
-# locally: build, vet, formatting, race-enabled tests, chaos smoke,
-# fuzz smokes.
-ci: build vet fmt-check
+# locally: build, vet, lint, formatting, race-enabled tests, chaos
+# smoke, fuzz smokes.
+ci: build vet lint fmt-check
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(GO) test -run '^$$' -fuzz='^FuzzParse$$' -fuzztime=15s ./internal/htmlparse
@@ -34,6 +34,12 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# hvlint: the repo's own analyzers (internal/lint) — parser coverage,
+# error classification, cancellable sleeps, metric naming, rule purity.
+# Suppress a finding with `//lint:ignore <analyzer> <reason>`.
+lint:
+	$(GO) run ./cmd/hvlint ./...
 
 # Regenerates every table/figure as benchmark metrics (paper values inline).
 bench:

@@ -338,12 +338,12 @@ func BenchmarkAblationWarcRoundTrip(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := domains[i%len(domains)]
-		recs, err := arch.Query(crawl, d, 2)
+		recs, err := arch.Query(context.Background(), crawl, d, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
 		for _, rec := range recs {
-			if _, err := commoncrawl.FetchCapture(arch, rec); err != nil {
+			if _, err := commoncrawl.FetchCapture(context.Background(), arch, rec); err != nil {
 				b.Fatal(err)
 			}
 		}

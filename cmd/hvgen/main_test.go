@@ -104,12 +104,12 @@ func TestSegmentRotation(t *testing.T) {
 	}
 	defer disk.Close()
 	for _, d := range g.Universe() {
-		recs, err := disk.Query(corpus.Snapshots[0].ID, d, 0)
+		recs, err := disk.Query(context.Background(), corpus.Snapshots[0].ID, d, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, rec := range recs {
-			if _, err := commoncrawl.FetchCapture(disk, rec); err != nil {
+			if _, err := commoncrawl.FetchCapture(context.Background(), disk, rec); err != nil {
 				t.Fatalf("fetch across segments: %v", err)
 			}
 		}

@@ -1,0 +1,66 @@
+// Command hvlint runs the repo's custom analyzers (internal/lint) over
+// the given packages and reports every violation of the project's
+// invariants: spec-error coverage, error classification, cancellable
+// sleeping, metric naming, and rule purity.
+//
+// Usage:
+//
+//	hvlint [-list] [packages]
+//
+// Packages default to ./... relative to the current directory. The
+// exit code is 0 when the tree is clean, 1 when diagnostics were
+// reported, and 2 on a load or internal error. Individual findings can
+// be suppressed with a justified directive:
+//
+//	//lint:ignore <analyzer|all> <reason>
+//
+// either on the offending line or on its own line immediately above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hvscan/hvscan/internal/lint"
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hvlint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	pkgs, err := analysis.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hvlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hvlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hvlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,7 @@ package commoncrawl
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -17,14 +18,17 @@ import (
 	"github.com/hvscan/hvscan/internal/warc"
 )
 
-// Archive is a queryable snapshot collection.
+// Archive is a queryable snapshot collection. Query and ReadRange take
+// the caller's context so every implementation — network client, chaos
+// latency injection, disk reads — can be cancelled mid-flight; Crawls
+// is metadata and stays context-free.
 type Archive interface {
 	// Crawls lists the snapshot identifiers, oldest first.
 	Crawls() []string
 	// Query returns up to limit captures of the domain in the crawl.
-	Query(crawl, domain string, limit int) ([]*cdx.Record, error)
+	Query(ctx context.Context, crawl, domain string, limit int) ([]*cdx.Record, error)
 	// ReadRange returns length bytes at offset of the named WARC file.
-	ReadRange(filename string, offset, length int64) ([]byte, error)
+	ReadRange(ctx context.Context, filename string, offset, length int64) ([]byte, error)
 }
 
 // Capture is one fetched page, decoded down to the HTTP payload.
@@ -36,8 +40,8 @@ type Capture struct {
 }
 
 // FetchCapture materializes a capture from any Archive.
-func FetchCapture(a Archive, rec *cdx.Record) (*Capture, error) {
-	raw, err := a.ReadRange(rec.Filename, rec.Offset, rec.Length)
+func FetchCapture(ctx context.Context, a Archive, rec *cdx.Record) (*Capture, error) {
+	raw, err := a.ReadRange(ctx, rec.Filename, rec.Offset, rec.Length)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +201,7 @@ func (a *SyntheticArchive) render(snap corpus.Snapshot, domain string) *domainBl
 
 // Query returns the domain's captures in the crawl, HTML first (mirroring
 // the paper's MIME-filtered index queries), capped at limit.
-func (a *SyntheticArchive) Query(crawl, domain string, limit int) ([]*cdx.Record, error) {
+func (a *SyntheticArchive) Query(_ context.Context, crawl, domain string, limit int) ([]*cdx.Record, error) {
 	b, err := a.blob(crawl, domain)
 	if err != nil {
 		return nil, err
@@ -219,18 +223,22 @@ func (a *SyntheticArchive) Query(crawl, domain string, limit int) ([]*cdx.Record
 }
 
 // ReadRange slices the (re)generated blob.
-func (a *SyntheticArchive) ReadRange(filename string, offset, length int64) ([]byte, error) {
+func (a *SyntheticArchive) ReadRange(_ context.Context, filename string, offset, length int64) ([]byte, error) {
 	crawl, domain, ok := splitBlobName(filename)
 	if !ok {
-		return nil, fmt.Errorf("commoncrawl: bad synthetic filename %q", filename)
+		// A filename this archive never handed out cannot succeed on
+		// retry.
+		return nil, resilience.Permanent(fmt.Errorf("commoncrawl: bad synthetic filename %q", filename))
 	}
 	b, err := a.blob(crawl, domain)
 	if err != nil {
 		return nil, err
 	}
 	if offset < 0 || offset+length > int64(len(b.data)) {
-		return nil, fmt.Errorf("commoncrawl: range [%d,%d) outside %q (%d bytes)",
-			offset, offset+length, filename, len(b.data))
+		// Out-of-range offsets come from a stale or corrupt index entry;
+		// retrying the same read cannot help.
+		return nil, resilience.Permanent(fmt.Errorf("commoncrawl: range [%d,%d) outside %q (%d bytes)",
+			offset, offset+length, filename, len(b.data)))
 	}
 	return b.data[offset : offset+length], nil
 }

@@ -1,6 +1,7 @@
 package commoncrawl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -115,10 +116,13 @@ func (c *ChaosArchive) attempt(key string) int {
 
 // inject runs the common Query/ReadRange fault schedule for key and
 // returns a non-nil error when the call should fail.
-func (c *ChaosArchive) inject(key string) error {
+func (c *ChaosArchive) inject(ctx context.Context, key string) error {
 	if c.cfg.LatencyRate > 0 && c.roll("latency", key) < c.cfg.LatencyRate {
 		c.stats.latency.Add(1)
-		time.Sleep(c.cfg.Latency)
+		if !resilience.Sleep(ctx, c.cfg.Latency) {
+			// Cancelled mid-spike: surface the caller's own reason.
+			return ctx.Err()
+		}
 	}
 	if c.cfg.PermanentRate > 0 && c.roll("permanent", key) < c.cfg.PermanentRate {
 		c.stats.permanent.Add(1)
@@ -139,21 +143,21 @@ func (c *ChaosArchive) Crawls() []string { return c.inner.Crawls() }
 
 // Query injects transient/permanent faults and latency on the index
 // path.
-func (c *ChaosArchive) Query(crawl, domain string, limit int) ([]*cdx.Record, error) {
-	if err := c.inject("q|" + crawl + "|" + domain); err != nil {
+func (c *ChaosArchive) Query(ctx context.Context, crawl, domain string, limit int) ([]*cdx.Record, error) {
+	if err := c.inject(ctx, "q|"+crawl+"|"+domain); err != nil {
 		return nil, err
 	}
-	return c.inner.Query(crawl, domain, limit)
+	return c.inner.Query(ctx, crawl, domain, limit)
 }
 
 // ReadRange injects the full schedule — errors, latency, truncation,
 // and garbage — on the data path.
-func (c *ChaosArchive) ReadRange(filename string, offset, length int64) ([]byte, error) {
+func (c *ChaosArchive) ReadRange(ctx context.Context, filename string, offset, length int64) ([]byte, error) {
 	key := fmt.Sprintf("r|%s|%d", filename, offset)
-	if err := c.inject(key); err != nil {
+	if err := c.inject(ctx, key); err != nil {
 		return nil, err
 	}
-	data, err := c.inner.ReadRange(filename, offset, length)
+	data, err := c.inner.ReadRange(ctx, filename, offset, length)
 	if err != nil {
 		return nil, err
 	}

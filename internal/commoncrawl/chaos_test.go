@@ -2,6 +2,7 @@ package commoncrawl
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -20,16 +21,16 @@ func TestChaosZeroConfigIsTransparent(t *testing.T) {
 	chaos := NewChaos(arch, ChaosConfig{})
 	crawl := arch.Crawls()[0]
 	for _, d := range arch.Generator().Universe()[:10] {
-		recs, err := chaos.Query(crawl, d, 3)
+		recs, err := chaos.Query(context.Background(), crawl, d, 3)
 		if err != nil {
 			t.Fatalf("zero-config chaos failed a query: %v", err)
 		}
 		for _, r := range recs {
-			want, err := arch.ReadRange(r.Filename, r.Offset, r.Length)
+			want, err := arch.ReadRange(context.Background(), r.Filename, r.Offset, r.Length)
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := chaos.ReadRange(r.Filename, r.Offset, r.Length)
+			got, err := chaos.ReadRange(context.Background(), r.Filename, r.Offset, r.Length)
 			if err != nil || !bytes.Equal(got, want) {
 				t.Fatalf("zero-config chaos altered bytes for %s: %v", r.URL, err)
 			}
@@ -45,10 +46,10 @@ func TestChaosTransientFaultsClearOnRetry(t *testing.T) {
 	chaos := NewChaos(arch, ChaosConfig{Seed: 3, TransientRate: 1}) // every key faults once
 	crawl := arch.Crawls()[0]
 	d := arch.Generator().Universe()[0]
-	if _, err := chaos.Query(crawl, d, 3); !errors.Is(err, ErrChaosTransient) {
+	if _, err := chaos.Query(context.Background(), crawl, d, 3); !errors.Is(err, ErrChaosTransient) {
 		t.Fatalf("first attempt: %v, want transient fault", err)
 	}
-	if _, err := chaos.Query(crawl, d, 3); err != nil {
+	if _, err := chaos.Query(context.Background(), crawl, d, 3); err != nil {
 		t.Fatalf("second attempt must clear: %v", err)
 	}
 	if got := resilience.Classify(ErrChaosTransient); got != resilience.ClassRetryable {
@@ -62,7 +63,7 @@ func TestChaosPermanentFaultsNeverClear(t *testing.T) {
 	crawl := arch.Crawls()[0]
 	d := arch.Generator().Universe()[0]
 	for i := 0; i < 3; i++ {
-		_, err := chaos.Query(crawl, d, 3)
+		_, err := chaos.Query(context.Background(), crawl, d, 3)
 		if !errors.Is(err, ErrChaosPermanent) {
 			t.Fatalf("attempt %d: %v, want permanent fault", i, err)
 		}
@@ -82,19 +83,19 @@ func TestChaosDeterministicAcrossRunsAndOrdering(t *testing.T) {
 	sweep := func(c *ChaosArchive, order []string) map[string]string {
 		out := make(map[string]string)
 		for _, d := range order {
-			recs, err := c.Query(crawl, d, 3)
+			recs, err := c.Query(context.Background(), crawl, d, 3)
 			if err != nil {
 				out["q|"+d] = err.Error()
 				continue
 			}
 			out["q|"+d] = "ok"
 			for _, r := range recs {
-				got, err := c.ReadRange(r.Filename, r.Offset, r.Length)
+				got, err := c.ReadRange(context.Background(), r.Filename, r.Offset, r.Length)
 				if err != nil {
 					out[r.URL] = err.Error()
 					continue
 				}
-				want, _ := arch.ReadRange(r.Filename, r.Offset, r.Length)
+				want, _ := arch.ReadRange(context.Background(), r.Filename, r.Offset, r.Length)
 				switch {
 				case bytes.Equal(got, want):
 					out[r.URL] = "ok"
@@ -150,12 +151,12 @@ func TestChaosConcurrentAccess(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for _, d := range domains {
-				recs, err := chaos.Query(crawl, d, 3)
+				recs, err := chaos.Query(context.Background(), crawl, d, 3)
 				if err != nil {
 					continue
 				}
 				for _, r := range recs {
-					chaos.ReadRange(r.Filename, r.Offset, r.Length)
+					chaos.ReadRange(context.Background(), r.Filename, r.Offset, r.Length)
 				}
 			}
 		}()

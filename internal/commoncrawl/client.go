@@ -2,6 +2,7 @@ package commoncrawl
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -70,10 +71,14 @@ func (c *Client) Crawls() []string {
 }
 
 // Query asks the index endpoint for a domain's captures.
-func (c *Client) Query(crawl, domain string, limit int) ([]*cdx.Record, error) {
+func (c *Client) Query(ctx context.Context, crawl, domain string, limit int) ([]*cdx.Record, error) {
 	u := fmt.Sprintf("%s/cc-index?crawl=%s&url=%s&limit=%d",
 		c.base, url.QueryEscape(crawl), url.QueryEscape(domain), limit)
-	resp, err := c.hc.Get(u)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -99,8 +104,8 @@ func (c *Client) Query(crawl, domain string, limit int) ([]*cdx.Record, error) {
 }
 
 // ReadRange issues a ranged GET against the data endpoint.
-func (c *Client) ReadRange(filename string, offset, length int64) ([]byte, error) {
-	req, err := http.NewRequest(http.MethodGet, c.base+"/data/"+filename, nil)
+func (c *Client) ReadRange(ctx context.Context, filename string, offset, length int64) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/data/"+filename, nil)
 	if err != nil {
 		return nil, err
 	}

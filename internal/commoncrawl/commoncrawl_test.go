@@ -1,6 +1,7 @@
 package commoncrawl
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -33,7 +34,7 @@ func TestSyntheticQueryAndFetch(t *testing.T) {
 			break
 		}
 	}
-	recs, err := arch.Query(snap.ID, domain, 0)
+	recs, err := arch.Query(context.Background(), snap.ID, domain, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestSyntheticQueryAndFetch(t *testing.T) {
 		t.Fatalf("records = %d, want %d", len(recs), g.PageCount(domain, snap))
 	}
 	for _, rec := range recs {
-		cap, err := FetchCapture(arch, rec)
+		cap, err := FetchCapture(context.Background(), arch, rec)
 		if err != nil {
 			t.Fatalf("fetch %s: %v", rec.URL, err)
 		}
@@ -53,18 +54,18 @@ func TestSyntheticQueryAndFetch(t *testing.T) {
 		}
 	}
 	// HTML records must sort first (the MIME-filtered collection).
-	limited, err := arch.Query(snap.ID, domain, 1)
+	limited, err := arch.Query(context.Background(), snap.ID, domain, 1)
 	if err != nil || len(limited) != 1 {
 		t.Fatalf("limit: %v %v", limited, err)
 	}
 
-	if _, err := arch.Query("CC-MAIN-1999-01", domain, 0); err == nil {
+	if _, err := arch.Query(context.Background(), "CC-MAIN-1999-01", domain, 0); err == nil {
 		t.Fatal("unknown crawl accepted")
 	}
-	if _, err := arch.ReadRange("nonsense", 0, 10); err == nil {
+	if _, err := arch.ReadRange(context.Background(), "nonsense", 0, 10); err == nil {
 		t.Fatal("bad filename accepted")
 	}
-	if _, err := arch.ReadRange(recs[0].Filename, 1<<40, 10); err == nil {
+	if _, err := arch.ReadRange(context.Background(), recs[0].Filename, 1<<40, 10); err == nil {
 		t.Fatal("out-of-range read accepted")
 	}
 }
@@ -74,11 +75,11 @@ func TestSyntheticDeterministic(t *testing.T) {
 	b := synthetic(t)
 	snap := corpus.Snapshots[0]
 	d := a.Generator().Universe()[0]
-	ra, err := a.Query(snap.ID, d, 0)
+	ra, err := a.Query(context.Background(), snap.ID, d, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := b.Query(snap.ID, d, 0)
+	rb, err := b.Query(context.Background(), snap.ID, d, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,20 +107,20 @@ func TestServerEndpoints(t *testing.T) {
 	g := arch.Generator()
 	d := g.Universe()[1]
 	snap := corpus.Snapshots[0]
-	recs, err := client.Query(snap.ID, d, 3)
+	recs, err := client.Query(context.Background(), snap.ID, d, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, _ := arch.Query(snap.ID, d, 3)
+	direct, _ := arch.Query(context.Background(), snap.ID, d, 3)
 	if len(recs) != len(direct) {
 		t.Fatalf("http %d vs direct %d", len(recs), len(direct))
 	}
 	for i := range recs {
-		capH, err := FetchCapture(client, recs[i])
+		capH, err := FetchCapture(context.Background(), client, recs[i])
 		if err != nil {
 			t.Fatal(err)
 		}
-		capD, err := FetchCapture(arch, direct[i])
+		capD, err := FetchCapture(context.Background(), arch, direct[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,12 +228,12 @@ func TestDiskArchive(t *testing.T) {
 	}
 	found := 0
 	for _, d := range g.Universe() {
-		recs, err := disk.Query(snap.ID, d, 0)
+		recs, err := disk.Query(context.Background(), snap.ID, d, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, rec := range recs {
-			cap, err := FetchCapture(disk, rec)
+			cap, err := FetchCapture(context.Background(), disk, rec)
 			if err != nil {
 				t.Fatalf("fetch %s: %v", rec.URL, err)
 			}
@@ -248,7 +249,7 @@ func TestDiskArchive(t *testing.T) {
 		t.Fatalf("found %d records, wrote %d", found, total)
 	}
 
-	if _, err := disk.ReadRange("../outside", 0, 10); err == nil {
+	if _, err := disk.ReadRange(context.Background(), "../outside", 0, 10); err == nil {
 		t.Fatal("path traversal accepted")
 	}
 	if _, err := OpenDisk(t.TempDir()); err == nil {

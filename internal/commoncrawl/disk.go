@@ -1,6 +1,7 @@
 package commoncrawl
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -62,7 +63,9 @@ func OpenDisk(root string) (*DiskArchive, error) {
 		a.indexes[e.Name()] = ix
 	}
 	if len(a.crawls) == 0 {
-		return nil, fmt.Errorf("commoncrawl: no crawls under %s", root)
+		// An empty archive root is a configuration error; a crawl run
+		// against it must stop outright, not retry.
+		return nil, resilience.Fatal(fmt.Errorf("commoncrawl: no crawls under %s", root))
 	}
 	sort.Strings(a.crawls)
 	return a, nil
@@ -86,7 +89,7 @@ func (a *DiskArchive) Close() error {
 func (a *DiskArchive) Crawls() []string { return append([]string(nil), a.crawls...) }
 
 // Query looks the domain up in the crawl's CDX index.
-func (a *DiskArchive) Query(crawl, domain string, limit int) ([]*cdx.Record, error) {
+func (a *DiskArchive) Query(_ context.Context, crawl, domain string, limit int) ([]*cdx.Record, error) {
 	ix, ok := a.indexes[crawl]
 	if !ok {
 		// Same contract as the synthetic archive: a nonexistent snapshot
@@ -98,9 +101,11 @@ func (a *DiskArchive) Query(crawl, domain string, limit int) ([]*cdx.Record, err
 
 // ReadRange preads from the named WARC file. Filenames in disk indexes are
 // "<crawl>/<segment>.warc.gz", relative to root.
-func (a *DiskArchive) ReadRange(filename string, offset, length int64) ([]byte, error) {
+func (a *DiskArchive) ReadRange(_ context.Context, filename string, offset, length int64) ([]byte, error) {
 	if strings.Contains(filename, "..") {
-		return nil, fmt.Errorf("commoncrawl: invalid filename %q", filename)
+		// Path traversal in an index entry is data corruption, not
+		// weather: never retry it.
+		return nil, resilience.Permanent(fmt.Errorf("commoncrawl: invalid filename %q", filename))
 	}
 	a.mu.Lock()
 	f, ok := a.files[filename]

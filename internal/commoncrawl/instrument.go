@@ -1,6 +1,8 @@
 package commoncrawl
 
 import (
+	"context"
+
 	"github.com/hvscan/hvscan/internal/cdx"
 	"github.com/hvscan/hvscan/internal/obs"
 )
@@ -43,8 +45,8 @@ var _ Archive = (*instrumentedArchive)(nil)
 
 func (a *instrumentedArchive) Crawls() []string { return a.inner.Crawls() }
 
-func (a *instrumentedArchive) Query(crawl, domain string, limit int) ([]*cdx.Record, error) {
-	recs, err := a.inner.Query(crawl, domain, limit)
+func (a *instrumentedArchive) Query(ctx context.Context, crawl, domain string, limit int) ([]*cdx.Record, error) {
+	recs, err := a.inner.Query(ctx, crawl, domain, limit)
 	if err != nil {
 		a.queriesErr.Inc()
 		return nil, err
@@ -54,8 +56,8 @@ func (a *instrumentedArchive) Query(crawl, domain string, limit int) ([]*cdx.Rec
 	return recs, nil
 }
 
-func (a *instrumentedArchive) ReadRange(filename string, offset, length int64) ([]byte, error) {
-	data, err := a.inner.ReadRange(filename, offset, length)
+func (a *instrumentedArchive) ReadRange(ctx context.Context, filename string, offset, length int64) ([]byte, error) {
+	data, err := a.inner.ReadRange(ctx, filename, offset, length)
 	if err != nil {
 		a.readsErr.Inc()
 		return nil, err

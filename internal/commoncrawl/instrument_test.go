@@ -1,6 +1,7 @@
 package commoncrawl
 
 import (
+	"context"
 	"testing"
 
 	"github.com/hvscan/hvscan/internal/corpus"
@@ -15,12 +16,12 @@ func TestInstrumentedArchiveCountsOutcomes(t *testing.T) {
 
 	var fetched int
 	for _, d := range g.Universe() {
-		recs, err := arch.Query(crawl, d, 3)
+		recs, err := arch.Query(context.Background(), crawl, d, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, rec := range recs {
-			if _, err := FetchCapture(arch, rec); err != nil {
+			if _, err := FetchCapture(context.Background(), arch, rec); err != nil {
 				t.Fatal(err)
 			}
 			fetched++
@@ -41,13 +42,13 @@ func TestInstrumentedArchiveCountsOutcomes(t *testing.T) {
 	}
 
 	// Error outcomes land on the error series, not the ok one.
-	if _, err := arch.Query("no-such-crawl", "x.example", 1); err == nil {
+	if _, err := arch.Query(context.Background(), "no-such-crawl", "x.example", 1); err == nil {
 		t.Fatal("bogus crawl query succeeded")
 	}
 	if got := reg.Counter(`commoncrawl_queries_total{outcome="error"}`).Value(); got != 1 {
 		t.Errorf("queries error = %d, want 1", got)
 	}
-	if _, err := arch.ReadRange("bogus-file", 0, 10); err == nil {
+	if _, err := arch.ReadRange(context.Background(), "bogus-file", 0, 10); err == nil {
 		t.Fatal("bogus read succeeded")
 	}
 	if got := reg.Counter(`commoncrawl_reads_total{outcome="error"}`).Value(); got != 1 {

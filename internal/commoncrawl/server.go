@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"github.com/hvscan/hvscan/internal/resilience"
 )
 
 // Server exposes an Archive over HTTP with the access shape of the real
@@ -58,7 +60,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	recs, err := s.archive.Query(crawl, domain, limit)
+	recs, err := s.archive.Query(r.Context(), crawl, domain, limit)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -79,7 +81,7 @@ func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	data, err := s.archive.ReadRange(filename, offset, length)
+	data, err := s.archive.ReadRange(r.Context(), filename, offset, length)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -92,23 +94,24 @@ func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
 }
 
 // parseRange decodes a single "bytes=a-b" range (inclusive bounds, as S3
-// and HTTP use).
+// and HTTP use). A malformed header is the client's bug, never transient
+// weather, so every parse failure carries a permanent mark.
 func parseRange(h string) (offset, length int64, err error) {
 	spec, ok := strings.CutPrefix(h, "bytes=")
 	if !ok {
-		return 0, 0, fmt.Errorf("missing or unsupported Range header %q", h)
+		return 0, 0, resilience.Permanent(fmt.Errorf("missing or unsupported Range header %q", h))
 	}
 	a, b, ok := strings.Cut(spec, "-")
 	if !ok {
-		return 0, 0, fmt.Errorf("bad Range %q", h)
+		return 0, 0, resilience.Permanent(fmt.Errorf("bad Range %q", h))
 	}
 	start, err := strconv.ParseInt(a, 10, 64)
 	if err != nil {
-		return 0, 0, fmt.Errorf("bad Range start %q", a)
+		return 0, 0, resilience.Permanent(fmt.Errorf("bad Range start %q", a))
 	}
 	end, err := strconv.ParseInt(b, 10, 64)
 	if err != nil || end < start {
-		return 0, 0, fmt.Errorf("bad Range end %q", b)
+		return 0, 0, resilience.Permanent(fmt.Errorf("bad Range end %q", b))
 	}
 	return start, end - start + 1, nil
 }

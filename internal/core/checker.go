@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 
@@ -125,9 +124,14 @@ func (c *Checker) Rules() []Rule { return c.rules }
 // checker sees, so a metrics endpoint answers "which rules fire most"
 // without waiting for the store to fill.
 func (c *Checker) Instrument(reg *obs.Registry) *Checker {
+	ids := make([]string, len(c.rules))
+	for i, r := range c.rules {
+		ids[i] = r.ID
+	}
+	byID := reg.CounterVec("core_rule_hits_total", "rule", ids...)
 	c.hits = make([]*obs.Counter, len(c.rules))
 	for i, r := range c.rules {
-		c.hits[i] = reg.Counter(fmt.Sprintf("core_rule_hits_total{rule=%q}", r.ID))
+		c.hits[i] = byID[r.ID]
 	}
 	c.pages = reg.Counter("core_pages_checked_total")
 	return c

@@ -75,8 +75,8 @@ var skipReasons = []string{"index-filter", "status", "mime", "oversize", "non-ut
 func NewMetrics(reg *obs.Registry) *Metrics {
 	m := &Metrics{
 		reg:          reg,
-		stageSeconds: make(map[string]*obs.Histogram, len(Stages)),
-		skipped:      make(map[string]*obs.Counter, len(skipReasons)),
+		stageSeconds: reg.HistogramVec("crawler_stage_seconds", "stage", obs.DurationBuckets, Stages...),
+		skipped:      reg.CounterVec("crawler_pages_skipped_total", "reason", skipReasons...),
 
 		QueryErrors: reg.Counter(`crawler_stage_errors_total{stage="query"}`),
 		FetchErrors: reg.Counter(`crawler_stage_errors_total{stage="fetch"}`),
@@ -97,13 +97,6 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 
 		BytesFetched: reg.Counter("crawler_fetch_bytes_total"),
 		DocBytes:     reg.Histogram("crawler_doc_bytes", obs.SizeBuckets),
-	}
-	for _, s := range Stages {
-		m.stageSeconds[s] = reg.Histogram(
-			fmt.Sprintf("crawler_stage_seconds{stage=%q}", s), obs.DurationBuckets)
-	}
-	for _, r := range skipReasons {
-		m.skipped[r] = reg.Counter(fmt.Sprintf("crawler_pages_skipped_total{reason=%q}", r))
 	}
 	return m
 }

@@ -187,7 +187,7 @@ func TestNoRetriesSentinel(t *testing.T) {
 	// retry counter shows it.
 	flaky := newFlaky(arch)
 	p := New(flaky, core.NewChecker(), store.New(), Config{
-		Workers: 2, PagesPerDomain: 2, RetryDelay: 1,
+		Workers: 2, PagesPerDomain: 2, RetryDelay: NoDelay,
 	})
 	if _, err := p.RunSnapshot(context.Background(), crawl, domains); err != nil {
 		t.Fatalf("default retries did not absorb transient faults: %v", err)
@@ -200,7 +200,7 @@ func TestNoRetriesSentinel(t *testing.T) {
 	// is retried.
 	flaky2 := newFlaky(arch)
 	p2 := New(flaky2, core.NewChecker(), store.New(), Config{
-		Workers: 2, PagesPerDomain: 2, RetryDelay: 1, Retries: NoRetries,
+		Workers: 2, PagesPerDomain: 2, RetryDelay: NoDelay, Retries: NoRetries,
 	})
 	if _, err := p2.RunSnapshot(context.Background(), crawl, domains); err == nil {
 		t.Fatal("NoRetries absorbed a fault — retries ran anyway")

@@ -281,8 +281,10 @@ func (p *Pipeline) RunSnapshot(ctx context.Context, crawl string, domains []stri
 		}
 	}
 	if stats.DomainsFailed > budget {
-		return stats, fmt.Errorf("crawler: error budget already exhausted by resumed journal (%d failed, budget %d)",
-			stats.DomainsFailed, budget)
+		// The previous run already spent the budget; resuming cannot
+		// recover, so the condition is fatal, not retryable.
+		return stats, resilience.Fatal(fmt.Errorf("crawler: error budget already exhausted by resumed journal (%d failed, budget %d)",
+			stats.DomainsFailed, budget))
 	}
 
 	jobs := make(chan job)
@@ -467,7 +469,7 @@ func (p *Pipeline) measureDomain(ctx context.Context, crawl, domain string, rank
 		var recs []*cdx.Record
 		gerr := p.guard(func() error {
 			var qerr error
-			recs, qerr = p.archive.Query(crawl, domain, p.cfg.PagesPerDomain)
+			recs, qerr = p.archive.Query(ctx, crawl, domain, p.cfg.PagesPerDomain)
 			return qerr
 		})
 		return recs, gerr
@@ -499,7 +501,7 @@ func (p *Pipeline) measureDomain(ctx context.Context, crawl, domain string, rank
 			var cap *commoncrawl.Capture
 			gerr := p.guard(func() error {
 				var ferr error
-				cap, ferr = commoncrawl.FetchCapture(p.archive, rec)
+				cap, ferr = commoncrawl.FetchCapture(ctx, p.archive, rec)
 				return ferr
 			})
 			return cap, gerr

@@ -71,7 +71,7 @@ type failFetchArchive struct {
 
 var errRecordGone = errors.New("record gone")
 
-func (a *failFetchArchive) ReadRange(filename string, offset, length int64) ([]byte, error) {
+func (a *failFetchArchive) ReadRange(ctx context.Context, filename string, offset, length int64) ([]byte, error) {
 	// Synthetic filenames are "crawl/domain.warc.gz".
 	domain := strings.TrimSuffix(filename[strings.Index(filename, "/")+1:], ".warc.gz")
 	if a.fail[domain] {
@@ -83,7 +83,7 @@ func (a *failFetchArchive) ReadRange(filename string, offset, length int64) ([]b
 			return nil, resilience.Permanent(fmt.Errorf("%w: %s@%d", errRecordGone, filename, offset))
 		}
 	}
-	return a.Archive.ReadRange(filename, offset, length)
+	return a.Archive.ReadRange(ctx, filename, offset, length)
 }
 
 // TestPartialStatsOnDomainFailure: a domain that errors after some
@@ -98,7 +98,7 @@ func TestPartialStatsOnDomainFailure(t *testing.T) {
 	// Pick a victim with several analyzable pages in the first crawl.
 	victim := ""
 	for _, d := range domains {
-		recs, err := arch.Query(crawl, d, 4)
+		recs, err := arch.Query(context.Background(), crawl, d, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,7 +167,7 @@ type alwaysFailArchive struct{ commoncrawl.Archive }
 
 var errArchiveDown = errors.New("archive down")
 
-func (alwaysFailArchive) Query(string, string, int) ([]*cdx.Record, error) {
+func (alwaysFailArchive) Query(context.Context, string, string, int) ([]*cdx.Record, error) {
 	return nil, errArchiveDown
 }
 
@@ -316,11 +316,11 @@ type cancelAfterReads struct {
 	reads  atomic.Int64
 }
 
-func (a *cancelAfterReads) ReadRange(filename string, offset, length int64) ([]byte, error) {
+func (a *cancelAfterReads) ReadRange(ctx context.Context, filename string, offset, length int64) ([]byte, error) {
 	if a.reads.Add(1) == a.n {
 		a.cancel()
 	}
-	return a.Archive.ReadRange(filename, offset, length)
+	return a.Archive.ReadRange(ctx, filename, offset, length)
 }
 
 // TestMidSnapshotCancellationIsPageBounded: canceling ctx stops
@@ -398,7 +398,7 @@ type countingFailArchive struct {
 	calls *atomic.Int64
 }
 
-func (a countingFailArchive) Query(string, string, int) ([]*cdx.Record, error) {
+func (a countingFailArchive) Query(context.Context, string, string, int) ([]*cdx.Record, error) {
 	a.calls.Add(1)
 	return nil, errArchiveDown
 }

@@ -41,18 +41,18 @@ func (f *flakyArchive) failOnce(key string) bool {
 
 func (f *flakyArchive) Crawls() []string { return f.inner.Crawls() }
 
-func (f *flakyArchive) Query(crawl, domain string, limit int) ([]*cdx.Record, error) {
+func (f *flakyArchive) Query(ctx context.Context, crawl, domain string, limit int) ([]*cdx.Record, error) {
 	if f.failOnce("q:" + crawl + "/" + domain) {
 		return nil, errTransient
 	}
-	return f.inner.Query(crawl, domain, limit)
+	return f.inner.Query(ctx, crawl, domain, limit)
 }
 
-func (f *flakyArchive) ReadRange(filename string, offset, length int64) ([]byte, error) {
+func (f *flakyArchive) ReadRange(ctx context.Context, filename string, offset, length int64) ([]byte, error) {
 	if f.failOnce("r:" + filename) {
 		return nil, errTransient
 	}
-	return f.inner.ReadRange(filename, offset, length)
+	return f.inner.ReadRange(ctx, filename, offset, length)
 }
 
 func TestPipelineRetriesTransientFaults(t *testing.T) {
@@ -60,7 +60,7 @@ func TestPipelineRetriesTransientFaults(t *testing.T) {
 	flaky := newFlaky(arch)
 	st := store.New()
 	p := New(flaky, core.NewChecker(), st, Config{
-		Workers: 4, PagesPerDomain: 3, Retries: 2, RetryDelay: 1,
+		Workers: 4, PagesPerDomain: 3, Retries: 2, RetryDelay: NoDelay,
 	})
 	crawl := arch.Crawls()[0]
 	stats, err := p.RunSnapshot(context.Background(), crawl, arch.Generator().Universe())
@@ -86,7 +86,7 @@ func TestPipelineRetriesTransientFaults(t *testing.T) {
 // after exhausting retries rather than hanging or succeeding silently.
 type permanentArchive struct{ commoncrawl.Archive }
 
-func (p permanentArchive) Query(string, string, int) ([]*cdx.Record, error) {
+func (p permanentArchive) Query(context.Context, string, string, int) ([]*cdx.Record, error) {
 	return nil, errTransient
 }
 
@@ -94,7 +94,7 @@ func TestPipelineSurfacesPermanentFaults(t *testing.T) {
 	arch := testArchive(5, 2)
 	st := store.New()
 	p := New(permanentArchive{arch}, core.NewChecker(), st, Config{
-		Workers: 2, PagesPerDomain: 2, Retries: 1, RetryDelay: 1,
+		Workers: 2, PagesPerDomain: 2, Retries: 1, RetryDelay: NoDelay,
 	})
 	_, err := p.RunSnapshot(context.Background(), arch.Crawls()[0], arch.Generator().Universe())
 	if !errors.Is(err, errTransient) {

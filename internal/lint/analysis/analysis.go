@@ -1,0 +1,182 @@
+// Package analysis is a dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that hvlint's analyzers
+// target: an Analyzer with a per-package Run function, a Pass carrying
+// the type-checked syntax of one package, and plain-position
+// Diagnostics. The repository builds offline with a baked-in toolchain
+// and no module cache, so the x/tools driver cannot be vendored; this
+// package reimplements the thin slice hvlint needs (single-pass
+// analyzers plus a whole-program Finish hook) on top of the standard
+// library. If the real x/tools dependency ever becomes available, the
+// analyzers port mechanically: Run has the same shape, and Finish
+// collapses into Facts.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	// Analyzer is the name of the analyzer that produced the finding
+	// (matched by //lint:ignore directives).
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run is invoked once per loaded
+// package, in dependency order (a package's imports are always visited
+// before it). Analyzers that need cross-package state allocate it in
+// NewRun and reconcile it in Finish — the offline stand-in for the
+// x/tools Facts mechanism.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph invariant description shown by -list.
+	Doc string
+	// NewRun, if set, allocates per-run state shared by every Run and
+	// the Finish call of one driver invocation. Analyzers must not keep
+	// state in package-level variables: a driver (or a test) may run the
+	// same Analyzer many times.
+	NewRun func() any
+	// Run inspects one package.
+	Run func(*Pass) error
+	// Finish, if set, runs after every package has been visited; it
+	// reports whole-program findings (e.g. "constant never referenced").
+	Finish func(state any, report func(pos token.Position, format string, args ...any))
+}
+
+// Pass carries everything Run may inspect about one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkg is the loaded package: syntax, types, and file lists.
+	Pkg *Package
+	// State is this run's NewRun value (nil without NewRun).
+	State any
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier through Uses then Defs.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Pkg.Info.ObjectOf(id)
+}
+
+// Run drives the analyzers over the loaded packages: every Run in
+// package order, then every Finish, then //lint:ignore filtering. The
+// returned diagnostics are sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+
+	states := make(map[*Analyzer]any, len(analyzers))
+	for _, a := range analyzers {
+		if a.NewRun != nil {
+			states[a] = a.NewRun()
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Pkg:      pkg,
+				State:    states[a],
+				report:   collect,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		name := a.Name
+		a.Finish(states[a], func(pos token.Position, format string, args ...any) {
+			collect(Diagnostic{Analyzer: name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+		})
+	}
+
+	diags, malformed := filterIgnored(pkgs, diags)
+	diags = append(diags, malformed...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// HasPathSuffix reports whether the import path is, or ends with, the
+// given slash-separated suffix: HasPathSuffix("a.com/internal/core",
+// "internal/core") is true. Analyzers use it so the same configuration
+// matches both the real module and analysistest fixtures.
+func HasPathSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// WalkStack traverses f depth-first, calling fn with each node and the
+// stack of its ancestors (outermost first, not including n). If fn
+// returns false the node's children are skipped.
+func WalkStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if !descend {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// EnclosingFunc returns the innermost enclosing function declaration or
+// literal on the stack, or nil at package scope.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

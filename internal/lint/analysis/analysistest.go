@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// RunTest is the golden-test driver (the analysistest stand-in): it
+// loads the module rooted at testdata (which must carry its own go.mod
+// so `go list` resolves it offline), runs the analyzer, and matches
+// every diagnostic against `// want "regexp"` comments on the same
+// line. Unmatched diagnostics and unmet expectations both fail t.
+func RunTest(t *testing.T, testdata string, a *Analyzer, patterns ...string) {
+	t.Helper()
+	diags := RunTestDiagnostics(t, testdata, a, patterns...)
+
+	type expectation struct {
+		re  *regexp.Regexp
+		met bool
+	}
+	expects := make(map[string][]*expectation) // "file:line" -> wants
+	seen := make(map[string]bool)
+	pkgs, err := Load(testdata, patterns...)
+	if err != nil {
+		t.Fatalf("reloading %s: %v", testdata, err)
+	}
+	for _, pkg := range pkgs {
+		files := append(append([]string(nil), pkg.GoFiles...), pkg.TestGoFiles...)
+		files = append(files, pkg.XTestGoFiles...)
+		for _, name := range files {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			for line, wants := range scanWants(t, name) {
+				key := fmt.Sprintf("%s:%d", name, line)
+				for _, w := range wants {
+					re, err := regexp.Compile(w)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, w, err)
+					}
+					expects[key] = append(expects[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, e := range expects[key] {
+			if !e.met && e.re.MatchString(d.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	for key, es := range expects {
+		for _, e := range es {
+			if !e.met {
+				t.Errorf("%s: no diagnostic matched want %q", key, e.re)
+			}
+		}
+	}
+}
+
+// RunTestDiagnostics loads testdata and returns the analyzer's raw
+// diagnostics (ignore directives already applied), for tests that
+// assert on them directly.
+func RunTestDiagnostics(t *testing.T, testdata string, a *Analyzer, patterns ...string) []Diagnostic {
+	t.Helper()
+	pkgs, err := Load(testdata, patterns...)
+	if err != nil {
+		t.Fatalf("loading %s: %v", testdata, err)
+	}
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return diags
+}
+
+// wantRE matches the quoted patterns after a `// want` marker:
+// double-quoted Go-ish strings or backquoted raw strings.
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// scanWants returns the expectations of one file, keyed by line.
+func scanWants(t *testing.T, filename string) map[int][]string {
+	t.Helper()
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		t.Fatalf("reading %s: %v", filename, err)
+	}
+	out := make(map[int][]string)
+	for i, line := range strings.Split(string(data), "\n") {
+		idx := strings.Index(line, "// want ")
+		if idx < 0 {
+			continue
+		}
+		rest := line[idx+len("// want "):]
+		for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+			w := m[1]
+			if m[2] != "" {
+				w = m[2]
+			}
+			w = strings.ReplaceAll(w, `\"`, `"`)
+			out[i+1] = append(out[i+1], w)
+		}
+	}
+	return out
+}

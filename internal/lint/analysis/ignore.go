@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+//
+// Syntax: //lint:ignore <analyzer|all> <reason...>
+//
+// A directive trailing code on the same line suppresses that line's
+// findings; a directive on a line of its own suppresses the following
+// line. The reason is mandatory — a suppression without a recorded
+// justification is itself reported as a finding.
+type ignoreDirective struct {
+	file     string
+	line     int // the line whose findings are suppressed
+	declLine int // the line the directive is written on
+	analyzer string
+	reason   string
+	bad      string // non-empty: malformed, with the problem description
+}
+
+const ignoreMarker = "//lint:ignore"
+
+// filterIgnored drops diagnostics covered by well-formed directives and
+// returns driver diagnostics for malformed ones.
+func filterIgnored(pkgs []*Package, diags []Diagnostic) (kept, malformed []Diagnostic) {
+	seenFile := make(map[string]bool)
+	var directives []ignoreDirective
+	for _, pkg := range pkgs {
+		files := append(append([]*ast.File(nil), pkg.Syntax...), pkg.TestSyntax...)
+		for _, f := range files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if seenFile[name] {
+				continue
+			}
+			seenFile[name] = true
+			directives = append(directives, scanIgnores(pkg.Fset, f)...)
+		}
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	suppress := make(map[key]bool)
+	for _, d := range directives {
+		if d.bad != "" {
+			malformed = append(malformed, Diagnostic{
+				Analyzer: "hvlint",
+				Pos:      token.Position{Filename: d.file, Line: d.declLine, Column: 1},
+				Message:  d.bad,
+			})
+			continue
+		}
+		suppress[key{d.file, d.line, d.analyzer}] = true
+	}
+	for _, d := range diags {
+		if suppress[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+			suppress[key{d.Pos.Filename, d.Pos.Line, "all"}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, malformed
+}
+
+// scanIgnores extracts the directives of one parsed file. Only a
+// comment whose text begins with the marker itself counts — mentions
+// inside prose or string literals never match.
+func scanIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			rest, ok := strings.CutPrefix(c.Text, ignoreMarker)
+			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			pos := fset.Position(c.Slash)
+			d := ignoreDirective{file: pos.Filename, declLine: pos.Line, line: pos.Line}
+			if standaloneComment(pos) {
+				// Stand-alone comment line: it governs the next line.
+				d.line = pos.Line + 1
+			}
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				d.bad = "malformed " + ignoreMarker + ": want \"" + ignoreMarker + " <analyzer> <reason>\""
+			case len(fields) == 1:
+				d.bad = ignoreMarker + " " + fields[0] + " needs a justification: every suppression must record why"
+			default:
+				d.analyzer = fields[0]
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// standaloneComment reports whether only whitespace precedes the
+// comment on its source line (so the directive governs the next line
+// rather than its own).
+func standaloneComment(pos token.Position) bool {
+	if pos.Column == 1 {
+		return true
+	}
+	line, ok := sourceLine(pos.Filename, pos.Line)
+	if !ok {
+		return false
+	}
+	if pos.Column-1 > len(line) {
+		return false
+	}
+	return strings.TrimSpace(line[:pos.Column-1]) == ""
+}
+
+// sourceLine returns the 1-based line of the file, read on demand.
+func sourceLine(filename string, n int) (string, bool) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return "", false
+	}
+	lines := strings.Split(string(data), "\n")
+	if n < 1 || n > len(lines) {
+		return "", false
+	}
+	return lines[n-1], true
+}

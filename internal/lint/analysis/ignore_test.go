@@ -1,0 +1,91 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+)
+
+// funcFlagger reports one finding per function whose name starts with
+// "target" — a minimal diagnostic source for exercising the directive
+// machinery end to end.
+var funcFlagger = &analysis.Analyzer{
+	Name: "testcheck",
+	Doc:  "flags every function named target*",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Pkg.Syntax {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !strings.HasPrefix(fd.Name.Name, "target") {
+					continue
+				}
+				pass.Reportf(fd.Pos(), "flagged %s", fd.Name.Name)
+			}
+		}
+		return nil
+	},
+}
+
+const ignoreFixture = `package p
+
+func targetKept() {}
+
+//lint:ignore testcheck covered by the integration suite
+func targetStandalone() {}
+
+func targetTrailing() {} //lint:ignore testcheck trailing directives govern their own line
+
+//lint:ignore othercheck directives only silence the named analyzer
+func targetMismatch() {}
+
+//lint:ignore all the wildcard silences every analyzer
+func targetWildcard() {}
+
+//lint:ignore testcheck
+func targetNoReason() {}
+
+//lint:ignore
+func targetNoFields() {}
+`
+
+func TestIgnoreDirectives(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com\n\ngo 1.22\n")
+	write("p.go", ignoreFixture)
+
+	diags := analysis.RunTestDiagnostics(t, dir, funcFlagger)
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	want := []string{
+		// A well-formed directive for another analyzer does not
+		// suppress, malformed directives suppress nothing and add an
+		// hvlint finding, and undirected findings stay.
+		"testcheck: flagged targetKept",
+		"testcheck: flagged targetMismatch",
+		"hvlint: //lint:ignore testcheck needs a justification: every suppression must record why",
+		"testcheck: flagged targetNoReason",
+		"hvlint: malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"",
+		"testcheck: flagged targetNoFields",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\n  got  %s\n  want %s", i, got[i], want[i])
+		}
+	}
+}

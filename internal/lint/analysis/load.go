@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// Package is one loaded, type-checked package plus the syntax-only
+// parse of its test files (test files are matched textually by
+// analyzers like specerrors; they are not type-checked, so loading
+// stays a single `go list` away from working offline).
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+
+	GoFiles      []string // absolute, non-test, as compiled
+	TestGoFiles  []string // absolute, in-package _test.go
+	XTestGoFiles []string // absolute, package foo_test
+
+	Fset       *token.FileSet
+	Syntax     []*ast.File // parsed GoFiles, type-checked
+	TestSyntax []*ast.File // parsed Test/XTest files, syntax only
+
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath   string
+	Name         string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	DepOnly      bool
+	Standard     bool
+}
+
+// Load lists the packages matching patterns under dir (module mode),
+// compiles export data for their dependencies via `go list -export`,
+// and type-checks the target packages from source. Only the targets —
+// not their dependencies — are returned, in dependency order:
+// a returned package is always preceded by the returned packages it
+// imports.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,TestGoFiles,XTestGoFiles,Export,DepOnly,Standard",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var listed []*listPackage
+	byPath := make(map[string]*listPackage)
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		listed = append(listed, lp)
+		byPath[lp.ImportPath] = lp
+	}
+
+	fset := token.NewFileSet()
+	// Dependencies are imported from the export data `go list -export`
+	// just produced; the gc importer resolves transitive references
+	// through the same lookup.
+	lookup := func(path string) (io.ReadCloser, error) {
+		lp, ok := byPath[path]
+		if !ok || lp.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(lp.Export)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		pkg, err := typeCheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// typeCheck parses and checks one target package from source.
+func typeCheck(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Package, error) {
+	pkg := &Package{
+		ImportPath:   lp.ImportPath,
+		Name:         lp.Name,
+		Dir:          lp.Dir,
+		GoFiles:      absAll(lp.Dir, lp.GoFiles),
+		TestGoFiles:  absAll(lp.Dir, lp.TestGoFiles),
+		XTestGoFiles: absAll(lp.Dir, lp.XTestGoFiles),
+		Fset:         fset,
+	}
+	for _, name := range pkg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+		}
+		pkg.Syntax = append(pkg.Syntax, f)
+	}
+	for _, name := range append(append([]string(nil), pkg.TestGoFiles...), pkg.XTestGoFiles...) {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+		}
+		pkg.TestSyntax = append(pkg.TestSyntax, f)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, pkg.Syntax, pkg.Info)
+	if err != nil {
+		if firstErr != nil {
+			err = firstErr
+		}
+		return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+func absAll(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		if strings.HasPrefix(n, "/") {
+			out[i] = n
+			continue
+		}
+		out[i] = dir + "/" + n
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the function or method a call expression invokes, or
+// nil for calls through non-identifier expressions (function values,
+// builtins, conversions).
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// CalleeIn reports whether the call invokes the named function of the
+// exact package path (stdlib-style, e.g. "time", "Sleep").
+func (p *Pass) CalleeIn(call *ast.CallExpr, pkgPath, name string) bool {
+	fn := p.Callee(call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// InsideLoop reports whether the stack passes through a for or range
+// statement below the innermost enclosing function.
+func InsideLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}

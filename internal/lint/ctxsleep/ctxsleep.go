@@ -1,0 +1,54 @@
+// Package ctxsleep forbids uncancellable waiting in pipeline packages.
+//
+// Invariant (DESIGN.md "Failure model"): every delay in library code
+// must be bounded by the caller's context, so Ctrl-C and error-budget
+// teardown interrupt a multi-day crawl within one in-flight page. A
+// bare time.Sleep ignores cancellation, and context.Background() (or
+// context.TODO()) detaches a call tree from it entirely. Library code
+// must accept a ctx parameter and sleep via resilience.Sleep. Main
+// packages are exempt — they own the root context — and test files are
+// never loaded.
+package ctxsleep
+
+import (
+	"go/ast"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+)
+
+// Analyzer flags bare time.Sleep and context.Background/TODO in
+// non-main packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxsleep",
+	Doc: "forbid bare time.Sleep and context.Background()/TODO() in non-main, " +
+		"non-test packages: delays must be cancellable (resilience.Sleep) and " +
+		"contexts must flow in from the caller",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name == "main" {
+		return nil
+	}
+	for _, f := range pass.Pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case pass.CalleeIn(call, "time", "Sleep"):
+				pass.Reportf(call.Pos(),
+					"bare time.Sleep ignores cancellation; use resilience.Sleep(ctx, d) or accept a ctx parameter")
+			case pass.CalleeIn(call, "context", "Background"):
+				pass.Reportf(call.Pos(),
+					"context.Background() in library code detaches work from caller cancellation; accept a ctx parameter instead")
+			case pass.CalleeIn(call, "context", "TODO"):
+				pass.Reportf(call.Pos(),
+					"context.TODO() in library code detaches work from caller cancellation; accept a ctx parameter instead")
+			}
+			return true
+		})
+	}
+	return nil
+}

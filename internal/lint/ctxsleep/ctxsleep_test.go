@@ -1,0 +1,12 @@
+package ctxsleep_test
+
+import (
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+	"github.com/hvscan/hvscan/internal/lint/ctxsleep"
+)
+
+func TestCtxSleep(t *testing.T) {
+	analysis.RunTest(t, "testdata", ctxsleep.Analyzer)
+}

@@ -1,0 +1,14 @@
+// Command hvx shows the main-package exemption: a binary owns the
+// root context, so Background and Sleep are its to use.
+package main
+
+import (
+	"context"
+	"time"
+)
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,30 @@
+// Package pipeline is a library package: every wait must be
+// cancellable and every context must flow in from the caller.
+package pipeline
+
+import (
+	"context"
+	"time"
+)
+
+func waits(ctx context.Context) {
+	time.Sleep(10 * time.Millisecond) // want `bare time.Sleep ignores cancellation`
+	_ = ctx
+}
+
+func detaches() context.Context {
+	return context.Background() // want `context.Background\(\) in library code detaches work`
+}
+
+func stubbed() context.Context {
+	return context.TODO() // want `context.TODO\(\) in library code detaches work`
+}
+
+func suppressed() {
+	//lint:ignore ctxsleep one-off warm-up outside any request path
+	time.Sleep(time.Millisecond)
+}
+
+func pureArithmetic(d time.Duration) time.Duration {
+	return d.Truncate(time.Second)
+}

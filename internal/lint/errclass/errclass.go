@@ -1,0 +1,116 @@
+// Package errclass enforces the failure model's classification
+// contract in the transport packages.
+//
+// Invariant (DESIGN.md "Failure model"): every error leaving
+// internal/commoncrawl or internal/crawler must be classifiable by
+// resilience.Classify — explicitly marked (resilience.Retryable /
+// Permanent / Fatal), carrying an HTTP status (StatusCoder), or
+// wrapping a classified error with %w so the mark survives the chain.
+// An unclassified fmt.Errorf silently falls into the optimistic
+// retryable default, which turns permanent faults (bad filename,
+// malformed record) into wasted retry budget on a multi-day crawl.
+package errclass
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+)
+
+// targetSuffixes are the packages whose errors cross the pipeline's
+// retry boundary.
+var targetSuffixes = []string{"internal/commoncrawl", "internal/crawler"}
+
+// classifiers are the resilience marking functions; wrapping a freshly
+// constructed error in one of them classifies it.
+var classifiers = map[string]bool{"Retryable": true, "Permanent": true, "Fatal": true}
+
+// Analyzer flags unclassified error construction in the transport
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "errclass",
+	Doc: "errors constructed in internal/commoncrawl and internal/crawler must " +
+		"carry a resilience class: a mark (resilience.Retryable/Permanent/Fatal), " +
+		"a StatusCoder implementation, or a %w wrap of an already-classified error",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	targeted := false
+	for _, s := range targetSuffixes {
+		if analysis.HasPathSuffix(pass.Pkg.ImportPath, s) {
+			targeted = true
+			break
+		}
+	}
+	if !targeted {
+		return nil
+	}
+	for _, f := range pass.Pkg.Syntax {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case pass.CalleeIn(call, "errors", "New"):
+				if analysis.EnclosingFunc(stack) == nil {
+					return true // package-level sentinel: classified at wrap time
+				}
+				if wrappedByClassifier(pass, stack) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"errors.New inside a function builds an unclassified error; use a package-level sentinel or wrap it with resilience.Retryable/Permanent/Fatal")
+			case pass.CalleeIn(call, "fmt", "Errorf"):
+				if len(call.Args) == 0 {
+					return true
+				}
+				format, known := constString(pass, call.Args[0])
+				if known && strings.Contains(format, "%w") {
+					return true // the chain keeps the inner error's class
+				}
+				if wrappedByClassifier(pass, stack) {
+					return true
+				}
+				if !known {
+					pass.Reportf(call.Pos(),
+						"fmt.Errorf with a non-constant format cannot be checked for %%w; classify it explicitly with resilience.Retryable/Permanent/Fatal")
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"fmt.Errorf without %%w builds an unclassified error; wrap a classified error with %%w or mark it with resilience.Retryable/Permanent/Fatal")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// wrappedByClassifier reports whether the node under inspection is a
+// direct argument of a resilience classifier call.
+func wrappedByClassifier(pass *analysis.Pass, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := pass.Callee(parent)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return analysis.HasPathSuffix(fn.Pkg().Path(), "internal/resilience") && classifiers[fn.Name()]
+}
+
+// constString evaluates e as a compile-time string.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

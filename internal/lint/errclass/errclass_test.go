@@ -1,0 +1,12 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+	"github.com/hvscan/hvscan/internal/lint/errclass"
+)
+
+func TestErrClass(t *testing.T) {
+	analysis.RunTest(t, "testdata", errclass.Analyzer)
+}

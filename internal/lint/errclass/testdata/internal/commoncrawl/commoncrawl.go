@@ -1,0 +1,43 @@
+// Package commoncrawl is a targeted transport package: every error it
+// constructs must carry a resilience class.
+package commoncrawl
+
+import (
+	"errors"
+	"fmt"
+
+	"example.com/internal/resilience"
+)
+
+// ErrGone is a package-level sentinel: call sites classify it when
+// they wrap it, so the declaration itself is fine.
+var ErrGone = errors.New("capture gone")
+
+func freshUnclassified() error {
+	return errors.New("boom") // want `errors.New inside a function builds an unclassified error`
+}
+
+func errorfNoWrap(name string) error {
+	return fmt.Errorf("open %s failed", name) // want `fmt.Errorf without %w builds an unclassified error`
+}
+
+func errorfDynamic(format string) error {
+	return fmt.Errorf(format, 1) // want `fmt.Errorf with a non-constant format cannot be checked`
+}
+
+func errorfWrapped(err error) error {
+	return fmt.Errorf("read range: %w", err)
+}
+
+func classifiedErrorf() error {
+	return resilience.Permanent(fmt.Errorf("filename escapes the archive root"))
+}
+
+func classifiedNew() error {
+	return resilience.Retryable(errors.New("transient listing failure"))
+}
+
+func suppressed() error {
+	//lint:ignore errclass exercised by the chaos harness, class irrelevant
+	return errors.New("chaos")
+}

@@ -1,0 +1,7 @@
+// Package resilience is the classifier stub the fixture packages wrap
+// their errors with.
+package resilience
+
+func Retryable(err error) error { return err }
+func Permanent(err error) error { return err }
+func Fatal(err error) error     { return err }

@@ -1,0 +1,16 @@
+// Package untargeted sits outside the transport boundary; its errors
+// never cross the retry loop, so the analyzer leaves it alone.
+package untargeted
+
+import (
+	"errors"
+	"fmt"
+)
+
+func plain() error {
+	return errors.New("fine here")
+}
+
+func formatted(n int) error {
+	return fmt.Errorf("fine here too: %d", n)
+}

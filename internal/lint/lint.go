@@ -1,0 +1,27 @@
+// Package lint aggregates the repo's custom analyzers.
+//
+// Each analyzer encodes one invariant the ordinary toolchain cannot
+// check — parser/table coverage, failure classification, cancellable
+// waiting, metric naming, and rule determinism. cmd/hvlint drives the
+// full set; tests exercise each against a golden testdata tree.
+package lint
+
+import (
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+	"github.com/hvscan/hvscan/internal/lint/ctxsleep"
+	"github.com/hvscan/hvscan/internal/lint/errclass"
+	"github.com/hvscan/hvscan/internal/lint/obsnames"
+	"github.com/hvscan/hvscan/internal/lint/rulepurity"
+	"github.com/hvscan/hvscan/internal/lint/specerrors"
+)
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxsleep.Analyzer,
+		errclass.Analyzer,
+		obsnames.Analyzer,
+		rulepurity.Analyzer,
+		specerrors.Analyzer,
+	}
+}

@@ -1,0 +1,162 @@
+// Package obsnames enforces the observability layer's metric naming
+// and registration conventions.
+//
+// Invariant (DESIGN.md "Observability"): metric names are part of the
+// measurement contract — dashboards, the perf-trajectory bench files,
+// and hvreport all key on them — so every name passed to an
+// obs.Registry registration method must be a compile-time constant in
+// Prometheus snake_case with a subsystem prefix ("crawler_...",
+// "core_..."), optionally carrying an inline label set. Dynamic series
+// go through the Vec constructors, whose base name is still literal.
+// Registration happens at constructor time: a registration inside a
+// loop body is either a hidden per-iteration allocation or a dynamic
+// name in disguise, and both are flagged.
+package obsnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+)
+
+// registerMethods maps obs.Registry method names to the index of their
+// metric-name argument.
+var registerMethods = map[string]bool{
+	"Counter":      true,
+	"Gauge":        true,
+	"Histogram":    true,
+	"CounterVec":   true,
+	"HistogramVec": true,
+}
+
+// vecMethods additionally take a label-name argument at index 1.
+var vecMethods = map[string]bool{"CounterVec": true, "HistogramVec": true}
+
+var (
+	baseRE  = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+	plainRE = regexp.MustCompile(`^[a-z][a-z0-9]*$`)
+	labelRE = regexp.MustCompile(`^[a-z_][a-z0-9_]*="[^"{}]*"(,[a-z_][a-z0-9_]*="[^"{}]*")*$`)
+)
+
+// Analyzer checks metric registration call sites everywhere except
+// inside the obs implementation itself.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsnames",
+	Doc: "metric names must be compile-time constants in snake_case with a " +
+		"subsystem prefix, and registration must happen at constructor time, " +
+		"never inside a loop body",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.HasPathSuffix(pass.Pkg.ImportPath, "internal/obs") {
+		return nil // the implementation validates at runtime
+	}
+	for _, f := range pass.Pkg.Syntax {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.Callee(call)
+			if fn == nil || fn.Pkg() == nil ||
+				!analysis.HasPathSuffix(fn.Pkg().Path(), "internal/obs") ||
+				!registerMethods[fn.Name()] || !isRegistryMethod(fn) {
+				return true
+			}
+			if analysis.InsideLoop(stack) {
+				pass.Reportf(call.Pos(),
+					"metric registered inside a loop body; register once at constructor time (use the Vec constructors for fixed label sets)")
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			checkName(pass, call.Args[0], fn.Name())
+			if vecMethods[fn.Name()] && len(call.Args) > 1 {
+				checkLabelName(pass, call.Args[1])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRegistryMethod reports whether fn is a method on obs.Registry.
+func isRegistryMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// checkName validates the metric name argument.
+func checkName(pass *analysis.Pass, arg ast.Expr, method string) {
+	name, ok := constString(pass, arg)
+	if !ok {
+		pass.Reportf(arg.Pos(),
+			"metric name must be a compile-time constant (fmt.Sprintf hides the series name from grep and review); for per-label series use the Vec constructors")
+		return
+	}
+	base, labels := splitName(name)
+	if vecMethods[method] && strings.Contains(name, "{") {
+		pass.Reportf(arg.Pos(),
+			"Vec base name %q must not carry an inline label set; the label is the second argument", name)
+		return
+	}
+	switch {
+	case baseRE.MatchString(base):
+		// well-formed
+	case plainRE.MatchString(base):
+		pass.Reportf(arg.Pos(),
+			"metric name %q lacks a subsystem prefix; name it <subsystem>_%s", base, base)
+		return
+	default:
+		pass.Reportf(arg.Pos(),
+			"metric name %q is not snake_case ([a-z0-9_], starting with a letter)", base)
+		return
+	}
+	if labels != "" && !labelRE.MatchString(labels) {
+		pass.Reportf(arg.Pos(),
+			`metric label set %q is malformed; want key="value"[,key="value"...]`, labels)
+	}
+}
+
+// checkLabelName validates the Vec label-name argument.
+func checkLabelName(pass *analysis.Pass, arg ast.Expr) {
+	label, ok := constString(pass, arg)
+	if !ok {
+		pass.Reportf(arg.Pos(), "metric label name must be a compile-time constant")
+		return
+	}
+	if !plainRE.MatchString(label) && !baseRE.MatchString(label) {
+		pass.Reportf(arg.Pos(), "metric label name %q is not snake_case", label)
+	}
+}
+
+// splitName separates "base{labels}" (mirrors obs.splitName).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(strings.TrimPrefix(name[i:], "{"), "}")
+}
+
+// constString evaluates e as a compile-time string.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,12 @@
+package obsnames_test
+
+import (
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+	"github.com/hvscan/hvscan/internal/lint/obsnames"
+)
+
+func TestObsNames(t *testing.T) {
+	analysis.RunTest(t, "testdata", obsnames.Analyzer)
+}

@@ -1,0 +1,31 @@
+// Package metrics exercises every naming and registration rule.
+package metrics
+
+import (
+	"fmt"
+
+	"example.com/internal/obs"
+)
+
+func register(reg *obs.Registry, names []string, lbl string) {
+	reg.Counter("crawler_pages_total")
+	reg.Counter(`crawler_pages_total{stage="fetch"}`)
+	reg.Histogram("crawler_fetch_seconds", nil)
+	reg.CounterVec("crawler_skips_total", "reason", "dup", "oversize")
+
+	reg.Counter("pages")                              // want `lacks a subsystem prefix`
+	reg.Counter("crawlerPages_total")                 // want `is not snake_case`
+	reg.Counter(fmt.Sprintf("crawler_%s_total", "x")) // want `metric name must be a compile-time constant`
+	reg.Counter(`crawler_pages_total{stage=fetch}`)   // want `metric label set .* is malformed`
+
+	reg.CounterVec(`crawler_stage_total{mode="x"}`, "stage") // want `must not carry an inline label set`
+	reg.CounterVec("crawler_stage_total", "Stage")           // want `metric label name "Stage" is not snake_case`
+	reg.HistogramVec("crawler_stage_seconds", lbl, nil)      // want `metric label name must be a compile-time constant`
+
+	for _, n := range names {
+		reg.Counter("crawler_" + n + "_total") // want `registered inside a loop body` `must be a compile-time constant`
+	}
+
+	//lint:ignore obsnames registry self-test needs a dynamic name
+	reg.Counter(fmt.Sprintf("crawler_%s_total", "suppressed"))
+}

@@ -1,0 +1,12 @@
+package rulepurity_test
+
+import (
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+	"github.com/hvscan/hvscan/internal/lint/rulepurity"
+)
+
+func TestRulePurity(t *testing.T) {
+	analysis.RunTest(t, "testdata", rulepurity.Analyzer)
+}

@@ -1,0 +1,12 @@
+// Package helpers is outside internal/core: the purity rules do not
+// apply here.
+package helpers
+
+import "time"
+
+var calls int
+
+func Stamp() int64 {
+	calls++
+	return time.Now().UnixNano()
+}

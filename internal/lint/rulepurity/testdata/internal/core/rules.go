@@ -1,0 +1,77 @@
+// Package core exercises the determinism rules: no clock or
+// randomness reads, no package-level writes, no unsorted map output.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var hitCount int
+
+var table = map[string]int{}
+
+func clockRule() bool {
+	return time.Now().Unix()%2 == 0 // want `time.Now reads the clock`
+}
+
+func timerRule() {
+	<-time.After(time.Millisecond) // want `time.After reads the clock`
+}
+
+func randomRule() bool {
+	return rand.Intn(2) == 0 // want `math/rand makes findings irreproducible`
+}
+
+func countsGlobally() {
+	hitCount++ // want `writing package-level state \(hitCount\)`
+}
+
+func assignsGlobally(n int) {
+	hitCount = n // want `writing package-level state \(hitCount\)`
+}
+
+func mutatesGlobalMap(k string) {
+	table[k] = 1 // want `writing package-level state \(table\)`
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is randomized`
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func orderInsensitive(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func localStateIsFine() int {
+	x := 0
+	x++
+	return x
+}
+
+func pureTimeArithmetic(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+func suppressed() {
+	//lint:ignore rulepurity debug hook, stripped before the catalogue runs
+	hitCount++
+}

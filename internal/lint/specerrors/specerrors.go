@@ -1,0 +1,122 @@
+// Package specerrors guards the paper's Table 1 coverage: every
+// WHATWG-named parse error the parser can emit must be consumed
+// somewhere in the measurement layer.
+//
+// Invariant: each htmlparse.ErrorCode constant must be referenced by
+// at least one internal/core rule or test. A code that is parsed but
+// never surfaced is exactly the silent gap that would invalidate the
+// violation tables — the parser dutifully records the error, and no
+// rule, statistic, or test ever looks at it. New codes must be wired
+// into a rule or explicitly accounted for in core's spec-coverage
+// test before this analyzer passes.
+package specerrors
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+)
+
+const (
+	// declSuffix is the package defining the ErrorCode constants.
+	declSuffix = "internal/htmlparse"
+	// declType is the named type whose constants are tracked.
+	declType = "ErrorCode"
+	// useSuffix is the package whose rules and tests must consume them.
+	useSuffix = "internal/core"
+)
+
+// state accumulates across packages: the declared constants and every
+// identifier the consuming package mentions (tests included).
+type state struct {
+	consts map[string]token.Position
+	order  []string
+	refs   map[string]bool
+}
+
+// Analyzer reports ErrorCode constants never referenced from
+// internal/core sources or tests.
+var Analyzer = &analysis.Analyzer{
+	Name: "specerrors",
+	Doc: "every htmlparse.ErrorCode constant must be referenced by at least " +
+		"one internal/core rule or test; an unreferenced code is a parse error " +
+		"the study observes but never reports (a Table 1 coverage gap)",
+	NewRun: func() any {
+		return &state{consts: make(map[string]token.Position), refs: make(map[string]bool)}
+	},
+	Run:    run,
+	Finish: finish,
+}
+
+func run(pass *analysis.Pass) error {
+	st := pass.State.(*state)
+	if analysis.HasPathSuffix(pass.Pkg.ImportPath, declSuffix) {
+		collectConsts(pass, st)
+	}
+	if analysis.HasPathSuffix(pass.Pkg.ImportPath, useSuffix) {
+		for _, f := range append(append([]*ast.File(nil), pass.Pkg.Syntax...), pass.Pkg.TestSyntax...) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					st.refs[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectConsts records every package-level constant of type ErrorCode.
+func collectConsts(pass *analysis.Pass, st *state) {
+	for _, f := range pass.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.Pkg.Info.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					named, ok := c.Type().(*types.Named)
+					if !ok || named.Obj().Name() != declType {
+						continue
+					}
+					if _, dup := st.consts[name.Name]; !dup {
+						st.consts[name.Name] = pass.Fset.Position(name.Pos())
+						st.order = append(st.order, name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func finish(s any, report func(pos token.Position, format string, args ...any)) {
+	st := s.(*state)
+	names := append([]string(nil), st.order...)
+	sort.Slice(names, func(i, j int) bool {
+		a, b := st.consts[names[i]], st.consts[names[j]]
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, name := range names {
+		if st.refs[name] {
+			continue
+		}
+		report(st.consts[name],
+			"%s.%s is emitted by the parser but never referenced by any %s rule or test; the violation tables would silently under-report it",
+			declSuffix, name, useSuffix)
+	}
+}

@@ -1,0 +1,82 @@
+package specerrors_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+	"github.com/hvscan/hvscan/internal/lint/specerrors"
+)
+
+func TestSpecErrors(t *testing.T) {
+	analysis.RunTest(t, "testdata", specerrors.Analyzer)
+}
+
+// TestSpecErrorsFlagsNewCode is the regression the analyzer exists
+// for: adding an ErrorCode constant without wiring it into a core rule
+// or test must produce a new finding. It copies the golden module,
+// appends a fresh constant, and checks the diagnostic appears.
+func TestSpecErrorsFlagsNewCode(t *testing.T) {
+	dir := t.TempDir()
+	copyTree(t, "testdata", dir)
+
+	errFile := filepath.Join(dir, "internal", "htmlparse", "errors.go")
+	f, err := os.OpenFile(errFile, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\nconst ErrBrandNew ErrorCode = \"brand-new\"\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := analysis.RunTestDiagnostics(t, dir, specerrors.Analyzer)
+	var sawOrphan, sawBrandNew bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "ErrOrphan"):
+			sawOrphan = true
+		case strings.Contains(d.Message, "ErrBrandNew"):
+			sawBrandNew = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if !sawOrphan {
+		t.Error("baseline ErrOrphan finding disappeared after the copy")
+	}
+	if !sawBrandNew {
+		t.Error("adding an unreferenced ErrorCode did not produce a finding")
+	}
+}
+
+// copyTree duplicates the golden module so the test can mutate it.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,9 @@
+// Package core consumes two of the three codes: one in a rule, one in
+// a test.
+package core
+
+import "example.com/internal/htmlparse"
+
+func match(code htmlparse.ErrorCode) bool {
+	return code == htmlparse.ErrUsedByRule
+}

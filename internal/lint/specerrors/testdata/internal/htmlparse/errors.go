@@ -1,0 +1,15 @@
+// Package htmlparse declares the parse-error vocabulary the analyzer
+// tracks.
+package htmlparse
+
+// ErrorCode names one WHATWG parse error.
+type ErrorCode string
+
+const (
+	ErrUsedByRule ErrorCode = "used-by-rule"
+	ErrUsedByTest ErrorCode = "used-by-test"
+	ErrOrphan     ErrorCode = "orphan" // want `internal/htmlparse.ErrOrphan is emitted by the parser but never referenced`
+)
+
+// NotTracked has a different type, so the analyzer ignores it.
+const NotTracked = "not-tracked"

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+)
+
+// The Vec constructors register one series per label value at
+// construction time, keeping the dynamic fmt.Sprintf inside this
+// package: call sites pass a literal base name and a fixed value set,
+// so the full series list stays greppable and hvlint's obsnames
+// analyzer can verify every registration statically.
+
+var (
+	vecBaseRE  = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+	vecLabelRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+// vecName builds the inline-labelled series name for one label value,
+// panicking on a malformed base or label — a construction-time
+// programmer error, never a runtime condition.
+func vecName(base, label, value string) string {
+	if !vecBaseRE.MatchString(base) {
+		panic(fmt.Sprintf("obs: vec base name %q is not prefixed snake_case", base))
+	}
+	if !vecLabelRE.MatchString(label) {
+		panic(fmt.Sprintf("obs: vec label name %q is not snake_case", label))
+	}
+	return fmt.Sprintf("%s{%s=%q}", base, label, value)
+}
+
+// CounterVec registers one counter per label value under
+// base{label="value"} and returns them keyed by value. All series of
+// the family are created up front, so exposition shows zero-valued
+// series immediately and no registration happens on the hot path.
+func (r *Registry) CounterVec(base, label string, values ...string) map[string]*Counter {
+	out := make(map[string]*Counter, len(values))
+	for _, v := range values {
+		out[v] = r.Counter(vecName(base, label, v))
+	}
+	return out
+}
+
+// HistogramVec registers one histogram per label value under
+// base{label="value"}, all sharing the same bucket bounds, and returns
+// them keyed by value.
+func (r *Registry) HistogramVec(base, label string, bounds []float64, values ...string) map[string]*Histogram {
+	out := make(map[string]*Histogram, len(values))
+	for _, v := range values {
+		out[v] = r.Histogram(vecName(base, label, v), bounds)
+	}
+	return out
+}

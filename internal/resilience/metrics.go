@@ -1,7 +1,6 @@
 package resilience
 
 import (
-	"fmt"
 	"time"
 
 	"github.com/hvscan/hvscan/internal/obs"
@@ -38,8 +37,13 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		BreakerTrips:   reg.Counter("resilience_breaker_trips_total"),
 		BreakerShed:    reg.Counter("resilience_breaker_shed_total"),
 	}
+	names := make([]string, len(Classes))
+	for i, c := range Classes {
+		names[i] = c.String()
+	}
+	byName := reg.CounterVec("resilience_errors_total", "class", names...)
 	for _, c := range Classes {
-		m.Errors[c] = reg.Counter(fmt.Sprintf("resilience_errors_total{class=%q}", c))
+		m.Errors[c] = byName[c.String()]
 	}
 	return m
 }

@@ -108,7 +108,7 @@ func (p Policy) Do(ctx context.Context, f func() error) error {
 		if p.OnRetry != nil {
 			p.OnRetry(attempt, sleep, err)
 		}
-		if !sleepCtx(ctx, sleep) {
+		if !Sleep(ctx, sleep) {
 			return errors.Join(err, ctx.Err())
 		}
 	}
@@ -126,10 +126,12 @@ func Do[T any](ctx context.Context, p Policy, f func() (T, error)) (T, error) {
 	return out, err
 }
 
-// sleepCtx sleeps for d unless the context ends first; it reports
+// Sleep sleeps for d unless the context ends first; it reports
 // whether the full sleep happened. A non-positive d is a yield-free
-// no-op — the hot path must not touch timers.
-func sleepCtx(ctx context.Context, d time.Duration) bool {
+// no-op — the hot path must not touch timers. It is the cancellable
+// replacement for time.Sleep that the ctxsleep analyzer demands in
+// pipeline packages.
+func Sleep(ctx context.Context, d time.Duration) bool {
 	if d <= 0 {
 		return true
 	}
