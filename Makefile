@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint bench bench-json ci chaos fmt-check study report fuzz clean
+.PHONY: all build test vet lint bench bench-json ci chaos fmt-check study report fuzz clean conform conform-update fuzz-smoke
 
 all: build test
 
@@ -12,9 +12,34 @@ all: build test
 ci: build vet lint fmt-check
 	$(GO) test -race ./...
 	$(MAKE) chaos
+	$(MAKE) conform
 	$(GO) test -run '^$$' -fuzz='^FuzzParse$$' -fuzztime=15s ./internal/htmlparse
 	$(GO) test -run '^$$' -fuzz='^FuzzClassify$$' -fuzztime=10s ./internal/resilience
 	$(GO) test -run '^$$' -fuzz='^FuzzReadJournal$$' -fuzztime=10s ./internal/store
+	$(MAKE) fuzz-smoke
+
+# Conformance gate: run the checked-in html5lib-style corpus (tree
+# construction + tokenizer) through hvconform. Fails on any fixture
+# divergence, on an emitted ErrorCode with no provoking fixture, on a
+# stale skiplist entry, or if the corpus shrinks below 300 cases.
+conform:
+	$(GO) run ./cmd/hvconform
+
+# Regenerate goldens after an intentional parser change, then rerun the
+# gate. Review the fixture diff before committing — every hunk is a
+# behavior change.
+conform-update:
+	$(GO) run ./cmd/hvconform -update
+	$(GO) run ./cmd/hvconform
+
+# Metamorphic fuzz smoke: 30s per oracle-free invariant (render→reparse
+# fixpoint, truncation stability, attribute-order invariance, decoder
+# agreement) over the checked-in seed corpora.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz='^FuzzRenderParseFixpoint$$' -fuzztime=30s ./internal/conformance
+	$(GO) test -run '^$$' -fuzz='^FuzzTruncationStability$$' -fuzztime=30s ./internal/conformance
+	$(GO) test -run '^$$' -fuzz='^FuzzAttrReorderInvariance$$' -fuzztime=30s ./internal/conformance
+	$(GO) test -run '^$$' -fuzz='^FuzzDecoderAgreement$$' -fuzztime=30s ./internal/conformance
 
 # Chaos smoke: the seeded fault-injection acceptance tests (~10%
 # transient faults, deterministic schedule) under the race detector —

@@ -1,0 +1,88 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/hvscan/hvscan/internal/core"
+	"github.com/hvscan/hvscan/internal/htmlparse"
+)
+
+// The per-ErrorCode coverage gate. The corpus is only worth running if
+// it exercises every parse error the measurement layer counts, so the
+// gate diffs the set of codes the corpus actually provoked against the
+// core.SpecCoverage ledger: an emitted code with zero provoking
+// fixtures fails the run. Codes in core.UnemittedCodes are reported as
+// justified-unreachable rather than failing — their justification lives
+// in the ledger, next to the claim it defends.
+
+// Coverage accumulates which error codes the corpus provoked.
+type Coverage struct {
+	hits map[htmlparse.ErrorCode]int
+}
+
+// NewCoverage returns an empty coverage accumulator.
+func NewCoverage() *Coverage { return &Coverage{hits: map[htmlparse.ErrorCode]int{}} }
+
+// RecordCode counts one observed parse error code.
+func (c *Coverage) RecordCode(code htmlparse.ErrorCode) { c.hits[code]++ }
+
+// RecordNames counts observed codes given by spec name (as fixture
+// #errors sections carry them).
+func (c *Coverage) RecordNames(names []string) {
+	for _, n := range names {
+		c.hits[htmlparse.ErrorCode(n)]++
+	}
+}
+
+// CoverageLine is one row of the coverage report.
+type CoverageLine struct {
+	Code htmlparse.ErrorCode
+	Hits int
+	// Unreachable carries the core.UnemittedCodes justification for
+	// codes the parser cannot emit; empty for emitted codes.
+	Unreachable string
+}
+
+// Report renders the gate's verdict over the full ledger (one line per
+// declared ErrorCode, sorted by code name) plus the list of emitted
+// codes with zero corpus coverage. A non-empty missing list fails the
+// conformance run.
+func (c *Coverage) Report() (lines []CoverageLine, missing []htmlparse.ErrorCode) {
+	for _, row := range core.SpecCoverage() {
+		n := c.hits[row.Code]
+		lines = append(lines, CoverageLine{Code: row.Code, Hits: n})
+		if n == 0 {
+			missing = append(missing, row.Code)
+		}
+	}
+	for code, why := range core.UnemittedCodes() {
+		lines = append(lines, CoverageLine{Code: code, Hits: c.hits[code], Unreachable: why})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].Code < lines[j].Code })
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	return lines, missing
+}
+
+// Markdown renders the coverage table as GitHub-flavored markdown for
+// the CI step summary.
+func (c *Coverage) Markdown() string {
+	lines, missing := c.Report()
+	var b strings.Builder
+	b.WriteString("| error code | fixtures | status |\n|---|---:|---|\n")
+	for _, l := range lines {
+		status := "covered"
+		switch {
+		case l.Unreachable != "":
+			status = "justified-unreachable: " + l.Unreachable
+		case l.Hits == 0:
+			status = "**MISSING**"
+		}
+		fmt.Fprintf(&b, "| `%s` | %d | %s |\n", l.Code, l.Hits, status)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(&b, "\n%d emitted code(s) with no provoking fixture.\n", len(missing))
+	}
+	return b.String()
+}

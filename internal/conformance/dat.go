@@ -1,0 +1,174 @@
+// Package conformance is the conformance engine for internal/htmlparse:
+// a dependency-free runner for html5lib-tests-style fixture corpora
+// (.dat tree-construction cases and .test JSON tokenizer cases), a
+// skiplist with mandatory reasons, a per-ErrorCode coverage gate wired
+// to the internal/core spec-coverage ledger, and a metamorphic layer of
+// oracle-free parser invariants (metamorphic.go).
+//
+// The paper's entire measurement rests on the parser observing the same
+// parse errors and tree corrections a spec-conformant browser parser
+// would; this package is how that claim is continuously re-earned. Any
+// parser hot-path change must keep `make conform` green.
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// TreeCase is one tree-construction conformance case in the html5lib
+// .dat format:
+//
+//	#data
+//	<input markup>
+//	#errors
+//	error-code-name        (one spec error name per line; may be empty)
+//	#document-fragment     (optional; context element for fragment cases)
+//	div
+//	#document
+//	| <html>
+//	|   <head>
+//	...
+//
+// Unlike upstream html5lib (which counts anonymous errors), the #errors
+// section holds WHATWG spec error names — the signal the violation
+// rules consume — and the expected set is exact: the parse must produce
+// exactly these codes, in input order. The #document section must match
+// htmlparse.DumpTree byte-for-byte after per-line trailing-whitespace
+// trimming.
+type TreeCase struct {
+	File     string // base name of the .dat file
+	Line     int    // 1-based line of the case's #data marker
+	Data     string
+	Fragment string
+	Errors   []string
+	Document string
+}
+
+// ID returns the case's skiplist key, "file.dat:line".
+func (c *TreeCase) ID() string { return fmt.Sprintf("%s:%d", c.File, c.Line) }
+
+// ParseDatFile reads one .dat fixture file.
+func ParseDatFile(path string) ([]TreeCase, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseDat(filepath.Base(path), string(raw))
+}
+
+// ParseDat parses .dat fixture content. file is used for case IDs only.
+func ParseDat(file, content string) ([]TreeCase, error) {
+	var cases []TreeCase
+	var cur *TreeCase
+	section := ""
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if cur.Data == "" {
+			return fmt.Errorf("%s:%d: case has no #data content", file, cur.Line)
+		}
+		cur.Data = strings.TrimSuffix(cur.Data, "\n")
+		cur.Document = strings.TrimSuffix(cur.Document, "\n")
+		cases = append(cases, *cur)
+		cur = nil
+		return nil
+	}
+	for i, line := range strings.Split(content, "\n") {
+		switch line {
+		case "#data":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			cur = &TreeCase{File: file, Line: i + 1}
+			section = "data"
+		case "#errors":
+			section = "errors"
+		case "#document-fragment":
+			section = "fragment"
+		case "#document":
+			section = "document"
+		default:
+			if cur == nil {
+				if strings.TrimSpace(line) != "" && !strings.HasPrefix(line, "#") {
+					return nil, fmt.Errorf("%s:%d: content outside a case: %q", file, i+1, line)
+				}
+				continue
+			}
+			switch section {
+			case "data":
+				cur.Data += line + "\n"
+			case "errors":
+				if s := strings.TrimSpace(line); s != "" {
+					cur.Errors = append(cur.Errors, s)
+				}
+			case "fragment":
+				if s := strings.TrimSpace(line); s != "" {
+					cur.Fragment = s
+				}
+			case "document":
+				if line != "" {
+					cur.Document += line + "\n"
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return cases, nil
+}
+
+// FormatDat renders cases back into the .dat format, used by the
+// -update golden regeneration of cmd/hvconform. Line numbers are not
+// preserved; re-parse the output to learn the new ones.
+func FormatDat(cases []TreeCase) string {
+	var b strings.Builder
+	for i, c := range cases {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString("#data\n")
+		b.WriteString(c.Data + "\n")
+		b.WriteString("#errors\n")
+		for _, e := range c.Errors {
+			b.WriteString(e + "\n")
+		}
+		if c.Fragment != "" {
+			b.WriteString("#document-fragment\n")
+			b.WriteString(c.Fragment + "\n")
+		}
+		b.WriteString("#document\n")
+		if c.Document != "" {
+			b.WriteString(c.Document + "\n")
+		}
+	}
+	return b.String()
+}
+
+// normalizeDump trims trailing whitespace per line and drops blank
+// lines, the comparison form for #document sections.
+func normalizeDump(s string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		l = strings.TrimRight(l, " \t")
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// globSorted returns the lexically sorted matches of pattern.
+func globSorted(pattern string) ([]string, error) {
+	files, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	return files, nil
+}

@@ -1,0 +1,98 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDat(t *testing.T) {
+	content := strings.Join([]string{
+		"#data",
+		"<p>x",
+		"#errors",
+		"unexpected-token-in-initial-insertion-mode",
+		"#document",
+		"| <html>",
+		"|   <head>",
+		"|   <body>",
+		"|     <p>",
+		`|       "x"`,
+		"",
+		"#data",
+		"<td>a",
+		"#errors",
+		"#document-fragment",
+		"tr",
+		"#document",
+		"| <td>",
+		`|   "a"`,
+		"",
+	}, "\n")
+	cases, err := ParseDat("x.dat", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 2 {
+		t.Fatalf("got %d cases, want 2", len(cases))
+	}
+	c0, c1 := cases[0], cases[1]
+	if c0.Data != "<p>x" || c0.Line != 1 || c0.ID() != "x.dat:1" {
+		t.Errorf("case 0 = %+v", c0)
+	}
+	if len(c0.Errors) != 1 || c0.Errors[0] != "unexpected-token-in-initial-insertion-mode" {
+		t.Errorf("case 0 errors = %v", c0.Errors)
+	}
+	if !strings.HasPrefix(c0.Document, "| <html>") || !strings.HasSuffix(c0.Document, `|       "x"`) {
+		t.Errorf("case 0 document = %q", c0.Document)
+	}
+	if c1.Fragment != "tr" || c1.Data != "<td>a" || c1.Line != 12 {
+		t.Errorf("case 1 = %+v", c1)
+	}
+}
+
+func TestParseDatMultilineData(t *testing.T) {
+	cases, err := ParseDat("x.dat", "#data\n<pre>\na\nb</pre>\n#errors\n#document\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "<pre>\na\nb</pre>"; cases[0].Data != want {
+		t.Errorf("data = %q, want %q", cases[0].Data, want)
+	}
+}
+
+func TestParseDatRejectsMalformed(t *testing.T) {
+	if _, err := ParseDat("x.dat", "#data\n#errors\n#document\n"); err == nil {
+		t.Error("empty #data accepted")
+	}
+	if _, err := ParseDat("x.dat", "stray content\n#data\nx\n#errors\n#document\n"); err == nil {
+		t.Error("content outside a case accepted")
+	}
+}
+
+func TestFormatDatRoundTrip(t *testing.T) {
+	in := []TreeCase{
+		{File: "x.dat", Data: "<p>x", Errors: []string{"a-code"}, Document: "| <p>\n|   \"x\""},
+		{File: "x.dat", Data: "<td>a", Fragment: "tr", Document: "| <td>"},
+	}
+	out, err := ParseDat("x.dat", FormatDat(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d cases, want 2", len(out))
+	}
+	for i := range in {
+		if out[i].Data != in[i].Data || out[i].Fragment != in[i].Fragment ||
+			out[i].Document != in[i].Document ||
+			strings.Join(out[i].Errors, ",") != strings.Join(in[i].Errors, ",") {
+			t.Errorf("case %d: round trip %+v -> %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestNormalizeDump(t *testing.T) {
+	in := "| <p>  \n\n|   \"x\"\t\n"
+	if got, want := normalizeDump(in), "| <p>\n|   \"x\""; got != want {
+		t.Errorf("normalizeDump = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,148 @@
+package conformance
+
+import (
+	"testing"
+)
+
+// Seed inputs shared by the table tests and the fuzz targets: small
+// documents that exercise the constructs each invariant is most likely
+// to trip over (raw text, tables, foreign content, character
+// references, truncation-sensitive multi-byte runes).
+var metamorphicSeeds = []string{
+	"",
+	"x",
+	"<!DOCTYPE html><p>hello</p>",
+	"<div><span>a</span></div>",
+	"<!DOCTYPE html><table><tr><td>x</td></tr></table>",
+	"<table><div>foster</div></table>",
+	"<!DOCTYPE html><svg><rect/></svg>",
+	"<math><mi>x</mi></math>",
+	"<!DOCTYPE html><script>var a = 1 < 2;</script>",
+	"<title>a<b>c</title>",
+	"<textarea>&amp;</textarea>",
+	"<!DOCTYPE html><body>&notit; &#x41; &#xFDD0;</body>",
+	"<p id=a id=b class='c'>dup</p>",
+	"<b><p>misnest</b></p>",
+	"<a href=1><a href=2>x</a>",
+	"<select><option>a<option>b</select>",
+	"<!-- comment --><!DOCTYPE html><p>x",
+	"<ul><li>a<li>b</ul>",
+	"a\r\nb\rc",
+	"héllo wörld é世界",
+	"<div/>self-closing</div>",
+	"<!DOCTYPE html PUBLIC \"p\" \"s\"><body>x",
+	"<frameset><frame></frameset>",
+	"<img src=a alt=b><br><hr>",
+}
+
+func TestRenderParseFixpointSeeds(t *testing.T) {
+	skipped := 0
+	for _, s := range metamorphicSeeds {
+		skip, err := RenderParseFixpoint([]byte(s))
+		if err != nil {
+			t.Errorf("%v", err)
+		}
+		if skip {
+			skipped++
+		}
+	}
+	if skipped == len(metamorphicSeeds) {
+		t.Fatal("every seed skipped; hazard detection is broken")
+	}
+}
+
+func TestTruncationStabilitySeeds(t *testing.T) {
+	for _, s := range metamorphicSeeds {
+		for _, cut := range []int{0, 1, len(s) / 2, len(s) - 1, len(s)} {
+			if err := TruncationStability([]byte(s), cut); err != nil {
+				t.Errorf("%v", err)
+			}
+		}
+	}
+}
+
+func TestAttrReorderInvarianceSeeds(t *testing.T) {
+	for _, s := range metamorphicSeeds {
+		if err := AttrReorderInvariance([]byte(s)); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+func TestDecoderAgreementSeeds(t *testing.T) {
+	inputs := append([]string{}, metamorphicSeeds...)
+	// Non-ASCII bytes exercise the decode-always-valid half.
+	inputs = append(inputs, "\x80\x9f\xa0\xff", "caf\xe9 <p>\x93quoted\x94</p>")
+	for _, s := range inputs {
+		if err := DecoderAgreement([]byte(s)); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+// TestDecodeWindows1252Table pins the 0x80–0x9F mapping against known
+// points of the WHATWG encoding index.
+func TestDecodeWindows1252Table(t *testing.T) {
+	for _, tc := range []struct {
+		in   byte
+		want rune
+	}{
+		{0x80, '€'}, // euro sign
+		{0x85, '…'}, // horizontal ellipsis
+		{0x93, '“'}, // left double quotation mark
+		{0x9F, 'Ÿ'}, // Y with diaeresis
+		{0x81, ''}, // unassigned: passes through as C1 control
+		{0x7F, ''}, // ASCII boundary
+		{0xA0, ' '}, // latin-1 identity from 0xA0 up
+		{0xFF, 'ÿ'},
+	} {
+		if got := DecodeWindows1252([]byte{tc.in}); got != string(tc.want) {
+			t.Errorf("DecodeWindows1252(0x%02X) = %q, want %q", tc.in, got, string(tc.want))
+		}
+	}
+}
+
+func FuzzRenderParseFixpoint(f *testing.F) {
+	for _, s := range metamorphicSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if _, err := RenderParseFixpoint(input); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func FuzzTruncationStability(f *testing.F) {
+	for i, s := range metamorphicSeeds {
+		f.Add([]byte(s), i*3)
+	}
+	f.Fuzz(func(t *testing.T, input []byte, cut int) {
+		if err := TruncationStability(input, cut); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func FuzzAttrReorderInvariance(f *testing.F) {
+	for _, s := range metamorphicSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if err := AttrReorderInvariance(input); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func FuzzDecoderAgreement(f *testing.F) {
+	for _, s := range metamorphicSeeds {
+		f.Add([]byte(s))
+	}
+	f.Add([]byte{0x80, 0x9F, 0xC3, 0x28})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if err := DecoderAgreement(input); err != nil {
+			t.Error(err)
+		}
+	})
+}

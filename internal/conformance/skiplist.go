@@ -1,0 +1,90 @@
+package conformance
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Skiplist holds the known-divergence ledger: fixture cases the parser
+// is allowed to fail, each with a mandatory human-written reason. The
+// policy mirrors hvlint's: a skip without a reason is a parse error,
+// and a skiplist entry that no longer matches any fixture is reported
+// as stale so the list can only shrink or stay honest.
+//
+// File format, one entry per line:
+//
+//	# comment
+//	tree.dat:17          -- reason the case is skipped
+//	tok.test:bad amp     -- reason (applies to every initial state)
+//	tok.test:bad amp@PLAINTEXT state -- reason (one state only)
+type Skiplist struct {
+	reasons map[string]string
+	used    map[string]bool
+}
+
+// ParseSkiplist reads a skiplist file. A missing path yields an empty
+// skiplist; a malformed entry (no reason) is an error.
+func ParseSkiplist(path string) (*Skiplist, error) {
+	s := &Skiplist{reasons: map[string]string{}, used: map[string]bool{}}
+	if path == "" {
+		return s, nil
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for n := 1; sc.Scan(); n++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, reason, ok := strings.Cut(line, " -- ")
+		key, reason = strings.TrimSpace(key), strings.TrimSpace(reason)
+		if !ok || reason == "" {
+			return nil, fmt.Errorf("%s:%d: skiplist entry %q has no reason (format: \"case-id -- reason\")", path, n, line)
+		}
+		if key == "" {
+			return nil, fmt.Errorf("%s:%d: skiplist entry has empty case id", path, n)
+		}
+		if _, dup := s.reasons[key]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate skiplist entry %q", path, n, key)
+		}
+		s.reasons[key] = reason
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Lookup reports whether any of the given IDs is skiplisted, returning
+// the reason. Callers pass the most specific ID first (e.g. the
+// state-qualified token-case ID, then its base ID).
+func (s *Skiplist) Lookup(ids ...string) (reason string, ok bool) {
+	for _, id := range ids {
+		if r, hit := s.reasons[id]; hit {
+			s.used[id] = true
+			return r, true
+		}
+	}
+	return "", false
+}
+
+// Stale returns entries that never matched a fixture during the run —
+// fixed divergences whose skip should be deleted, or typoed IDs.
+func (s *Skiplist) Stale() []string {
+	var stale []string
+	for key := range s.reasons {
+		if !s.used[key] {
+			stale = append(stale, key)
+		}
+	}
+	return stale
+}

@@ -1,0 +1,87 @@
+package conformance
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSkiplist(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "skiplist.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseSkiplist(t *testing.T) {
+	s, err := ParseSkiplist(writeSkiplist(t, `
+# a comment
+tree.dat:17 -- parser merges whitespace here, tracked upstream
+tok.test:bad amp -- legacy charref divergence
+tok.test:bad amp@PLAINTEXT state -- state-specific skip
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := s.Lookup("tree.dat:17"); !ok || r != "parser merges whitespace here, tracked upstream" {
+		t.Errorf("Lookup(tree.dat:17) = %q, %v", r, ok)
+	}
+	// Most specific ID wins when both are listed.
+	if r, _ := s.Lookup("tok.test:bad amp@PLAINTEXT state", "tok.test:bad amp"); r != "state-specific skip" {
+		t.Errorf("specific lookup = %q", r)
+	}
+	// Fallback to the base ID for unlisted states.
+	if _, ok := s.Lookup("tok.test:bad amp@RCDATA state", "tok.test:bad amp"); !ok {
+		t.Error("base-ID fallback failed")
+	}
+	if _, ok := s.Lookup("other.dat:1"); ok {
+		t.Error("unlisted case matched")
+	}
+	if st := s.Stale(); len(st) != 0 {
+		t.Errorf("all entries were used, stale = %v", st)
+	}
+}
+
+func TestParseSkiplistMandatoryReason(t *testing.T) {
+	for _, bad := range []string{
+		"tree.dat:17\n",
+		"tree.dat:17 --\n",
+		"tree.dat:17 -- \n",
+		" -- reason without id\n",
+	} {
+		if _, err := ParseSkiplist(writeSkiplist(t, bad)); err == nil {
+			t.Errorf("accepted malformed entry %q", bad)
+		}
+	}
+}
+
+func TestParseSkiplistDuplicate(t *testing.T) {
+	content := "a.dat:1 -- first\na.dat:1 -- second\n"
+	if _, err := ParseSkiplist(writeSkiplist(t, content)); err == nil {
+		t.Error("duplicate entry accepted")
+	}
+}
+
+func TestSkiplistStale(t *testing.T) {
+	s, err := ParseSkiplist(writeSkiplist(t, "used.dat:1 -- x\nunused.dat:9 -- y\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Lookup("used.dat:1")
+	st := s.Stale()
+	if len(st) != 1 || st[0] != "unused.dat:9" {
+		t.Errorf("stale = %v", st)
+	}
+}
+
+func TestParseSkiplistMissingFileIsEmpty(t *testing.T) {
+	s, err := ParseSkiplist(filepath.Join(t.TempDir(), "nope.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Lookup("x"); ok {
+		t.Error("empty skiplist matched")
+	}
+}

@@ -1,0 +1,183 @@
+package conformance
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTestFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cases.test")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseTestFileExpandsInitialStates(t *testing.T) {
+	path := writeTestFile(t, `{"tests": [
+		{"description": "plain", "input": "x", "output": [["Character", "x"]]},
+		{"description": "states", "input": "y", "output": [["Character", "y"]],
+		 "initialStates": ["RCDATA state", "RAWTEXT state"], "lastStartTag": "title"}
+	]}`)
+	cases, err := ParseTestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 3 {
+		t.Fatalf("got %d cases, want 3", len(cases))
+	}
+	if cases[0].InitialState != "Data state" || cases[0].ID() != "cases.test:plain@Data state" {
+		t.Errorf("case 0 = %+v", cases[0])
+	}
+	if cases[1].InitialState != "RCDATA state" || cases[2].InitialState != "RAWTEXT state" {
+		t.Errorf("states not expanded: %+v / %+v", cases[1], cases[2])
+	}
+	if cases[1].BaseID() != "cases.test:states" {
+		t.Errorf("BaseID = %q", cases[1].BaseID())
+	}
+}
+
+func TestParseTestFileRequiresDescription(t *testing.T) {
+	path := writeTestFile(t, `{"tests": [{"input": "x", "output": []}]}`)
+	if _, err := ParseTestFile(path); err == nil {
+		t.Error("test without description accepted")
+	}
+}
+
+func TestUnescapeDouble(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{`a\u0041b`, "aAb"},
+		{`\u0000`, "\x00"},
+		{`\uD83D\uDE00`, "\U0001F600"}, // surrogate pair combines
+		{`\uD800x`, "\uFFFDx"},         // lone surrogate
+		{`a\u00`, `a\u00`},             // truncated escape left alone
+		{`plain`, "plain"},
+		{`back\\slash`, `back\\slash`}, // only \u is special
+	} {
+		if got := unescapeDouble(tc.in); got != tc.want {
+			t.Errorf("unescapeDouble(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRunTokenizerShapes(t *testing.T) {
+	outs, errs, err := RunTokenizer(&TokenCase{
+		Input: `a<div id="x">b<!--c--></div><!DOCTYPE html>`, InitialState: "Data state",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(outs))
+	for i, o := range outs {
+		got[i] = string(o)
+	}
+	want := []string{
+		`["Character","a"]`,
+		`["StartTag","div",{"id":"x"}]`,
+		`["Character","b"]`,
+		`["Comment","c"]`,
+		`["EndTag","div"]`,
+		`["DOCTYPE","html",null,null,true]`,
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("tokens:\n got  %v\n want %v", got, want)
+	}
+	if len(errs) != 0 {
+		t.Errorf("unexpected errors: %v", errs)
+	}
+}
+
+func TestRunTokenizerSelfClosingAndErrors(t *testing.T) {
+	outs, errs, err := RunTokenizer(&TokenCase{Input: `<br/><div a=>`, InitialState: "Data state"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(outs[0]) != `["StartTag","br",{},true]` {
+		t.Errorf("self-closing tuple = %s", outs[0])
+	}
+	if len(errs) != 1 || errs[0].Code != "missing-attribute-value" {
+		t.Errorf("errors = %v", errs)
+	}
+	if errs[0].Line != 1 || errs[0].Col == 0 {
+		t.Errorf("error position not recorded: %+v", errs[0])
+	}
+}
+
+func TestDiffTokensAttrOrderInsensitive(t *testing.T) {
+	want := []json.RawMessage{jsonCompact([]any{"StartTag", "a", map[string]any{"b": "2", "a": "1"}})}
+	got := []json.RawMessage{jsonCompact([]any{"StartTag", "a", map[string]any{"a": "1", "b": "2"}})}
+	d, err := diffTokens(want, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != "" {
+		t.Errorf("attr order should not matter:\n%s", d)
+	}
+	got[0] = jsonCompact([]any{"StartTag", "a", map[string]any{"a": "1", "b": "3"}})
+	if d, _ := diffTokens(want, got); d == "" {
+		t.Error("differing attr value not detected")
+	}
+}
+
+func TestDiffErrorsPositionLeniency(t *testing.T) {
+	got := []ExpectedError{{Code: "eof-in-tag", Line: 1, Col: 6}}
+	if d := diffErrors([]ExpectedError{{Code: "eof-in-tag"}}, got); d != "" {
+		t.Errorf("code-only expectation should match: %s", d)
+	}
+	if d := diffErrors([]ExpectedError{{Code: "eof-in-tag", Line: 1, Col: 5}}, got); d == "" {
+		t.Error("wrong position accepted")
+	}
+	if d := diffErrors([]ExpectedError{{Code: "eof-in-comment"}}, got); d == "" {
+		t.Error("wrong code accepted")
+	}
+}
+
+func TestFormatTestFileRejectsDivergentStates(t *testing.T) {
+	cases := []TokenCase{
+		{File: "x.test", Index: 0, Description: "d", Input: "&amp;",
+			Output:       []json.RawMessage{jsonCompact([]any{"Character", "&"})},
+			InitialState: "RCDATA state"},
+		{File: "x.test", Index: 0, Description: "d", Input: "&amp;",
+			Output:       []json.RawMessage{jsonCompact([]any{"Character", "&amp;"})},
+			InitialState: "RAWTEXT state"},
+	}
+	if _, err := FormatTestFile(cases); err == nil {
+		t.Error("divergent per-state goldens accepted")
+	}
+}
+
+func TestFormatTestFileRoundTrip(t *testing.T) {
+	in := []TokenCase{
+		{File: "x.test", Index: 0, Description: "a", Input: "<p>",
+			Output:       []json.RawMessage{jsonCompact([]any{"StartTag", "p", map[string]string{}})},
+			InitialState: "Data state"},
+		{File: "x.test", Index: 1, Description: "b", Input: "x",
+			Output:       []json.RawMessage{jsonCompact([]any{"Character", "x"})},
+			Errors:       []ExpectedError{{Code: "some-code", Line: 1, Col: 1}},
+			InitialState: "RCDATA state", LastStartTag: "title"},
+	}
+	content, err := FormatTestFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseTestFile(writeTestFile(t, content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d cases, want 2", len(out))
+	}
+	for i := range in {
+		if out[i].Description != in[i].Description || out[i].Input != in[i].Input ||
+			out[i].InitialState != in[i].InitialState || out[i].LastStartTag != in[i].LastStartTag {
+			t.Errorf("case %d diverged: %+v -> %+v", i, in[i], out[i])
+		}
+	}
+	if len(out[1].Errors) != 1 || out[1].Errors[0] != in[1].Errors[0] {
+		t.Errorf("errors diverged: %v", out[1].Errors)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import "github.com/hvscan/hvscan/internal/htmlparse"
+
+// This file is the measurement layer's ledger of every parse error the
+// parser can emit — the coverage contract behind the paper's Table 1,
+// and the error-name mapping table the conformance engine
+// (internal/conformance, cmd/hvconform) checks its corpus against.
+// Each htmlparse.ErrorCode constant appears in exactly one of two
+// tables:
+//
+//   - SpecCoverage: codes the parser emits today, each with a minimal
+//     provoking document and, where Table 1 has a dedicated rule for
+//     the code, that rule's ID;
+//   - UnemittedCodes: codes declared but unreachable, each with the
+//     formal justification for why no parser path can produce them.
+//
+// TestSpecCoverageLedgerIsExhaustive (speccoverage_test.go) parses
+// htmlparse/errors.go and fails if a constant is missing from both
+// tables, so adding an ErrorCode forces a decision here. The hvlint
+// specerrors analyzer enforces the same invariant at lint time; the
+// conformance coverage gate (hvconform) additionally fails when the
+// checked-in corpus stops provoking any code listed in SpecCoverage —
+// the emitted set can only regress loudly.
+
+// CoverageRow ties one ErrorCode to its accounting.
+type CoverageRow struct {
+	Code htmlparse.ErrorCode
+	// Rule is the dedicated Table 1 rule consuming this code, or ""
+	// when the code is only counted in the aggregate parsing-error
+	// category.
+	Rule string
+	// Doc is a minimal document that provokes the code.
+	Doc string
+}
+
+// SpecCoverage returns the ledger of emitted codes: every parse error
+// the parser can produce, each with a minimal provoking document.
+func SpecCoverage() []CoverageRow {
+	return []CoverageRow{
+		// Tokenizer-stage errors.
+		{Code: htmlparse.ErrAbruptClosingOfEmptyComment, Doc: `<!DOCTYPE html><body><!--></body>`},
+		{Code: htmlparse.ErrAbruptDoctypePublicIdentifier, Doc: `<!DOCTYPE html PUBLIC "a>`},
+		{Code: htmlparse.ErrAbruptDoctypeSystemIdentifier, Doc: `<!DOCTYPE html SYSTEM "a>`},
+		{Code: htmlparse.ErrAbsenceOfDigitsInNumericCharRef, Doc: `<!DOCTYPE html><body>&#;</body>`},
+		{Code: htmlparse.ErrCDATAInHTMLContent, Doc: `<!DOCTYPE html><body><![CDATA[x]]></body>`},
+		{Code: htmlparse.ErrCharRefOutsideUnicodeRange, Doc: `<!DOCTYPE html><body>&#x110000;</body>`},
+		{Code: htmlparse.ErrControlCharacterInInputStream, Doc: "<!DOCTYPE html><body>a\x01b</body>"},
+		{Code: htmlparse.ErrControlCharacterReference, Doc: `<!DOCTYPE html><body>&#x2;</body>`},
+		{Code: htmlparse.ErrDuplicateAttribute, Rule: "DM3", Doc: `<!DOCTYPE html><body><p id="a" id="a">x</p></body>`},
+		{Code: htmlparse.ErrEndTagWithAttributes, Doc: `<!DOCTYPE html><body><div>x</div id="a"></body>`},
+		{Code: htmlparse.ErrEndTagWithTrailingSolidus, Doc: `<!DOCTYPE html><body><div>x</div/></body>`},
+		{Code: htmlparse.ErrEOFBeforeTagName, Doc: `<!DOCTYPE html><body>x<`},
+		{Code: htmlparse.ErrEOFInCDATA, Doc: `<!DOCTYPE html><body><svg><![CDATA[x`},
+		{Code: htmlparse.ErrEOFInComment, Doc: `<!DOCTYPE html><body><!--x`},
+		{Code: htmlparse.ErrEOFInDoctype, Doc: `<!DOCTYPE`},
+		{Code: htmlparse.ErrEOFInScriptHTMLCommentLikeText, Doc: `<!DOCTYPE html><script><!--`},
+		{Code: htmlparse.ErrEOFInTag, Doc: `<!DOCTYPE html><body><div `},
+		{Code: htmlparse.ErrIncorrectlyClosedComment, Doc: `<!DOCTYPE html><body><!--x--!></body>`},
+		{Code: htmlparse.ErrIncorrectlyOpenedComment, Doc: `<!DOCTYPE html><body><!x></body>`},
+		{Code: htmlparse.ErrInvalidCharacterSequenceAfterDT, Doc: `<!DOCTYPE html BOGUS>`},
+		{Code: htmlparse.ErrInvalidFirstCharacterOfTagName, Doc: `<!DOCTYPE html><body><3></body>`},
+		{Code: htmlparse.ErrMissingAttributeValue, Doc: `<!DOCTYPE html><body><div a=>x</div></body>`},
+		{Code: htmlparse.ErrMissingDoctypeName, Doc: `<!DOCTYPE>`},
+		{Code: htmlparse.ErrMissingDoctypePublicIdentifier, Doc: `<!DOCTYPE html PUBLIC>`},
+		{Code: htmlparse.ErrMissingDoctypeSystemIdentifier, Doc: `<!DOCTYPE html SYSTEM>`},
+		{Code: htmlparse.ErrMissingEndTagName, Doc: `<!DOCTYPE html><body>x</></body>`},
+		{Code: htmlparse.ErrMissingQuoteBeforeDoctypePublicID, Doc: `<!DOCTYPE html PUBLIC a>`},
+		{Code: htmlparse.ErrMissingQuoteBeforeDoctypeSystemID, Doc: `<!DOCTYPE html SYSTEM a>`},
+		{Code: htmlparse.ErrMissingSemicolonAfterCharRef, Doc: `<!DOCTYPE html><body>&#65 x</body>`},
+		{Code: htmlparse.ErrMissingWhitespaceAfterDoctypeKW, Doc: `<!DOCTYPE html PUBLIC"a" "b">`},
+		{Code: htmlparse.ErrMissingWhitespaceBeforeDoctypeName, Doc: `<!DOCTYPEhtml>`},
+		{Code: htmlparse.ErrMissingWhitespaceBetweenAttributes, Rule: "FB2", Doc: `<!DOCTYPE html><body><img src="a"b="c"></body>`},
+		{Code: htmlparse.ErrMissingWhitespaceBetweenDTIDs, Doc: `<!DOCTYPE html PUBLIC "a""b">`},
+		{Code: htmlparse.ErrNestedComment, Doc: `<!DOCTYPE html><body><!--a<!--b--></body>`},
+		{Code: htmlparse.ErrNoncharacterCharacterReference, Doc: `<!DOCTYPE html><body>&#xFDD0;</body>`},
+		{Code: htmlparse.ErrNoncharacterInInputStream, Doc: "<!DOCTYPE html><body>a﷐b</body>"},
+		{Code: htmlparse.ErrNullCharacterReference, Doc: `<!DOCTYPE html><body>&#0;</body>`},
+		{Code: htmlparse.ErrSurrogateCharacterReference, Doc: `<!DOCTYPE html><body>&#xD800;</body>`},
+		{Code: htmlparse.ErrUnexpectedCharacterAfterDTSystemID, Doc: `<!DOCTYPE html SYSTEM "a" b>`},
+		{Code: htmlparse.ErrUnexpectedCharacterInAttributeName, Doc: `<!DOCTYPE html><body><div a"b=c>x</div></body>`},
+		{Code: htmlparse.ErrUnexpectedCharInUnquotedAttrValue, Doc: `<!DOCTYPE html><body><div a=b"c>x</div></body>`},
+		{Code: htmlparse.ErrUnexpectedEqualsSignBeforeAttrName, Doc: `<!DOCTYPE html><body><div =x>y</div></body>`},
+		{Code: htmlparse.ErrUnexpectedNullCharacter, Doc: "<!DOCTYPE html><body><script>a\x00b</script></body>"},
+		{Code: htmlparse.ErrUnexpectedQuestionMarkInsteadOfTag, Doc: `<!DOCTYPE html><body><?xml?></body>`},
+		{Code: htmlparse.ErrUnexpectedSolidusInTag, Rule: "FB1", Doc: `<!DOCTYPE html><body><img/src=x></body>`},
+		{Code: htmlparse.ErrUnknownNamedCharacterReference, Doc: `<!DOCTYPE html><body>&unknown;</body>`},
+
+		// Tree-construction-stage errors.
+		{Code: htmlparse.ErrNonVoidElementWithTrailingSolidus, Doc: `<!DOCTYPE html><body><div/>x</div></body>`},
+		{Code: htmlparse.ErrUnexpectedTokenInInitialMode, Doc: `<p>x</p>`},
+		{Code: htmlparse.ErrUnexpectedDoctype, Doc: `<!DOCTYPE html><body><!DOCTYPE html>x</body>`},
+		{Code: htmlparse.ErrUnexpectedStartTag, Doc: `<!DOCTYPE html><body><td>x</body>`},
+		{Code: htmlparse.ErrUnexpectedEndTag, Doc: `<!DOCTYPE html><body></p></body>`},
+		{Code: htmlparse.ErrUnexpectedTextInTable, Doc: `<!DOCTYPE html><body><table>x</table></body>`},
+		{Code: htmlparse.ErrUnexpectedEOFInElement, Doc: `<!DOCTYPE html><body><div>x`},
+		{Code: htmlparse.ErrNestedFormElement, Doc: `<!DOCTYPE html><body><form><form>x</form></form></body>`},
+		{Code: htmlparse.ErrSecondBodyStartTag, Doc: `<!DOCTYPE html><body><body>x</body>`},
+		{Code: htmlparse.ErrFosterParenting, Doc: `<!DOCTYPE html><body><table><div>x</div></table></body>`},
+		{Code: htmlparse.ErrForeignContentBreakout, Doc: `<!DOCTYPE html><body><svg><p>x</p></svg></body>`},
+		{Code: htmlparse.ErrUnexpectedElementInHead, Doc: `<!DOCTYPE html><head></head><meta name="a"><body>x</body>`},
+		{Code: htmlparse.ErrHTMLIntegrationMisnesting, Doc: `<!DOCTYPE html><body><circle>x</circle></body>`},
+		{Code: htmlparse.ErrAdoptionAgencyMisnesting, Doc: `<!DOCTYPE html><body><a>x<a>y</a></body>`},
+	}
+}
+
+// UnemittedCodes returns the codes declared in htmlparse/errors.go that
+// no parser path can produce, with the formal justification for each.
+// The conformance coverage report prints these as "justified-unreachable"
+// instead of failing on them; when the parser learns to emit one,
+// TestSpecCoverageUnemitted fails and the code must graduate into
+// SpecCoverage with its provoking document.
+func UnemittedCodes() map[htmlparse.ErrorCode]string {
+	return map[htmlparse.ErrorCode]string{
+		// The byte stream decoder rejects any stream containing a UTF-8
+		// encoded surrogate as ErrNotUTF8 (Go's utf8.Valid, per WHATWG
+		// UTF-8 decode), so the preprocessor's surrogate check can never
+		// see one. The measurement pipeline filters those documents out
+		// entirely (paper §4.1) rather than recording a parse error.
+		htmlparse.ErrSurrogateInInputStream: "unreachable behind the ErrNotUTF8 preprocess gate",
+	}
+}

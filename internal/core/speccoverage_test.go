@@ -10,130 +10,25 @@ import (
 	"github.com/hvscan/hvscan/internal/htmlparse"
 )
 
-// This file is the measurement layer's ledger of every parse error the
-// parser can emit — the coverage contract behind the paper's Table 1.
-// Each htmlparse.ErrorCode constant appears in exactly one of two
-// tables below:
-//
-//   - specCoverage: codes the parser emits today, each with a minimal
-//     provoking document and, where Table 1 has a dedicated rule for
-//     the code, that rule's ID;
-//   - unemittedCodes: codes declared for future wiring that no parser
-//     path currently produces.
-//
-// TestSpecCoverageLedgerIsExhaustive parses htmlparse/errors.go and
-// fails if a constant is missing from both tables, so adding an
-// ErrorCode forces a decision here. The hvlint specerrors analyzer
-// enforces the same invariant at lint time (every constant must be
-// referenced from this package); this test is its runtime twin and
-// additionally proves each emitted code is actually reachable.
-
-// coverageRow ties one ErrorCode to its accounting.
-type coverageRow struct {
-	code htmlparse.ErrorCode
-	// rule is the dedicated Table 1 rule consuming this code, or ""
-	// when the code is only counted in the aggregate parsing-error
-	// category.
-	rule string
-	// doc is a minimal document that provokes the code.
-	doc string
-}
-
-func specCoverage() []coverageRow {
-	return []coverageRow{
-		// Tokenizer-stage errors.
-		{code: htmlparse.ErrAbruptClosingOfEmptyComment, doc: `<!DOCTYPE html><body><!--></body>`},
-		{code: htmlparse.ErrAbruptDoctypePublicIdentifier, doc: `<!DOCTYPE html PUBLIC "a>`},
-		{code: htmlparse.ErrAbruptDoctypeSystemIdentifier, doc: `<!DOCTYPE html SYSTEM "a>`},
-		{code: htmlparse.ErrAbsenceOfDigitsInNumericCharRef, doc: `<!DOCTYPE html><body>&#;</body>`},
-		{code: htmlparse.ErrCDATAInHTMLContent, doc: `<!DOCTYPE html><body><![CDATA[x]]></body>`},
-		{code: htmlparse.ErrCharRefOutsideUnicodeRange, doc: `<!DOCTYPE html><body>&#x110000;</body>`},
-		{code: htmlparse.ErrControlCharacterInInputStream, doc: "<!DOCTYPE html><body>a\x01b</body>"},
-		{code: htmlparse.ErrControlCharacterReference, doc: `<!DOCTYPE html><body>&#x2;</body>`},
-		{code: htmlparse.ErrDuplicateAttribute, rule: "DM3", doc: `<!DOCTYPE html><body><p id="a" id="a">x</p></body>`},
-		{code: htmlparse.ErrEndTagWithAttributes, doc: `<!DOCTYPE html><body><div>x</div id="a"></body>`},
-		{code: htmlparse.ErrEndTagWithTrailingSolidus, doc: `<!DOCTYPE html><body><div>x</div/></body>`},
-		{code: htmlparse.ErrEOFBeforeTagName, doc: `<!DOCTYPE html><body>x<`},
-		{code: htmlparse.ErrEOFInCDATA, doc: `<!DOCTYPE html><body><svg><![CDATA[x`},
-		{code: htmlparse.ErrEOFInComment, doc: `<!DOCTYPE html><body><!--x`},
-		{code: htmlparse.ErrEOFInDoctype, doc: `<!DOCTYPE`},
-		{code: htmlparse.ErrEOFInScriptHTMLCommentLikeText, doc: `<!DOCTYPE html><script><!--`},
-		{code: htmlparse.ErrEOFInTag, doc: `<!DOCTYPE html><body><div `},
-		{code: htmlparse.ErrIncorrectlyClosedComment, doc: `<!DOCTYPE html><body><!--x--!></body>`},
-		{code: htmlparse.ErrIncorrectlyOpenedComment, doc: `<!DOCTYPE html><body><!x></body>`},
-		{code: htmlparse.ErrInvalidCharacterSequenceAfterDT, doc: `<!DOCTYPE html BOGUS>`},
-		{code: htmlparse.ErrInvalidFirstCharacterOfTagName, doc: `<!DOCTYPE html><body><3></body>`},
-		{code: htmlparse.ErrMissingAttributeValue, doc: `<!DOCTYPE html><body><div a=>x</div></body>`},
-		{code: htmlparse.ErrMissingDoctypeName, doc: `<!DOCTYPE>`},
-		{code: htmlparse.ErrMissingDoctypePublicIdentifier, doc: `<!DOCTYPE html PUBLIC>`},
-		{code: htmlparse.ErrMissingDoctypeSystemIdentifier, doc: `<!DOCTYPE html SYSTEM>`},
-		{code: htmlparse.ErrMissingEndTagName, doc: `<!DOCTYPE html><body>x</></body>`},
-		{code: htmlparse.ErrMissingQuoteBeforeDoctypePublicID, doc: `<!DOCTYPE html PUBLIC a>`},
-		{code: htmlparse.ErrMissingQuoteBeforeDoctypeSystemID, doc: `<!DOCTYPE html SYSTEM a>`},
-		{code: htmlparse.ErrMissingSemicolonAfterCharRef, doc: `<!DOCTYPE html><body>&#65 x</body>`},
-		{code: htmlparse.ErrMissingWhitespaceAfterDoctypeKW, doc: `<!DOCTYPE html PUBLIC"a" "b">`},
-		{code: htmlparse.ErrMissingWhitespaceBeforeDoctypeName, doc: `<!DOCTYPEhtml>`},
-		{code: htmlparse.ErrMissingWhitespaceBetweenAttributes, rule: "FB2", doc: `<!DOCTYPE html><body><img src="a"b="c"></body>`},
-		{code: htmlparse.ErrMissingWhitespaceBetweenDTIDs, doc: `<!DOCTYPE html PUBLIC "a""b">`},
-		{code: htmlparse.ErrNestedComment, doc: `<!DOCTYPE html><body><!--a<!--b--></body>`},
-		{code: htmlparse.ErrNoncharacterCharacterReference, doc: `<!DOCTYPE html><body>&#xFDD0;</body>`},
-		{code: htmlparse.ErrNoncharacterInInputStream, doc: "<!DOCTYPE html><body>a﷐b</body>"},
-		{code: htmlparse.ErrNullCharacterReference, doc: `<!DOCTYPE html><body>&#0;</body>`},
-		{code: htmlparse.ErrSurrogateCharacterReference, doc: `<!DOCTYPE html><body>&#xD800;</body>`},
-		{code: htmlparse.ErrUnexpectedCharacterAfterDTSystemID, doc: `<!DOCTYPE html SYSTEM "a" b>`},
-		{code: htmlparse.ErrUnexpectedCharacterInAttributeName, doc: `<!DOCTYPE html><body><div a"b=c>x</div></body>`},
-		{code: htmlparse.ErrUnexpectedCharInUnquotedAttrValue, doc: `<!DOCTYPE html><body><div a=b"c>x</div></body>`},
-		{code: htmlparse.ErrUnexpectedEqualsSignBeforeAttrName, doc: `<!DOCTYPE html><body><div =x>y</div></body>`},
-		{code: htmlparse.ErrUnexpectedNullCharacter, doc: "<!DOCTYPE html><body><script>a\x00b</script></body>"},
-		{code: htmlparse.ErrUnexpectedQuestionMarkInsteadOfTag, doc: `<!DOCTYPE html><body><?xml?></body>`},
-		{code: htmlparse.ErrUnexpectedSolidusInTag, rule: "FB1", doc: `<!DOCTYPE html><body><img/src=x></body>`},
-		{code: htmlparse.ErrUnknownNamedCharacterReference, doc: `<!DOCTYPE html><body>&unknown;</body>`},
-
-		// Tree-construction-stage errors.
-		{code: htmlparse.ErrUnexpectedTokenInInitialMode, doc: `<p>x</p>`},
-		{code: htmlparse.ErrUnexpectedDoctype, doc: `<!DOCTYPE html><body><!DOCTYPE html>x</body>`},
-		{code: htmlparse.ErrUnexpectedStartTag, doc: `<!DOCTYPE html><body><td>x</body>`},
-		{code: htmlparse.ErrUnexpectedEndTag, doc: `<!DOCTYPE html><body></p></body>`},
-		{code: htmlparse.ErrUnexpectedTextInTable, doc: `<!DOCTYPE html><body><table>x</table></body>`},
-		{code: htmlparse.ErrUnexpectedEOFInElement, doc: `<!DOCTYPE html><body><div>x`},
-		{code: htmlparse.ErrNestedFormElement, doc: `<!DOCTYPE html><body><form><form>x</form></form></body>`},
-		{code: htmlparse.ErrSecondBodyStartTag, doc: `<!DOCTYPE html><body><body>x</body>`},
-		{code: htmlparse.ErrFosterParenting, doc: `<!DOCTYPE html><body><table><div>x</div></table></body>`},
-		{code: htmlparse.ErrForeignContentBreakout, doc: `<!DOCTYPE html><body><svg><p>x</p></svg></body>`},
-		{code: htmlparse.ErrUnexpectedElementInHead, doc: `<!DOCTYPE html><head></head><meta name="a"><body>x</body>`},
-		{code: htmlparse.ErrHTMLIntegrationMisnesting, doc: `<!DOCTYPE html><body><circle>x</circle></body>`},
-		{code: htmlparse.ErrAdoptionAgencyMisnesting, doc: `<!DOCTYPE html><body><a>x<a>y</a></body>`},
-	}
-}
-
-// unemittedCodes are declared in htmlparse/errors.go but not yet
-// produced by any parser path. They stay in the ledger so the
-// exhaustiveness check (and the specerrors analyzer) pass; when the
-// parser learns to emit one, TestSpecCoverageUnemitted fails and the
-// code must graduate into specCoverage with its provoking document.
-func unemittedCodes() map[htmlparse.ErrorCode]string {
-	return map[htmlparse.ErrorCode]string{
-		// Self-closing syntax on a non-void element is currently folded
-		// into the generic repair path without its own error.
-		htmlparse.ErrNonVoidElementWithTrailingSolidus: "not yet wired into the tree builder",
-		// UTF-8 validation rejects surrogate encodings outright as
-		// ErrNotUTF8 before the tokenizer could flag them.
-		htmlparse.ErrSurrogateInInputStream: "unreachable behind the ErrNotUTF8 preprocess gate",
-	}
-}
+// Tests over the spec-coverage ledger in speccoverage.go: every emitted
+// code must be reachable, the rule mapping must be live, and the ledger
+// must stay exhaustive over htmlparse's ErrorCode constants. The hvlint
+// specerrors analyzer enforces the reference invariant at lint time;
+// these tests are its runtime twin, and cmd/hvconform turns the same
+// ledger into the conformance corpus coverage gate.
 
 // TestSpecCoverageProvokesEveryCode proves every emitted code is
 // reachable: each row's document must produce its code when parsed.
 func TestSpecCoverageProvokesEveryCode(t *testing.T) {
-	for _, row := range specCoverage() {
+	for _, row := range SpecCoverage() {
 		row := row
-		t.Run(string(row.code), func(t *testing.T) {
-			res, err := htmlparse.Parse([]byte(row.doc))
+		t.Run(string(row.Code), func(t *testing.T) {
+			res, err := htmlparse.Parse([]byte(row.Doc))
 			if err != nil {
-				t.Fatalf("Parse(%q): %v", row.doc, err)
+				t.Fatalf("Parse(%q): %v", row.Doc, err)
 			}
-			if !res.HasError(row.code) {
-				t.Fatalf("document %q did not provoke %s; got %v", row.doc, row.code, res.Errors)
+			if !res.HasError(row.Code) {
+				t.Fatalf("document %q did not provoke %s; got %v", row.Doc, row.Code, res.Errors)
 			}
 		})
 	}
@@ -143,38 +38,42 @@ func TestSpecCoverageProvokesEveryCode(t *testing.T) {
 // rule exists, is a parsing-error rule, and actually fires on the
 // row's document.
 func TestSpecCoverageRuleMapping(t *testing.T) {
-	for _, row := range specCoverage() {
-		if row.rule == "" {
+	for _, row := range SpecCoverage() {
+		if row.Rule == "" {
 			continue
 		}
-		r, ok := RuleByID(row.rule)
+		r, ok := RuleByID(row.Rule)
 		if !ok {
-			t.Fatalf("%s maps to unknown rule %q", row.code, row.rule)
+			t.Fatalf("%s maps to unknown rule %q", row.Code, row.Rule)
 		}
 		if r.Category != ParsingError {
-			t.Errorf("%s maps to rule %s with category %q, want %q", row.code, row.rule, r.Category, ParsingError)
+			t.Errorf("%s maps to rule %s with category %q, want %q", row.Code, row.Rule, r.Category, ParsingError)
 		}
-		rep := mustCheck(t, []byte(row.doc))
-		if !rep.Violated(row.rule) {
-			t.Errorf("rule %s did not fire on %q (violations: %v)", row.rule, row.doc, rep.ViolatedIDs())
+		rep := mustCheck(t, []byte(row.Doc))
+		if !rep.Violated(row.Rule) {
+			t.Errorf("rule %s did not fire on %q (violations: %v)", row.Rule, row.Doc, rep.ViolatedIDs())
 		}
 	}
 }
 
 // TestSpecCoverageUnemitted keeps the unemitted list honest: none of
-// its codes may appear in specCoverage, and the lists together must
-// not double-book a code.
+// its codes may appear in SpecCoverage, every justification must be
+// non-empty, and none of the codes may actually be provokable by the
+// emitted rows' documents.
 func TestSpecCoverageUnemitted(t *testing.T) {
 	emitted := make(map[htmlparse.ErrorCode]bool)
-	for _, row := range specCoverage() {
-		if emitted[row.code] {
-			t.Errorf("code %s listed twice in specCoverage", row.code)
+	for _, row := range SpecCoverage() {
+		if emitted[row.Code] {
+			t.Errorf("code %s listed twice in SpecCoverage", row.Code)
 		}
-		emitted[row.code] = true
+		emitted[row.Code] = true
 	}
-	for code := range unemittedCodes() {
+	for code, why := range UnemittedCodes() {
 		if emitted[code] {
-			t.Errorf("code %s is in both specCoverage and unemittedCodes", code)
+			t.Errorf("code %s is in both SpecCoverage and UnemittedCodes", code)
+		}
+		if why == "" {
+			t.Errorf("code %s has no justification", code)
 		}
 	}
 }
@@ -194,10 +93,10 @@ func TestSpecCoverageNamesAreWellFormed(t *testing.T) {
 		}
 		seen[code] = true
 	}
-	for _, row := range specCoverage() {
-		check(row.code)
+	for _, row := range SpecCoverage() {
+		check(row.Code)
 	}
-	for code := range unemittedCodes() {
+	for code := range UnemittedCodes() {
 		check(code)
 	}
 }
@@ -212,10 +111,10 @@ func TestSpecCoverageLedgerIsExhaustive(t *testing.T) {
 		t.Fatalf("parse errors.go: %v", err)
 	}
 	covered := make(map[string]bool)
-	for _, row := range specCoverage() {
-		covered[string(row.code)] = true
+	for _, row := range SpecCoverage() {
+		covered[string(row.Code)] = true
 	}
-	for code := range unemittedCodes() {
+	for code := range UnemittedCodes() {
 		covered[string(code)] = true
 	}
 	declared := 0
@@ -240,12 +139,12 @@ func TestSpecCoverageLedgerIsExhaustive(t *testing.T) {
 				value := lit.Value[1 : len(lit.Value)-1] // strip quotes
 				declared++
 				if !covered[value] {
-					t.Errorf("htmlparse.%s (%q) is missing from the spec coverage ledger; add it to specCoverage (with a provoking document) or unemittedCodes", name.Name, value)
+					t.Errorf("htmlparse.%s (%q) is missing from the spec coverage ledger; add it to SpecCoverage (with a provoking document) or UnemittedCodes", name.Name, value)
 				}
 			}
 		}
 	}
-	if want := len(specCoverage()) + len(unemittedCodes()); declared != want {
+	if want := len(SpecCoverage()) + len(UnemittedCodes()); declared != want {
 		t.Errorf("errors.go declares %d ErrorCode constants, ledger has %d rows", declared, want)
 	}
 }

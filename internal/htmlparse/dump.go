@@ -1,0 +1,133 @@
+package htmlparse
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file holds the conformance hooks of the parser: the tree dump in
+// the html5lib-tests dialect and the tokenizer state override the
+// html5lib tokenizer test format requires. They are exported because the
+// conformance engine (internal/conformance, cmd/hvconform) diffs parser
+// output byte-for-byte against checked-in fixtures; keeping the dump
+// here, next to the tree builder, means the dialect and the DOM can
+// never drift apart silently.
+
+// DumpTree renders the tree rooted at n in the html5lib-tests dump
+// dialect:
+//
+//	| <!DOCTYPE html>
+//	| <html>
+//	|   <head>
+//	|   <body>
+//	|     <p>
+//	|       class="x"
+//	|       "text"
+//
+// Rules of the dialect: every line starts with "| " plus two spaces per
+// depth level; attributes print one per line, sorted by name, below
+// their element; text prints raw (unescaped) between double quotes;
+// foreign elements carry an "svg " or "math " namespace prefix; a
+// doctype with a public or system identifier prints both in quotes.
+// Document and fragment roots render as the concatenation of their
+// children. The output of DumpTree is what .dat conformance fixtures
+// must match byte-for-byte (after trailing-whitespace trimming).
+func DumpTree(n *Node) string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		indent := "| " + strings.Repeat("  ", depth)
+		switch n.Type {
+		case ElementNode:
+			name := n.Data
+			if n.Namespace != NamespaceHTML {
+				name = n.Namespace.String() + " " + name
+			}
+			b.WriteString(indent + "<" + name + ">\n")
+			attrs := make([]Attribute, 0, len(n.Attr))
+			for _, a := range n.Attr {
+				if !a.Duplicate {
+					attrs = append(attrs, a)
+				}
+			}
+			sort.SliceStable(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+			for _, a := range attrs {
+				b.WriteString(indent + "  " + a.Name + `="` + a.Value + `"` + "\n")
+			}
+		case TextNode:
+			b.WriteString(indent + `"` + n.Data + `"` + "\n")
+		case CommentNode:
+			b.WriteString(indent + "<!-- " + n.Data + " -->\n")
+		case DoctypeNode:
+			b.WriteString(indent + "<!DOCTYPE " + n.Data)
+			if n.PublicID != "" || n.SystemID != "" {
+				b.WriteString(` "` + n.PublicID + `" "` + n.SystemID + `"`)
+			}
+			b.WriteString(">\n")
+		}
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			walk(c, depth+1)
+		}
+	}
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		walk(c, 0)
+	}
+	return b.String()
+}
+
+// testStates maps the html5lib tokenizer-test "initialStates" names onto
+// tokenizer states. Only states a test harness can meaningfully start in
+// appear here; the remaining states are interior and reached through
+// input alone.
+var testStates = map[string]state{
+	"Data state":          stateData,
+	"PLAINTEXT state":     statePlaintext,
+	"RCDATA state":        stateRCDATA,
+	"RAWTEXT state":       stateRAWTEXT,
+	"Script data state":   stateScriptData,
+	"CDATA section state": stateCDATASection,
+}
+
+// SetTestState forces the tokenizer into one of the initial states the
+// html5lib tokenizer test format names ("Data state", "RCDATA state",
+// "RAWTEXT state", "Script data state", "PLAINTEXT state", "CDATA
+// section state") and installs lastStartTag as the "appropriate end
+// tag" reference. It reports whether the name was recognized. Call it
+// before the first Next.
+func (z *Tokenizer) SetTestState(name, lastStartTag string) bool {
+	s, ok := testStates[name]
+	if !ok {
+		return false
+	}
+	z.state = s
+	if lastStartTag != "" {
+		z.lastStartTag = lastStartTag
+	}
+	return true
+}
+
+// treeStageCodes is the set of tree-construction-stage error codes (the
+// second const block in errors.go). Everything else is emitted by the
+// preprocessor or the tokenizer.
+var treeStageCodes = map[ErrorCode]bool{
+	ErrUnexpectedTokenInInitialMode:      true,
+	ErrUnexpectedDoctype:                 true,
+	ErrUnexpectedStartTag:                true,
+	ErrUnexpectedEndTag:                  true,
+	ErrUnexpectedTextInTable:             true,
+	ErrUnexpectedEOFInElement:            true,
+	ErrNestedFormElement:                 true,
+	ErrSecondBodyStartTag:                true,
+	ErrFosterParenting:                   true,
+	ErrForeignContentBreakout:            true,
+	ErrNonVoidElementWithTrailingSolidus: true,
+	ErrHTMLIntegrationMisnesting:         true,
+	ErrAdoptionAgencyMisnesting:          true,
+}
+
+// TreeStage reports whether the code is emitted by the tree construction
+// stage. Tokenizer- and preprocessor-stage codes (TreeStage() == false)
+// are position-local: they depend only on a bounded window of input
+// around their offset, which is the property the truncation metamorphic
+// invariant in internal/conformance relies on.
+func (c ErrorCode) TreeStage() bool { return treeStageCodes[c] }

@@ -46,6 +46,10 @@ const (
 	ErrNestedComment                      ErrorCode = "nested-comment"
 	ErrNoncharacterCharacterReference     ErrorCode = "noncharacter-character-reference"
 	ErrNoncharacterInInputStream          ErrorCode = "noncharacter-in-input-stream"
+	// ErrNonVoidElementWithTrailingSolidus is declared with the other
+	// spec-named codes but emitted by the tree construction stage: the
+	// tokenizer sets the self-closing flag, and only the tree builder
+	// knows whether a handler acknowledged it.
 	ErrNonVoidElementWithTrailingSolidus  ErrorCode = "non-void-html-element-start-tag-with-trailing-solidus"
 	ErrNullCharacterReference             ErrorCode = "null-character-reference"
 	ErrSurrogateCharacterReference        ErrorCode = "surrogate-character-reference"

@@ -109,6 +109,7 @@ func (tb *treeBuilder) foreignIM(t *Token) bool {
 		tb.insertElement(*t, ns)
 		if t.SelfClosing {
 			tb.pop()
+			tb.ackSelfClosing()
 		}
 		return true
 	case EndTagToken:

@@ -25,7 +25,15 @@ func (tb *treeBuilder) run() {
 				}
 			}
 		}
-		tb.process(t)
+		if t.Type == StartTagToken && t.SelfClosing {
+			tb.selfClosingAcked = false
+			tb.process(t)
+			if !tb.selfClosingAcked {
+				tb.parseError(ErrNonVoidElementWithTrailingSolidus, t.Data, t.Pos)
+			}
+		} else {
+			tb.process(t)
+		}
 		if t.Type == EOFToken {
 			tb.stopped = true
 		}
@@ -152,7 +160,7 @@ func (tb *treeBuilder) initialIM(t *Token) bool {
 		tb.insertComment(*t, tb.doc)
 		return true
 	case DoctypeToken:
-		n := &Node{Type: DoctypeNode, Data: t.Data, Pos: t.Pos}
+		n := &Node{Type: DoctypeNode, Data: t.Data, PublicID: t.PublicID, SystemID: t.SystemID, Pos: t.Pos}
 		tb.doc.AppendChild(n)
 		tb.quirksMode = quirksModeOf(t)
 		tb.quirks = tb.quirksMode == Quirks
@@ -273,6 +281,7 @@ func (tb *treeBuilder) inHeadIM(t *Token) bool {
 		case "base", "basefont", "bgsound", "link", "meta":
 			tb.insertElement(*t, NamespaceHTML)
 			tb.pop()
+			tb.ackSelfClosing()
 			return true
 		case "title":
 			tb.parseGenericRawText(*t)
@@ -647,12 +656,14 @@ func (tb *treeBuilder) inBodyStartTag(t *Token) bool {
 		tb.reconstructAFE()
 		tb.insertElement(*t, NamespaceHTML)
 		tb.pop()
+		tb.ackSelfClosing()
 		tb.framesetOK = false
 		return true
 	case "input":
 		tb.reconstructAFE()
 		n := tb.insertElement(*t, NamespaceHTML)
 		tb.pop()
+		tb.ackSelfClosing()
 		if typ, _ := n.LookupAttr("type"); asciiLower(typ) != "hidden" {
 			tb.framesetOK = false
 		}
@@ -660,6 +671,7 @@ func (tb *treeBuilder) inBodyStartTag(t *Token) bool {
 	case "param", "source", "track":
 		tb.insertElement(*t, NamespaceHTML)
 		tb.pop()
+		tb.ackSelfClosing()
 		return true
 	case "hr":
 		if tb.elementInScope(buttonScopeExtra, "p") {
@@ -667,6 +679,7 @@ func (tb *treeBuilder) inBodyStartTag(t *Token) bool {
 		}
 		tb.insertElement(*t, NamespaceHTML)
 		tb.pop()
+		tb.ackSelfClosing()
 		tb.framesetOK = false
 		return true
 	case "image":
@@ -741,6 +754,7 @@ func (tb *treeBuilder) inBodyStartTag(t *Token) bool {
 		tb.insertElement(*t, NamespaceMathML)
 		if t.SelfClosing {
 			tb.pop()
+			tb.ackSelfClosing()
 		}
 		return true
 	case "svg":
@@ -753,6 +767,7 @@ func (tb *treeBuilder) inBodyStartTag(t *Token) bool {
 		tb.insertElement(*t, NamespaceSVG)
 		if t.SelfClosing {
 			tb.pop()
+			tb.ackSelfClosing()
 		}
 		return true
 	case "caption", "col", "colgroup", "frame", "head", "tbody", "td",
@@ -1174,6 +1189,7 @@ func (tb *treeBuilder) inColumnGroupIM(t *Token) bool {
 		case "col":
 			tb.insertElement(*t, NamespaceHTML)
 			tb.pop()
+			tb.ackSelfClosing()
 			return true
 		case "template":
 			return tb.inHeadIM(t)
@@ -1579,6 +1595,7 @@ func (tb *treeBuilder) inFramesetIM(t *Token) bool {
 		case "frame":
 			tb.insertElement(*t, NamespaceHTML)
 			tb.pop()
+			tb.ackSelfClosing()
 			return true
 		case "noframes":
 			return tb.inHeadIM(t)

@@ -50,6 +50,11 @@ type Node struct {
 	Namespace Namespace
 	Attr      []Attribute
 
+	// PublicID and SystemID carry the doctype identifiers (valid on
+	// DoctypeNode only). They feed the quirks-mode classification and the
+	// html5lib-dialect tree dump.
+	PublicID, SystemID string
+
 	Parent, FirstChild, LastChild, PrevSibling, NextSibling *Node
 
 	// Pos is where the token that created this node started.

@@ -122,6 +122,17 @@ func renderElement(w sw, n *Node) error {
 	if n.Namespace == NamespaceHTML && voidElements[n.Data] {
 		return nil
 	}
+	// Spec 13.3: the parser drops a newline immediately after an opening
+	// pre/textarea/listing tag, so a text child that genuinely starts
+	// with one needs a second newline to survive the round trip.
+	if n.Namespace == NamespaceHTML &&
+		(n.Data == "pre" || n.Data == "textarea" || n.Data == "listing") {
+		if c := n.FirstChild; c != nil && c.Type == TextNode && strings.HasPrefix(c.Data, "\n") {
+			if _, err := w.WriteString("\n"); err != nil {
+				return err
+			}
+		}
+	}
 	// An RCDATA element's text serializes escaped (title, textarea),
 	// handled by the TextNode case; raw-text elements verbatim.
 	if err := renderChildren(w, n); err != nil {
@@ -146,17 +157,24 @@ func renderChildren(w sw, n *Node) error {
 	return nil
 }
 
+// A literal CR can only enter the DOM through a character reference
+// (the preprocessor normalizes raw CR to LF before tokenization), and
+// serializing it raw would turn it back into LF on re-parse. Escaping
+// it as &#13; keeps the round trip faithful; raw-text elements are safe
+// to serialize verbatim because their content never decodes references.
 var textEscaper = strings.NewReplacer(
 	"&", "&amp;",
 	" ", "&nbsp;",
 	"<", "&lt;",
 	">", "&gt;",
+	"\r", "&#13;",
 )
 
 var attrEscaper = strings.NewReplacer(
 	"&", "&amp;",
 	" ", "&nbsp;",
 	`"`, "&quot;",
+	"\r", "&#13;",
 )
 
 func escapeText(s string) string { return textEscaper.Replace(s) }

@@ -89,3 +89,43 @@ func TestSerializeRCDATAEscaped(t *testing.T) {
 		t.Fatalf("textarea content = %q", got)
 	}
 }
+
+// TestSerializeRoundTripHardCases pins the two serialize→reparse
+// infidelities the conformance fuzzer found (internal/conformance,
+// FuzzRenderParseFixpoint): a carriage return that entered the DOM via
+// &#13; must re-escape (raw CR would re-parse as LF), and a text child
+// of pre/textarea/listing that starts with a newline needs the spec's
+// extra newline so the parser's drop-first-LF rule doesn't eat it.
+func TestSerializeRoundTripHardCases(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{
+			"<body>a&#13;b",
+			"<html><head></head><body>a&#13;b</body></html>",
+		},
+		{
+			"<body><div title=\"a&#13;b\">x</div>",
+			"<html><head></head><body><div title=\"a&#13;b\">x</div></body></html>",
+		},
+		{
+			"<textarea>\n\nx</textarea>",
+			"<html><head></head><body><textarea>\n\nx</textarea></body></html>",
+		},
+		{
+			"<pre>\n\nx</pre>",
+			"<html><head></head><body><pre>\n\nx</pre></body></html>",
+		},
+		{ // a single leading newline is the parser's to drop; no extra LF
+			"<pre>\nx</pre>",
+			"<html><head></head><body><pre>x</pre></body></html>",
+		},
+	}
+	for _, tc := range cases {
+		got := renderOf(t, tc.in)
+		if got != tc.want {
+			t.Errorf("render(%q):\n got  %s\n want %s", tc.in, got, tc.want)
+		}
+		if again := renderOf(t, got); again != got {
+			t.Errorf("render(%q) is not a fixpoint:\n out1 %s\n out2 %s", tc.in, got, again)
+		}
+	}
+}

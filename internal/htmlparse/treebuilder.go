@@ -57,9 +57,15 @@ type treeBuilder struct {
 
 	fosterParenting bool
 	framesetOK      bool
-	quirks          bool
-	quirksMode      QuirksMode
-	stopped         bool
+	// selfClosingAcked tracks the spec's "acknowledge the token's
+	// self-closing flag" instruction: void-element and foreign-content
+	// handlers set it; a self-closing start tag that finishes processing
+	// without acknowledgment is the non-void-html-element-start-tag-
+	// with-trailing-solidus parse error.
+	selfClosingAcked bool
+	quirks           bool
+	quirksMode       QuirksMode
+	stopped          bool
 
 	pendingTableText []Token
 	tableTextPos     Position
@@ -98,6 +104,11 @@ func newTreeBuilder(z *Tokenizer) *treeBuilder {
 	}
 	return tb
 }
+
+// ackSelfClosing implements "acknowledge the token's self-closing flag".
+// Called by every handler the spec marks as acknowledging: void-element
+// insertions and self-closing foreign elements.
+func (tb *treeBuilder) ackSelfClosing() { tb.selfClosingAcked = true }
 
 func (tb *treeBuilder) parseError(code ErrorCode, detail string, pos Position) {
 	tb.errors = append(tb.errors, ParseError{Code: code, Pos: pos, Detail: detail})

@@ -1,7 +1,6 @@
 package htmlparse
 
 import (
-	"fmt"
 	"strings"
 	"testing"
 )
@@ -13,40 +12,10 @@ import (
 //	|   <head>
 //	|   <body>
 //	|     "text"
-func dumpTree(n *Node) string {
-	var b strings.Builder
-	var walk func(n *Node, depth int)
-	walk = func(n *Node, depth int) {
-		indent := "| " + strings.Repeat("  ", depth)
-		switch n.Type {
-		case ElementNode:
-			name := n.Data
-			if n.Namespace != NamespaceHTML {
-				name = n.Namespace.String() + " " + name
-			}
-			fmt.Fprintf(&b, "%s<%s>\n", indent, name)
-			for _, a := range n.Attr {
-				if a.Duplicate {
-					continue
-				}
-				fmt.Fprintf(&b, "%s  %s=%q\n", indent, a.Name, a.Value)
-			}
-		case TextNode:
-			fmt.Fprintf(&b, "%s%q\n", indent, n.Data)
-		case CommentNode:
-			fmt.Fprintf(&b, "%s<!-- %s -->\n", indent, n.Data)
-		case DoctypeNode:
-			fmt.Fprintf(&b, "%s<!DOCTYPE %s>\n", indent, n.Data)
-		}
-		for c := n.FirstChild; c != nil; c = c.NextSibling {
-			walk(c, depth+1)
-		}
-	}
-	for c := n.FirstChild; c != nil; c = c.NextSibling {
-		walk(c, 0)
-	}
-	return b.String()
-}
+//
+// It is the exported DumpTree (dump.go); the alias keeps the many test
+// call sites short.
+func dumpTree(n *Node) string { return DumpTree(n) }
 
 // treeCase parses input and compares the dump against want (leading pipe
 // format, whitespace-trimmed per line).
@@ -116,8 +85,8 @@ func TestTreeSkeletonSynthesis(t *testing.T) {
 
 	treeCase(t, "html attrs merged", `<html lang="en"><html class="x">`, `
 | <html>
-|   lang="en"
 |   class="x"
+|   lang="en"
 |   <head>
 |   <body>`)
 }
@@ -346,7 +315,7 @@ func TestTreeRawText(t *testing.T) {
 | <html>
 |   <head>
 |     <script>
-|       "if (a < b) { x(\"</div>\"); }"
+|       "if (a < b) { x("</div>"); }"
 |   <body>`)
 
 	treeCase(t, "style content opaque", "<style>a > b { color: red }</style>", `

@@ -178,3 +178,107 @@ func FuzzReadJournal(f *testing.F) {
 		}
 	})
 }
+
+func TestJournalOpenZeroByteFile(t *testing.T) {
+	path := tmpJournal(t)
+	// A crash between create and the header write leaves a 0-byte file;
+	// resume must treat it as a fresh journal, not corruption.
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, warn, err := OpenJournal(path)
+	if err != nil || warn != "" {
+		t.Fatalf("zero-byte journal: err=%v warn=%q", err, warn)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("zero-byte journal has %d entries", j.Len())
+	}
+	if err := j.Record(JournalEntry{Crawl: "c", Domain: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, warn, err := OpenJournal(path)
+	if err != nil || warn != "" {
+		t.Fatalf("reopen after zero-byte recovery: err=%v warn=%q", err, warn)
+	}
+	defer j2.Close()
+	if !j2.Done("c", "d") {
+		t.Fatal("entry recorded into a recovered zero-byte journal was lost")
+	}
+}
+
+func TestJournalOnlyTornTail(t *testing.T) {
+	path := tmpJournal(t)
+	// Header plus a single torn line and nothing else: the very first
+	// Record of a run was interrupted. Distinct from the torn-tail case
+	// with prior entries because replay has zero entries to rewrite.
+	body := JournalHeader + "\n" + `{"crawl":"c","domain":"d","res`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, warn, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn-only journal must not fail open: %v", err)
+	}
+	if !strings.Contains(warn, "torn") {
+		t.Fatalf("want torn warning, got %q", warn)
+	}
+	if j.Len() != 0 || j.Done("c", "d") {
+		t.Fatalf("torn line leaked into the index: len=%d", j.Len())
+	}
+	j.Close()
+	// The tail is gone from disk: the file is exactly a fresh journal.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != JournalHeader+"\n" {
+		t.Fatalf("disk not reset to a fresh journal: %q", data)
+	}
+	if _, warn, err := OpenJournal(path); err != nil || warn != "" {
+		t.Fatalf("third open not clean: err=%v warn=%q", err, warn)
+	}
+}
+
+func TestJournalResumeAfterQuarantine(t *testing.T) {
+	path := tmpJournal(t)
+	corrupt := "not a journal at all\n" + `{"crawl":"c","domain":"old"}` + "\n"
+	if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, warn, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("corrupt journal must degrade, not fail: %v", err)
+	}
+	if !strings.Contains(warn, "corrupt") {
+		t.Fatalf("want corruption warning, got %q", warn)
+	}
+	// The evidence is preserved byte-for-byte.
+	kept, err := os.ReadFile(path + ".corrupt")
+	if err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if string(kept) != corrupt {
+		t.Fatalf("quarantine altered the evidence: %q", kept)
+	}
+	// The run proceeds on the fresh journal...
+	if err := j.Record(JournalEntry{Crawl: "c", Domain: "d1", Result: &DomainResult{Crawl: "c", Domain: "d1"}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// ...and the NEXT resume replays it cleanly, quarantine intact.
+	j2, warn, err := OpenJournal(path)
+	if err != nil || warn != "" {
+		t.Fatalf("resume after quarantine: err=%v warn=%q", err, warn)
+	}
+	defer j2.Close()
+	if j2.Len() != 1 || !j2.Done("c", "d1") {
+		t.Fatalf("post-quarantine entries lost: len=%d", j2.Len())
+	}
+	if j2.Done("c", "old") {
+		t.Fatal("quarantined entry leaked into the fresh journal")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file lost across resume: %v", err)
+	}
+}
