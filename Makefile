@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint bench bench-json ci chaos fmt-check study report fuzz clean conform conform-update fuzz-smoke
+.PHONY: all build test vet lint bench bench-json bench-gate ci chaos fmt-check study report fuzz clean conform conform-update fuzz-smoke
 
 all: build test
 
@@ -17,6 +17,7 @@ ci: build vet lint fmt-check
 	$(GO) test -run '^$$' -fuzz='^FuzzClassify$$' -fuzztime=10s ./internal/resilience
 	$(GO) test -run '^$$' -fuzz='^FuzzReadJournal$$' -fuzztime=10s ./internal/store
 	$(MAKE) fuzz-smoke
+	$(MAKE) bench-gate
 
 # Conformance gate: run the checked-in html5lib-style corpus (tree
 # construction + tokenizer) through hvconform. Fails on any fixture
@@ -70,11 +71,20 @@ lint:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable benchmark run for the perf trajectory across PRs:
-# test2json event stream, one file per day.
+# Machine-readable benchmark run for the perf trajectory across PRs: the
+# parser benchmarks folded into the stable internal/perf schema (min of 5
+# runs per benchmark, git SHA + date stamped inside the payload), one
+# BENCH_<yyyymmdd>.json per day.
 bench-json:
-	$(GO) test -json -bench=. -benchmem -run '^$$' . > BENCH_$$(date +%Y%m%d).json
-	@echo "wrote BENCH_$$(date +%Y%m%d).json"
+	$(GO) run ./cmd/hvbench -record
+
+# Benchmark regression gate: re-run the parser benchmarks and fail if any
+# of them regresses more than 10% ns/op against the checked-in
+# BENCH_baseline.json (or vanishes from the run). Refresh the baseline
+# after an intentional perf change with:
+#   go run ./cmd/hvbench -record -out BENCH_baseline.json
+bench-gate:
+	$(GO) run ./cmd/hvbench
 
 # The full eight-snapshot study at laptop scale, then the report.
 study:

@@ -42,6 +42,7 @@ import (
 	"github.com/hvscan/hvscan/internal/core"
 	"github.com/hvscan/hvscan/internal/corpus"
 	"github.com/hvscan/hvscan/internal/crawler"
+	"github.com/hvscan/hvscan/internal/htmlparse"
 	"github.com/hvscan/hvscan/internal/obs"
 	"github.com/hvscan/hvscan/internal/store"
 	"github.com/hvscan/hvscan/internal/tranco"
@@ -117,6 +118,7 @@ func run(o options) error {
 	// One registry carries every layer's series: archive round trips,
 	// pipeline stages, per-rule hits, store writes.
 	reg := obs.NewRegistry()
+	htmlparse.Instrument(reg)
 
 	var archive commoncrawl.Archive
 	if o.server != "" {

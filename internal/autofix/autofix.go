@@ -53,7 +53,7 @@ func FixableRuleIDs() []string {
 // browser would build is unchanged except for the relocated metadata,
 // which the parser would have applied head rules to anyway).
 func Repair(input []byte) (*Result, error) {
-	res, err := htmlparse.Parse(input)
+	res, err := htmlparse.ParseReuse(input)
 	if err != nil {
 		return nil, err
 	}

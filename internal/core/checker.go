@@ -154,7 +154,7 @@ func (c *Checker) countHits(rep *Report) {
 // single instrumented parse. It returns htmlparse.ErrNotUTF8 for documents
 // the pipeline must filter (paper §4.1).
 func (c *Checker) Check(html []byte) (*Report, error) {
-	res, err := htmlparse.Parse(html)
+	res, err := htmlparse.ParseReuse(html)
 	if err != nil {
 		return nil, err
 	}

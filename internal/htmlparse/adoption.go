@@ -90,7 +90,7 @@ func (tb *treeBuilder) adoptionAgency(t *Token) {
 				tb.stack = append(tb.stack[:nodeIdx], tb.stack[nodeIdx+1:]...)
 				continue
 			}
-			clone := node.clone()
+			clone := tb.cloneNode(node)
 			tb.afe[nodeAFE].node = clone
 			tb.stack[nodeIdx] = clone
 			node = clone
@@ -108,7 +108,7 @@ func (tb *treeBuilder) adoptionAgency(t *Token) {
 		}
 		tb.insertWithTarget(commonAncestor, lastNode)
 		// Step 4.15-4.19: re-home the furthest block's children.
-		clone := fe.clone()
+		clone := tb.cloneNode(fe)
 		for c := fb.FirstChild; c != nil; c = fb.FirstChild {
 			fb.RemoveChild(c)
 			clone.AppendChild(c)

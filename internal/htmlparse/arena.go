@@ -1,0 +1,26 @@
+package htmlparse
+
+// nodeArena hands out Node values from chunked slabs, replacing one heap
+// allocation per node with one per arenaChunk nodes. Slabs are owned by
+// the document built from them (its nodes point into the slab arrays), so
+// an arena is per-parse and never recycled: Parser.reset drops any
+// partially used slab rather than sharing a backing array between two
+// documents, which would couple their lifetimes under the GC.
+type nodeArena struct {
+	slab  []Node
+	nodes int // total nodes served, for the htmlparse_arena_nodes_total metric
+	slabs int // total slabs allocated
+}
+
+const arenaChunk = 256
+
+func (a *nodeArena) new() *Node {
+	if len(a.slab) == 0 {
+		a.slab = make([]Node, arenaChunk)
+		a.slabs++
+	}
+	n := &a.slab[0]
+	a.slab = a.slab[1:]
+	a.nodes++
+	return n
+}

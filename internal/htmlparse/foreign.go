@@ -52,7 +52,7 @@ func (tb *treeBuilder) foreignIM(t *Token) bool {
 	case CharacterToken:
 		data := t.Data
 		if strings.ContainsRune(data, 0) {
-			tb.parseError(ErrUnexpectedNullCharacter, "", t.Pos)
+			tb.parseError(ErrUnexpectedNullCharacter, "", tb.nulPos(t))
 			data = strings.ReplaceAll(data, "\x00", "�")
 		}
 		tb.insertText(data, t.Pos)

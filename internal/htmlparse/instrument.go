@@ -1,0 +1,33 @@
+package htmlparse
+
+import (
+	"sync/atomic"
+
+	"github.com/hvscan/hvscan/internal/obs"
+)
+
+// parserMetrics carries the reuse-machinery counters. The package-level
+// atomic pointer keeps the hot path to one load when no registry is
+// installed (tests, one-shot tools) and makes Instrument safe to call
+// concurrently with parses.
+type parserMetrics struct {
+	poolHits   *obs.Counter
+	poolMisses *obs.Counter
+	arenaSlabs *obs.Counter
+	arenaNodes *obs.Counter
+}
+
+var metrics atomic.Pointer[parserMetrics]
+
+// Instrument registers the parser's reuse metrics on reg and starts
+// recording: pool hit/miss counts from ParseReuse's sync.Pool, and arena
+// slab/node totals added once per completed parse.
+func Instrument(reg *obs.Registry) {
+	m := &parserMetrics{
+		poolHits:   reg.Counter("htmlparse_pool_hits_total"),
+		poolMisses: reg.Counter("htmlparse_pool_misses_total"),
+		arenaSlabs: reg.Counter("htmlparse_arena_slabs_total"),
+		arenaNodes: reg.Counter("htmlparse_arena_nodes_total"),
+	}
+	metrics.Store(m)
+}

@@ -160,7 +160,8 @@ func (tb *treeBuilder) initialIM(t *Token) bool {
 		tb.insertComment(*t, tb.doc)
 		return true
 	case DoctypeToken:
-		n := &Node{Type: DoctypeNode, Data: t.Data, PublicID: t.PublicID, SystemID: t.SystemID, Pos: t.Pos}
+		n := tb.newNode()
+		*n = Node{Type: DoctypeNode, Data: t.Data, PublicID: t.PublicID, SystemID: t.SystemID, Pos: t.Pos}
 		tb.doc.AppendChild(n)
 		tb.quirksMode = quirksModeOf(t)
 		tb.quirks = tb.quirksMode == Quirks
@@ -207,7 +208,8 @@ func (tb *treeBuilder) beforeHTMLIM(t *Token) bool {
 			return true
 		}
 	}
-	n := &Node{Type: ElementNode, Data: "html", Namespace: NamespaceHTML, Implied: true, Pos: t.Pos}
+	n := tb.newNode()
+	*n = Node{Type: ElementNode, Data: "html", Namespace: NamespaceHTML, Implied: true, Pos: t.Pos}
 	tb.doc.AppendChild(n)
 	tb.push(n)
 	tb.mode = modeBeforeHead
@@ -437,7 +439,7 @@ func (tb *treeBuilder) inBodyIM(t *Token) bool {
 	case CharacterToken:
 		data := strings.ReplaceAll(t.Data, "\x00", "")
 		if len(data) != len(t.Data) {
-			tb.parseError(ErrUnexpectedNullCharacter, "", t.Pos)
+			tb.parseError(ErrUnexpectedNullCharacter, "", tb.nulPos(t))
 		}
 		if data == "" {
 			return true
@@ -1083,7 +1085,7 @@ func (tb *treeBuilder) inTableTextIM(t *Token) bool {
 	if t.Type == CharacterToken {
 		data := strings.ReplaceAll(t.Data, "\x00", "")
 		if len(data) != len(t.Data) {
-			tb.parseError(ErrUnexpectedNullCharacter, "", t.Pos)
+			tb.parseError(ErrUnexpectedNullCharacter, "", tb.nulPos(t))
 		}
 		if data != "" {
 			tb.pendingTableText = append(tb.pendingTableText, Token{Type: CharacterToken, Data: data, Pos: t.Pos})
@@ -1394,7 +1396,7 @@ func (tb *treeBuilder) inSelectIM(t *Token) bool {
 	case CharacterToken:
 		data := strings.ReplaceAll(t.Data, "\x00", "")
 		if len(data) != len(t.Data) {
-			tb.parseError(ErrUnexpectedNullCharacter, "", t.Pos)
+			tb.parseError(ErrUnexpectedNullCharacter, "", tb.nulPos(t))
 		}
 		tb.insertText(data, t.Pos)
 		return true

@@ -211,15 +211,3 @@ func (n *Node) Ancestor(tag string) *Node {
 	}
 	return nil
 }
-
-// clone returns a shallow copy of n (attributes copied, no children/links).
-func (n *Node) clone() *Node {
-	c := &Node{
-		Type:      n.Type,
-		Data:      n.Data,
-		Namespace: n.Namespace,
-		Pos:       n.Pos,
-	}
-	c.Attr = append([]Attribute(nil), n.Attr...)
-	return c
-}

@@ -104,19 +104,30 @@ func ParseFragment(b []byte, context string) (*Result, error) {
 	z := NewTokenizer(pre.Input)
 	tb := newTreeBuilder(z)
 	tb.recordTokens = true
-	ctx := &Node{Type: ElementNode, Data: context, Namespace: NamespaceHTML}
+	root := tb.setupFragment(context)
+	tb.run()
+	res := assemble(pre, z, tb, root)
+	return res, nil
+}
+
+// setupFragment arranges the tree builder for the fragment parsing
+// algorithm: a context element standing in as the adjusted current node,
+// an implied html root, and the context-appropriate insertion mode and
+// tokenizer content model.
+func (tb *treeBuilder) setupFragment(context string) (root *Node) {
+	ctx := tb.newNode()
+	*ctx = Node{Type: ElementNode, Data: context, Namespace: NamespaceHTML}
 	tb.fragment = ctx
-	root := &Node{Type: ElementNode, Data: "html", Namespace: NamespaceHTML, Implied: true}
+	root = tb.newNode()
+	*root = Node{Type: ElementNode, Data: "html", Namespace: NamespaceHTML, Implied: true}
 	tb.doc.AppendChild(root)
 	tb.push(root)
 	tb.resetModeForFragment(context)
 	if context == "form" {
 		tb.form = ctx
 	}
-	z.StartRawText(context)
-	tb.run()
-	res := assemble(pre, z, tb, root)
-	return res, nil
+	tb.z.StartRawText(context)
+	return root
 }
 
 func assemble(pre *Preprocessed, z *Tokenizer, tb *treeBuilder, doc *Node) *Result {
@@ -127,6 +138,10 @@ func assemble(pre *Preprocessed, z *Tokenizer, tb *treeBuilder, doc *Node) *Resu
 	sort.SliceStable(res.Errors, func(i, j int) bool {
 		return res.Errors[i].Pos.Offset < res.Errors[j].Pos.Offset
 	})
+	if m := metrics.Load(); m != nil {
+		m.arenaSlabs.Add(uint64(tb.arena.slabs))
+		m.arenaNodes.Add(uint64(tb.arena.nodes))
+	}
 	return res
 }
 

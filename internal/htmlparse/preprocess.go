@@ -39,6 +39,17 @@ func Preprocess(b []byte) (*Preprocessed, error) {
 	p := &Preprocessed{Input: make([]byte, 0, len(b))}
 	line, col := 1, 1
 	for i := 0; i < len(b); {
+		// Bulk-copy runs of plain ASCII (no normalization, no stream error,
+		// no line break) in one append; the rune-at-a-time path below only
+		// sees newlines, CRs, controls and non-ASCII.
+		if j := i; preSafe[b[j]] {
+			for j++; j < len(b) && preSafe[b[j]]; j++ {
+			}
+			p.Input = append(p.Input, b[i:j]...)
+			col += j - i
+			i = j
+			continue
+		}
 		r, size := utf8.DecodeRune(b[i:])
 		switch {
 		case r == '\r':
@@ -72,6 +83,20 @@ func Preprocess(b []byte) (*Preprocessed, error) {
 		i += size
 	}
 	return p, nil
+}
+
+// preSafe marks the bytes Preprocess may copy verbatim without position
+// or error bookkeeping: printable ASCII plus TAB, FF and NUL (NUL passes
+// through here — the tokenizer flags it per-state).
+var preSafe = makePreSafeTable()
+
+func makePreSafeTable() *[256]bool {
+	var t [256]bool
+	t[0x00], t['\t'], t['\f'] = true, true, true
+	for b := 0x20; b < 0x7F; b++ {
+		t[b] = true
+	}
+	return &t
 }
 
 // isNoncharacter reports whether r is a Unicode noncharacter

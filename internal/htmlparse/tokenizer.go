@@ -1,6 +1,7 @@
 package htmlparse
 
 import (
+	"bytes"
 	"strings"
 	"unicode/utf8"
 )
@@ -134,14 +135,34 @@ type Tokenizer struct {
 
 	errors []ParseError
 	queue  []Token
+	qhead  int // queue read index; lets Next reuse the queue's backing array
 
-	textBuf    []byte
-	textPos    Position
-	haveText   bool
-	cur        Token
-	attrName   []byte
-	attrValue  []byte
-	attrRaw    []byte
+	textBuf  []byte
+	textPos  Position
+	haveText bool
+	// Zero-copy text tracking: while a pending character run is exactly one
+	// contiguous, untransformed span of the input, it is carried as
+	// [spanStart, spanEnd) instead of being copied into textBuf. The first
+	// transformation (character reference, NUL replacement) or
+	// discontinuity materializes the span into textBuf and falls back to
+	// the copying path.
+	spanStart, spanEnd int
+	spanOK             bool
+
+	cur Token
+
+	attrName  []byte
+	attrValue []byte
+	attrRaw   []byte
+	// Zero-copy attribute tracking, same scheme as the text span: while the
+	// in-progress attribute name (or value) is one untransformed input
+	// span, no bytes are copied and finishAttr emits string views instead.
+	nameSpanStart, nameSpanEnd int
+	nameSpanOK                 bool
+	valSpanStart, valSpanEnd   int
+	valSpanOK                  bool
+	attrPending                bool
+
 	attrQuote  byte
 	attrPos    Position
 	tmpBuf     []byte
@@ -201,6 +222,103 @@ func (z *Tokenizer) peek() rune {
 	return r
 }
 
+// ---- bulk scanning (the memchr-style hot path) ----
+
+var nlSlice = []byte{'\n'}
+
+// advance moves the cursor past chunk (which must start at z.pos),
+// updating line/col bookkeeping in bulk: one newline count and one rune
+// count per chunk instead of per-character work. It does not touch the
+// one-step reconsume state; callers never back() across a chunk.
+func (z *Tokenizer) advance(chunk []byte) {
+	if nl := bytes.Count(chunk, nlSlice); nl > 0 {
+		z.line += nl
+		z.col = 1 + utf8.RuneCount(chunk[bytes.LastIndexByte(chunk, '\n')+1:])
+	} else {
+		z.col += utf8.RuneCount(chunk)
+	}
+	z.pos += len(chunk)
+}
+
+// scanUntil consumes and returns the maximal run of input containing
+// neither stop byte nor NUL (NUL always terminates a run because every
+// content state treats it specially). Pass the same byte twice to scan
+// for a single stop byte. The stop byte itself is left unconsumed for the
+// caller's next() switch.
+func (z *Tokenizer) scanUntil(stop1, stop2 byte) []byte {
+	s := z.input[z.pos:]
+	n := len(s)
+	if i := bytes.IndexByte(s, stop1); i >= 0 {
+		n = i
+	}
+	if stop2 != stop1 {
+		if i := bytes.IndexByte(s[:n], stop2); i >= 0 {
+			n = i
+		}
+	}
+	if stop1 != 0 {
+		if i := bytes.IndexByte(s[:n], 0); i >= 0 {
+			n = i
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	chunk := s[:n]
+	z.advance(chunk)
+	return chunk
+}
+
+// scanTable consumes and returns the maximal run of bytes b with safe[b]
+// set. Tables mark every byte a state passes through verbatim; bytes
+// needing a transformation (case folding, NUL replacement), a transition,
+// or a parse error stay unsafe so the per-rune switch handles them.
+func (z *Tokenizer) scanTable(safe *[256]bool) []byte {
+	s := z.input
+	i := z.pos
+	for i < len(s) && safe[s[i]] {
+		i++
+	}
+	if i == z.pos {
+		return nil
+	}
+	chunk := s[z.pos:i]
+	z.advance(chunk)
+	return chunk
+}
+
+// tagNameSafe marks bytes a tag name carries verbatim: everything except
+// the terminators (whitespace, '/', '>'), NUL (replacement) and ASCII
+// uppercase (case folding). Non-ASCII bytes are safe — multi-byte runes
+// pass through tag names unchanged.
+var tagNameSafe = makeSafeTable("\x00\t\n\f\r />", true)
+
+// attrNameSafe additionally stops at '=' (value separator) and the
+// quote/'<' characters that raise unexpected-character-in-attribute-name.
+var attrNameSafe = makeSafeTable("\x00\t\n\f\r />=\"'<", true)
+
+// unquotedValueSafe stops at whitespace, '&', '>', NUL and the characters
+// that raise unexpected-character-in-unquoted-attribute-value.
+var unquotedValueSafe = makeSafeTable("\x00\t\n\f\r &>\"'<=`", false)
+
+// makeSafeTable builds a table with every byte safe except those in
+// unsafe; foldUpper additionally marks 'A'..'Z' unsafe.
+func makeSafeTable(unsafeBytes string, foldUpper bool) *[256]bool {
+	var t [256]bool
+	for i := range t {
+		t[i] = true
+	}
+	for i := 0; i < len(unsafeBytes); i++ {
+		t[unsafeBytes[i]] = false
+	}
+	if foldUpper {
+		for b := 'A'; b <= 'Z'; b++ {
+			t[b] = false
+		}
+	}
+	return &t
+}
+
 func (z *Tokenizer) parseError(code ErrorCode, detail string) {
 	z.errors = append(z.errors, ParseError{Code: code, Pos: z.position(), Detail: detail})
 }
@@ -211,6 +329,7 @@ func (z *Tokenizer) appendText(r rune) {
 		z.textPos = Position{Offset: z.prevPos, Line: z.prevLine, Col: z.prevCol}
 		z.haveText = true
 	}
+	z.materializeTextSpan()
 	z.textBuf = utf8.AppendRune(z.textBuf, r)
 }
 
@@ -222,15 +341,51 @@ func (z *Tokenizer) appendTextString(s string) {
 		z.textPos = Position{Offset: z.prevPos, Line: z.prevLine, Col: z.prevCol}
 		z.haveText = true
 	}
+	z.materializeTextSpan()
 	z.textBuf = append(z.textBuf, s...)
 }
 
-func (z *Tokenizer) flushText() {
-	if z.haveText {
-		z.queue = append(z.queue, Token{Type: CharacterToken, Data: string(z.textBuf), Pos: z.textPos})
-		z.textBuf = z.textBuf[:0]
-		z.haveText = false
+// appendTextChunk adds a bulk-scanned input span [off, off+n) to the
+// pending character run. A run that starts with a chunk stays a zero-copy
+// span while subsequent chunks extend it contiguously; any per-rune
+// append or discontinuity first materializes the span into textBuf.
+func (z *Tokenizer) appendTextChunk(off, n, line, col int) {
+	if !z.haveText {
+		z.textPos = Position{Offset: off, Line: line, Col: col}
+		z.haveText = true
+		z.spanStart, z.spanEnd, z.spanOK = off, off+n, true
+		return
 	}
+	if z.spanOK && z.spanEnd == off {
+		z.spanEnd += n
+		return
+	}
+	z.materializeTextSpan()
+	z.textBuf = append(z.textBuf, z.input[off:off+n]...)
+}
+
+func (z *Tokenizer) materializeTextSpan() {
+	if z.spanOK {
+		z.textBuf = append(z.textBuf, z.input[z.spanStart:z.spanEnd]...)
+		z.spanOK = false
+	}
+}
+
+func (z *Tokenizer) flushText() {
+	if !z.haveText {
+		return
+	}
+	var data string
+	if z.spanOK && len(z.textBuf) == 0 {
+		data = zcString(z.input[z.spanStart:z.spanEnd])
+	} else {
+		z.materializeTextSpan()
+		data = string(z.textBuf)
+	}
+	z.queue = append(z.queue, Token{Type: CharacterToken, Data: data, Pos: z.textPos})
+	z.textBuf = z.textBuf[:0]
+	z.haveText = false
+	z.spanOK = false
 }
 
 func (z *Tokenizer) emit(t Token) {
@@ -255,14 +410,17 @@ func (z *Tokenizer) emitEOF() {
 // Next returns the next token. After the input is exhausted it returns
 // EOFToken forever.
 func (z *Tokenizer) Next() Token {
-	for len(z.queue) == 0 {
+	for z.qhead >= len(z.queue) {
 		if z.emittedEOF {
 			return Token{Type: EOFToken, Pos: z.position()}
 		}
+		// Drained: rewind so step() refills the same backing array.
+		z.queue = z.queue[:0]
+		z.qhead = 0
 		z.step()
 	}
-	t := z.queue[0]
-	z.queue = z.queue[1:]
+	t := z.queue[z.qhead]
+	z.qhead++
 	return t
 }
 
@@ -278,21 +436,84 @@ func (z *Tokenizer) startNewAttr() {
 	z.attrRaw = z.attrRaw[:0]
 	z.attrQuote = 0
 	z.attrPos = z.position()
+	z.nameSpanOK = false
+	z.valSpanOK = false
+	z.attrPending = true
+}
+
+// appendNameChunk adds a bulk-scanned span to the in-progress attribute
+// name, keeping it zero-copy while it is one contiguous untransformed run.
+func (z *Tokenizer) appendNameChunk(off, n int) {
+	if z.nameSpanOK && z.nameSpanEnd == off {
+		z.nameSpanEnd += n
+		return
+	}
+	if !z.nameSpanOK && len(z.attrName) == 0 {
+		z.nameSpanStart, z.nameSpanEnd, z.nameSpanOK = off, off+n, true
+		return
+	}
+	z.materializeNameSpan()
+	z.attrName = append(z.attrName, z.input[off:off+n]...)
+}
+
+func (z *Tokenizer) materializeNameSpan() {
+	if z.nameSpanOK {
+		z.attrName = append(z.attrName, z.input[z.nameSpanStart:z.nameSpanEnd]...)
+		z.nameSpanOK = false
+	}
+}
+
+// appendValueChunk is appendNameChunk for the value; a plain byte run
+// contributes identically to the decoded value and the raw source, so one
+// span stands in for both buffers.
+func (z *Tokenizer) appendValueChunk(off, n int) {
+	if z.valSpanOK && z.valSpanEnd == off {
+		z.valSpanEnd += n
+		return
+	}
+	if !z.valSpanOK && len(z.attrValue) == 0 && len(z.attrRaw) == 0 {
+		z.valSpanStart, z.valSpanEnd, z.valSpanOK = off, off+n, true
+		return
+	}
+	z.materializeValSpan()
+	z.attrValue = append(z.attrValue, z.input[off:off+n]...)
+	z.attrRaw = append(z.attrRaw, z.input[off:off+n]...)
+}
+
+func (z *Tokenizer) materializeValSpan() {
+	if z.valSpanOK {
+		z.attrValue = append(z.attrValue, z.input[z.valSpanStart:z.valSpanEnd]...)
+		z.attrRaw = append(z.attrRaw, z.input[z.valSpanStart:z.valSpanEnd]...)
+		z.valSpanOK = false
+	}
 }
 
 // finishAttr commits the in-progress attribute to the current tag token,
 // flagging duplicates (the DM3 signal).
 func (z *Tokenizer) finishAttr() {
-	if len(z.attrName) == 0 && len(z.attrValue) == 0 && len(z.attrRaw) == 0 && z.attrQuote == 0 {
+	if !z.attrPending {
 		return
 	}
-	name := string(z.attrName)
+	z.attrPending = false
+	var name string
+	if z.nameSpanOK && len(z.attrName) == 0 {
+		name = zcString(z.input[z.nameSpanStart:z.nameSpanEnd])
+	} else {
+		z.materializeNameSpan()
+		name = string(z.attrName)
+	}
 	a := Attribute{
-		Name:     name,
-		Value:    string(z.attrValue),
-		RawValue: string(z.attrRaw),
-		Quote:    z.attrQuote,
-		Pos:      z.attrPos,
+		Name:  name,
+		Quote: z.attrQuote,
+		Pos:   z.attrPos,
+	}
+	if z.valSpanOK && len(z.attrValue) == 0 && len(z.attrRaw) == 0 {
+		v := zcString(z.input[z.valSpanStart:z.valSpanEnd])
+		a.Value, a.RawValue = v, v
+	} else {
+		z.materializeValSpan()
+		a.Value = string(z.attrValue)
+		a.RawValue = string(z.attrRaw)
 	}
 	for i := range z.cur.Attr {
 		if z.cur.Attr[i].Name == name {
@@ -306,6 +527,8 @@ func (z *Tokenizer) finishAttr() {
 	z.attrValue = z.attrValue[:0]
 	z.attrRaw = z.attrRaw[:0]
 	z.attrQuote = 0
+	z.nameSpanOK = false
+	z.valSpanOK = false
 }
 
 func (z *Tokenizer) emitCurrentTag() {
@@ -355,7 +578,7 @@ func (z *Tokenizer) consumeNamedCharRef(inAttr bool, start int) (decoded, raw st
 	for end < len(z.input) && end-start < maxEntityNameLen && isASCIIAlnumByte(z.input[end]) {
 		end++
 	}
-	candidate := string(z.input[start:end])
+	candidate := zcString(z.input[start:end])
 	for l := len(candidate); l > 0; l-- {
 		name := candidate[:l]
 		withSemicolon := start+l < len(z.input) && z.input[start+l] == ';'
@@ -392,11 +615,20 @@ func isASCIIAlnumByte(b byte) bool {
 	return ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
 }
 
-// advanceTo moves the cursor to absolute offset off, updating line/col.
+// advanceTo moves the cursor to absolute offset off (a rune boundary),
+// updating line/col in bulk. The reconsume snapshot lands on the last rune
+// of the chunk, exactly as a next() loop would leave it.
 func (z *Tokenizer) advanceTo(off int) {
-	for z.pos < off {
-		z.next()
+	if off <= z.pos {
+		return
 	}
+	chunk := z.input[z.pos:off]
+	_, last := utf8.DecodeLastRune(chunk)
+	if pre := chunk[:len(chunk)-last]; len(pre) > 0 {
+		z.advance(pre)
+	}
+	z.prevPos, z.prevLine, z.prevCol = z.pos, z.line, z.col
+	z.advance(chunk[len(chunk)-last:])
 }
 
 func (z *Tokenizer) consumeNumericCharRef(ampStart int) (decoded, raw string) {
@@ -471,6 +703,7 @@ func hexVal(r rune) int {
 // flushCharRefToAttr appends a decoded reference to the current attribute.
 func (z *Tokenizer) flushCharRefToAttr() {
 	dec, raw := z.consumeCharRef(true)
+	z.materializeValSpan()
 	z.attrValue = append(z.attrValue, dec...)
 	z.attrRaw = append(z.attrRaw, raw...)
 }
@@ -628,76 +861,115 @@ func (z *Tokenizer) step() {
 }
 
 func (z *Tokenizer) dataState() {
-	switch r := z.next(); r {
-	case '&':
-		dec, _ := z.consumeCharRef(false)
-		z.appendTextString(dec)
-	case '<':
-		z.state = stateTagOpen
-	case 0:
-		z.parseError(ErrUnexpectedNullCharacter, "")
-		z.appendText(0)
-	case eofRune:
-		z.emitEOF()
-	default:
-		z.appendText(r)
+	for {
+		off, line, col := z.pos, z.line, z.col
+		if chunk := z.scanUntil('<', '&'); chunk != nil {
+			z.appendTextChunk(off, len(chunk), line, col)
+		}
+		switch r := z.next(); r {
+		case '&':
+			dec, _ := z.consumeCharRef(false)
+			z.appendTextString(dec)
+		case '<':
+			z.state = stateTagOpen
+			return
+		case 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.appendText(0)
+		case eofRune:
+			z.emitEOF()
+			return
+		default:
+			z.appendText(r)
+		}
 	}
 }
 
 func (z *Tokenizer) rcdataState() {
-	switch r := z.next(); r {
-	case '&':
-		dec, _ := z.consumeCharRef(false)
-		z.appendTextString(dec)
-	case '<':
-		z.state = stateRCDATALessThan
-	case 0:
-		z.parseError(ErrUnexpectedNullCharacter, "")
-		z.appendText('�')
-	case eofRune:
-		z.emitEOF()
-	default:
-		z.appendText(r)
+	for {
+		off, line, col := z.pos, z.line, z.col
+		if chunk := z.scanUntil('<', '&'); chunk != nil {
+			z.appendTextChunk(off, len(chunk), line, col)
+		}
+		switch r := z.next(); r {
+		case '&':
+			dec, _ := z.consumeCharRef(false)
+			z.appendTextString(dec)
+		case '<':
+			z.state = stateRCDATALessThan
+			return
+		case 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.appendText('�')
+		case eofRune:
+			z.emitEOF()
+			return
+		default:
+			z.appendText(r)
+		}
 	}
 }
 
 func (z *Tokenizer) rawtextState() {
-	switch r := z.next(); r {
-	case '<':
-		z.state = stateRAWTEXTLessThan
-	case 0:
-		z.parseError(ErrUnexpectedNullCharacter, "")
-		z.appendText('�')
-	case eofRune:
-		z.emitEOF()
-	default:
-		z.appendText(r)
+	for {
+		off, line, col := z.pos, z.line, z.col
+		if chunk := z.scanUntil('<', '<'); chunk != nil {
+			z.appendTextChunk(off, len(chunk), line, col)
+		}
+		switch r := z.next(); r {
+		case '<':
+			z.state = stateRAWTEXTLessThan
+			return
+		case 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.appendText('�')
+		case eofRune:
+			z.emitEOF()
+			return
+		default:
+			z.appendText(r)
+		}
 	}
 }
 
 func (z *Tokenizer) scriptDataState() {
-	switch r := z.next(); r {
-	case '<':
-		z.state = stateScriptDataLessThan
-	case 0:
-		z.parseError(ErrUnexpectedNullCharacter, "")
-		z.appendText('�')
-	case eofRune:
-		z.emitEOF()
-	default:
-		z.appendText(r)
+	for {
+		off, line, col := z.pos, z.line, z.col
+		if chunk := z.scanUntil('<', '<'); chunk != nil {
+			z.appendTextChunk(off, len(chunk), line, col)
+		}
+		switch r := z.next(); r {
+		case '<':
+			z.state = stateScriptDataLessThan
+			return
+		case 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.appendText('�')
+		case eofRune:
+			z.emitEOF()
+			return
+		default:
+			z.appendText(r)
+		}
 	}
 }
 
 func (z *Tokenizer) plaintextState() {
-	switch r := z.next(); r {
-	case 0:
-		z.parseError(ErrUnexpectedNullCharacter, "")
-		z.appendText('�')
-	case eofRune:
-		z.emitEOF()
-	default:
-		z.appendText(r)
+	for {
+		off, line, col := z.pos, z.line, z.col
+		if chunk := z.scanUntil(0, 0); chunk != nil {
+			z.appendTextChunk(off, len(chunk), line, col)
+		}
+		switch r := z.next(); r {
+		case 0:
+			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.appendText('�')
+		case eofRune:
+			z.emitEOF()
+			return
+		default:
+			z.appendText(r)
+		}
 	}
 }
 
@@ -750,34 +1022,52 @@ func (z *Tokenizer) endTagOpenState() {
 }
 
 func (z *Tokenizer) tagNameState() {
-	var name []byte
+	// Fast path: most tag names are a single lowercase run ending at a
+	// terminator, which commits as a zero-copy view of the input. The slow
+	// buffer only exists once a byte needs folding or replacement.
+	start := z.pos
+	var slow []byte
 	for {
+		z.scanTable(tagNameSafe)
+		end := z.pos
 		r := z.next()
 		switch {
 		case isWhitespace(r):
-			z.cur.Data += string(name)
+			z.commitTagName(slow, start, end)
 			z.state = stateBeforeAttributeName
 			return
 		case r == '/':
-			z.cur.Data += string(name)
+			z.commitTagName(slow, start, end)
 			z.state = stateSelfClosingStartTag
 			return
 		case r == '>':
-			z.cur.Data += string(name)
+			z.commitTagName(slow, start, end)
 			z.state = stateData
 			z.emitCurrentTag()
 			return
 		case r == 0:
 			z.parseError(ErrUnexpectedNullCharacter, "")
-			name = utf8.AppendRune(name, '�')
+			slow = append(slow, z.input[start:end]...)
+			slow = utf8.AppendRune(slow, '�')
+			start = z.pos
 		case r == eofRune:
 			z.parseError(ErrEOFInTag, "")
 			z.emitEOF()
 			return
 		default:
-			name = utf8.AppendRune(name, toLowerRune(r))
+			slow = append(slow, z.input[start:end]...)
+			slow = utf8.AppendRune(slow, toLowerRune(r))
+			start = z.pos
 		}
 	}
+}
+
+func (z *Tokenizer) commitTagName(slow []byte, start, end int) {
+	if slow == nil {
+		z.cur.Data = zcString(z.input[start:end])
+		return
+	}
+	z.cur.Data = string(append(slow, z.input[start:end]...))
 }
 
 // rawLessThanState handles the "< in RCDATA/RAWTEXT" states.
@@ -1082,6 +1372,10 @@ func (z *Tokenizer) beforeAttributeNameState() {
 
 func (z *Tokenizer) attributeNameState() {
 	for {
+		off := z.pos
+		if chunk := z.scanTable(attrNameSafe); chunk != nil {
+			z.appendNameChunk(off, len(chunk))
+		}
 		r := z.next()
 		switch {
 		case isWhitespace(r) || r == '/' || r == '>' || r == eofRune:
@@ -1092,14 +1386,18 @@ func (z *Tokenizer) attributeNameState() {
 			z.state = stateBeforeAttributeValue
 			return
 		case isASCIIUpper(r):
+			z.materializeNameSpan()
 			z.attrName = utf8.AppendRune(z.attrName, toLowerRune(r))
 		case r == 0:
 			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.materializeNameSpan()
 			z.attrName = utf8.AppendRune(z.attrName, '�')
 		case r == '"' || r == '\'' || r == '<':
 			z.parseError(ErrUnexpectedCharacterInAttributeName, string(r))
+			z.materializeNameSpan()
 			z.attrName = utf8.AppendRune(z.attrName, r)
 		default:
+			z.materializeNameSpan()
 			z.attrName = utf8.AppendRune(z.attrName, r)
 		}
 	}
@@ -1167,6 +1465,10 @@ func (z *Tokenizer) beforeAttributeValueState() {
 
 func (z *Tokenizer) attributeValueQuotedState(quote rune) {
 	for {
+		off := z.pos
+		if chunk := z.scanUntil(byte(quote), '&'); chunk != nil {
+			z.appendValueChunk(off, len(chunk))
+		}
 		r := z.next()
 		switch {
 		case r == quote:
@@ -1177,6 +1479,7 @@ func (z *Tokenizer) attributeValueQuotedState(quote rune) {
 			z.flushCharRefToAttr()
 		case r == 0:
 			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.materializeValSpan()
 			z.attrValue = utf8.AppendRune(z.attrValue, '�')
 			z.attrRaw = append(z.attrRaw, 0)
 		case r == eofRune:
@@ -1184,6 +1487,7 @@ func (z *Tokenizer) attributeValueQuotedState(quote rune) {
 			z.emitEOF()
 			return
 		default:
+			z.materializeValSpan()
 			z.attrValue = utf8.AppendRune(z.attrValue, r)
 			z.attrRaw = utf8.AppendRune(z.attrRaw, r)
 		}
@@ -1192,6 +1496,10 @@ func (z *Tokenizer) attributeValueQuotedState(quote rune) {
 
 func (z *Tokenizer) attributeValueUnquotedState() {
 	for {
+		off := z.pos
+		if chunk := z.scanTable(unquotedValueSafe); chunk != nil {
+			z.appendValueChunk(off, len(chunk))
+		}
 		r := z.next()
 		switch {
 		case isWhitespace(r):
@@ -1207,10 +1515,12 @@ func (z *Tokenizer) attributeValueUnquotedState() {
 			return
 		case r == 0:
 			z.parseError(ErrUnexpectedNullCharacter, "")
+			z.materializeValSpan()
 			z.attrValue = utf8.AppendRune(z.attrValue, '�')
 			z.attrRaw = append(z.attrRaw, 0)
 		case r == '"' || r == '\'' || r == '<' || r == '=' || r == '`':
 			z.parseError(ErrUnexpectedCharInUnquotedAttrValue, string(r))
+			z.materializeValSpan()
 			z.attrValue = utf8.AppendRune(z.attrValue, r)
 			z.attrRaw = utf8.AppendRune(z.attrRaw, r)
 		case r == eofRune:
@@ -1218,6 +1528,7 @@ func (z *Tokenizer) attributeValueUnquotedState() {
 			z.emitEOF()
 			return
 		default:
+			z.materializeValSpan()
 			z.attrValue = utf8.AppendRune(z.attrValue, r)
 			z.attrRaw = utf8.AppendRune(z.attrRaw, r)
 		}
@@ -1265,8 +1576,10 @@ func (z *Tokenizer) selfClosingStartTagState() {
 
 func (z *Tokenizer) bogusCommentState() {
 	for {
-		r := z.next()
-		switch r {
+		if chunk := z.scanUntil('>', '>'); chunk != nil {
+			z.appendComment(chunk)
+		}
+		switch r := z.next(); r {
 		case '>':
 			z.state = stateData
 			z.emit(z.cur)
@@ -1282,6 +1595,17 @@ func (z *Tokenizer) bogusCommentState() {
 			z.cur.Data += string(r)
 		}
 	}
+}
+
+// appendComment grows the current comment token's data. The first chunk of
+// a comment becomes a zero-copy view; later chunks (split by '-', '<' or
+// replacements) fall back to concatenation, which comment syntax keeps rare.
+func (z *Tokenizer) appendComment(chunk []byte) {
+	if z.cur.Data == "" {
+		z.cur.Data = zcString(chunk)
+		return
+	}
+	z.cur.Data += string(chunk)
 }
 
 func (z *Tokenizer) markupDeclarationOpenState() {
@@ -1349,8 +1673,10 @@ func (z *Tokenizer) commentStartDashState() {
 
 func (z *Tokenizer) commentState() {
 	for {
-		r := z.next()
-		switch r {
+		if chunk := z.scanUntil('<', '-'); chunk != nil {
+			z.appendComment(chunk)
+		}
+		switch r := z.next(); r {
 		case '<':
 			z.cur.Data += "<"
 			z.state = stateCommentLessThan
@@ -1860,8 +2186,11 @@ func (z *Tokenizer) bogusDoctypeState() {
 
 func (z *Tokenizer) cdataSectionState() {
 	for {
-		r := z.next()
-		switch r {
+		off, line, col := z.pos, z.line, z.col
+		if chunk := z.scanUntil(']', ']'); chunk != nil {
+			z.appendTextChunk(off, len(chunk), line, col)
+		}
+		switch r := z.next(); r {
 		case ']':
 			z.state = stateCDATASectionBracket
 			return
@@ -1870,6 +2199,9 @@ func (z *Tokenizer) cdataSectionState() {
 			z.emitEOF()
 			return
 		default:
+			// NUL reaches here (scanUntil always stops on it); CDATA carries
+			// it through verbatim, matching the spec's lack of a tokenizer
+			// error in this state.
 			z.appendText(r)
 		}
 	}

@@ -6,6 +6,11 @@ package htmlparse
 // mode handlers live in modes.go, foreign-content rules in foreign.go and
 // the adoption agency algorithm in adoption.go.
 
+import (
+	"bytes"
+	"unicode/utf8"
+)
+
 type insertionMode int
 
 const (
@@ -43,8 +48,9 @@ type afeEntry struct {
 // the tokenizer it never fails: every deviation is recorded as a
 // ParseError and/or TreeEvent and repaired.
 type treeBuilder struct {
-	z   *Tokenizer
-	doc *Node
+	z     *Tokenizer
+	doc   *Node
+	arena nodeArena
 
 	stack []*Node
 	afe   []afeEntry
@@ -92,11 +98,12 @@ type treeBuilder struct {
 func newTreeBuilder(z *Tokenizer) *treeBuilder {
 	tb := &treeBuilder{
 		z:                z,
-		doc:              &Node{Type: DocumentNode},
 		mode:             modeInitial,
 		framesetOK:       true,
 		scriptingEnabled: true,
 	}
+	tb.doc = tb.newNode()
+	tb.doc.Type = DocumentNode
 	z.AutoRaw = false
 	z.AllowCDATA = func() bool {
 		n := tb.currentNode()
@@ -112,6 +119,36 @@ func (tb *treeBuilder) ackSelfClosing() { tb.selfClosingAcked = true }
 
 func (tb *treeBuilder) parseError(code ErrorCode, detail string, pos Position) {
 	tb.errors = append(tb.errors, ParseError{Code: code, Pos: pos, Detail: detail})
+}
+
+// nulPos locates the first literal NUL byte at or after the text token's
+// start and returns its position, for the tree-stage
+// unexpected-null-character error. The token's own Pos is the start of
+// the whole text run, which can lie arbitrarily far before the NUL;
+// reporting the error there made its offset depend on how much text
+// precedes the NUL in the same run, which broke the truncation-stability
+// invariant (an error about byte N must not move below the stability
+// horizon just because the run started early). A NUL in token data is
+// always a literal NUL byte in the input: the null character reference
+// decodes to U+FFFD, never to NUL.
+func (tb *treeBuilder) nulPos(t *Token) Position {
+	in := tb.z.input
+	if t.Pos.Offset < 0 || t.Pos.Offset >= len(in) {
+		return t.Pos
+	}
+	i := bytes.IndexByte(in[t.Pos.Offset:], 0)
+	if i < 0 {
+		return t.Pos
+	}
+	seg := in[t.Pos.Offset : t.Pos.Offset+i]
+	pos := Position{Offset: t.Pos.Offset + i, Line: t.Pos.Line, Col: t.Pos.Col}
+	if nl := bytes.Count(seg, nlSlice); nl > 0 {
+		pos.Line += nl
+		pos.Col = 1 + utf8.RuneCount(seg[bytes.LastIndexByte(seg, '\n')+1:])
+	} else {
+		pos.Col += utf8.RuneCount(seg)
+	}
+	return pos
 }
 
 func (tb *treeBuilder) event(kind EventKind, detail string, ns Namespace, pos Position) {
@@ -325,8 +362,37 @@ func (tb *treeBuilder) insertElement(t Token, ns Namespace) *Node {
 	return n
 }
 
+// newNode allocates a zeroed Node from the per-parse arena. Every node
+// reachable from the finished document must come from here so that node
+// lifetimes stay tied to the arena slabs the document owns.
+func (tb *treeBuilder) newNode() *Node { return tb.arena.new() }
+
+// cloneNode is the adoption agency's shallow copy (attributes copied, no
+// children/links), allocated from the arena like every other node.
+func (tb *treeBuilder) cloneNode(n *Node) *Node {
+	c := tb.newNode()
+	*c = Node{Type: n.Type, Data: n.Data, Namespace: n.Namespace, Pos: n.Pos}
+	c.Attr = append([]Attribute(nil), n.Attr...)
+	return c
+}
+
 func (tb *treeBuilder) createElement(t Token, ns Namespace) *Node {
-	n := &Node{Type: ElementNode, Data: t.Data, Namespace: ns, Pos: t.Pos}
+	n := tb.newNode()
+	*n = Node{Type: ElementNode, Data: t.Data, Namespace: ns, Pos: t.Pos}
+	dup := false
+	for _, a := range t.Attr {
+		if a.Duplicate {
+			dup = true
+			break
+		}
+	}
+	if !dup {
+		// The common case: adopt the token's attribute slice wholesale
+		// instead of copying it (the token is emitted once and the slice is
+		// never rebuilt, so sharing the backing array is safe).
+		n.Attr = t.Attr
+		return n
+	}
 	for _, a := range t.Attr {
 		if !a.Duplicate {
 			n.Attr = append(n.Attr, a)
@@ -337,7 +403,8 @@ func (tb *treeBuilder) createElement(t Token, ns Namespace) *Node {
 
 // insertImplied synthesizes an element with no corresponding start tag.
 func (tb *treeBuilder) insertImplied(tag string, pos Position) *Node {
-	n := &Node{Type: ElementNode, Data: tag, Namespace: NamespaceHTML, Implied: true, Pos: pos}
+	n := tb.newNode()
+	*n = Node{Type: ElementNode, Data: tag, Namespace: NamespaceHTML, Implied: true, Pos: pos}
 	tb.insertNode(n)
 	tb.push(n)
 	return n
@@ -360,7 +427,8 @@ func (tb *treeBuilder) insertText(data string, pos Position) {
 		prev.Data += data
 		return
 	}
-	n := &Node{Type: TextNode, Data: data, Pos: pos}
+	n := tb.newNode()
+	*n = Node{Type: TextNode, Data: data, Pos: pos}
 	if before != nil {
 		parent.InsertBefore(n, before)
 		n.FosterParented = true
@@ -372,7 +440,8 @@ func (tb *treeBuilder) insertText(data string, pos Position) {
 // insertComment appends a comment node to the given parent (or the
 // appropriate place when parent is nil).
 func (tb *treeBuilder) insertComment(t Token, parent *Node) {
-	n := &Node{Type: CommentNode, Data: t.Data, Pos: t.Pos}
+	n := tb.newNode()
+	*n = Node{Type: CommentNode, Data: t.Data, Pos: t.Pos}
 	if parent != nil {
 		parent.AppendChild(n)
 		return

@@ -1,0 +1,19 @@
+package htmlparse
+
+import "unsafe"
+
+// zcString returns a string view of b without copying.
+//
+// Every call sites b inside the parser's preprocessed input buffer, which
+// is freshly allocated by Preprocess for each parse and never written
+// again once tokenization starts — including under ParseReuse, where only
+// the parser scratch is recycled, never the input buffer. The returned
+// string keeps that buffer reachable, so lifetimes stay GC-managed; the
+// trade-off is that a retained token or node pins its whole source page,
+// which suits the measurement pipeline's parse-then-discard shape.
+func zcString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}

@@ -1,0 +1,166 @@
+// Package perf turns `go test -json -bench` output into a stable,
+// diffable schema and renders regression reports. It is the library half
+// of the benchmark trajectory: cmd/hvbench records runs as BENCH_*.json
+// files and gates CI on the comparison against the checked-in baseline.
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics holds one benchmark's measured values. Zero-valued fields mean
+// the benchmark did not report that unit (MB/s requires b.SetBytes,
+// allocs requires b.ReportAllocs or -benchmem).
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// Run is one recorded benchmark session. The provenance fields are
+// stamped inside the payload (not the filename) so a run stays
+// self-describing when copied around or checked in as the baseline.
+type Run struct {
+	GitSHA     string             `json:"git_sha,omitempty"`
+	Date       string             `json:"date,omitempty"` // UTC, RFC 3339
+	GoVersion  string             `json:"go_version,omitempty"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// Names returns the benchmark names in sorted order.
+func (r *Run) Names() []string {
+	names := make([]string, 0, len(r.Benchmarks))
+	for n := range r.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// testEvent is the subset of the `go test -json` event stream we consume.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// ParseTestJSON reads a `go test -json -bench` event stream and collects
+// the benchmark result lines into a Run. Lines that are not valid JSON
+// events are skipped (the stream is a log: build noise, PASS/ok trailers
+// and panics interleave freely), as are output lines that are not
+// benchmark results. When the same benchmark appears multiple times
+// (-count=N), the fastest ns/op wins: min-of-N is the standard way to
+// shave scheduler noise off a gate comparison.
+//
+// One benchmark result does NOT arrive as one event: go test prints the
+// benchmark name before the run and the timing after, and test2json
+// flushes each fragment as its own output event. The events are therefore
+// re-joined into each package's raw output stream and parsed by text
+// line, which is the only boundary go test guarantees.
+func ParseTestJSON(r io.Reader) (*Run, error) {
+	streams := map[string]*strings.Builder{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // not a test2json event; tolerate and move on
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b, ok := streams[ev.Package]
+		if !ok {
+			b = &strings.Builder{}
+			streams[ev.Package] = b
+			order = append(order, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perf: reading test output: %w", err)
+	}
+	run := &Run{Benchmarks: map[string]Metrics{}}
+	for _, pkg := range order {
+		for _, line := range strings.Split(streams[pkg].String(), "\n") {
+			name, m, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			if prev, seen := run.Benchmarks[name]; !seen || m.NsPerOp < prev.NsPerOp {
+				run.Benchmarks[name] = m
+			}
+		}
+	}
+	if len(run.Benchmarks) == 0 {
+		return nil, fmt.Errorf("perf: no benchmark results found in input")
+	}
+	return run, nil
+}
+
+// parseBenchLine parses one benchmark result line, e.g.
+//
+//	BenchmarkParse/typical-8   100   11850934 ns/op   20.44 MB/s   2049 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped from the name so runs
+// recorded on machines with different core counts stay comparable.
+func parseBenchLine(s string) (string, Metrics, bool) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "Benchmark") {
+		return "", Metrics{}, false
+	}
+	fields := strings.Fields(s)
+	if len(fields) < 4 {
+		return "", Metrics{}, false
+	}
+	name := trimProcSuffix(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Metrics{}, false
+	}
+	m := Metrics{Iterations: iters}
+	// The remainder alternates <value> <unit>.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Metrics{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.NsPerOp = v
+		case "MB/s":
+			m.MBPerSec = v
+		case "B/op":
+			m.BytesPerOp = v
+		case "allocs/op":
+			m.AllocsPerOp = v
+		}
+	}
+	if m.NsPerOp == 0 {
+		return "", Metrics{}, false
+	}
+	return name, m, true
+}
+
+// trimProcSuffix removes the "-8" style GOMAXPROCS suffix go test appends
+// to benchmark names. Only a purely numeric final segment is removed, so
+// sub-benchmark names containing dashes survive.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
