@@ -35,12 +35,14 @@ conform-update:
 
 # Metamorphic fuzz smoke: 30s per oracle-free invariant (render→reparse
 # fixpoint, truncation stability, attribute-order invariance, decoder
-# agreement) over the checked-in seed corpora.
+# agreement, stream≡tree checker equivalence) over the checked-in seed
+# corpora.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz='^FuzzRenderParseFixpoint$$' -fuzztime=30s ./internal/conformance
 	$(GO) test -run '^$$' -fuzz='^FuzzTruncationStability$$' -fuzztime=30s ./internal/conformance
 	$(GO) test -run '^$$' -fuzz='^FuzzAttrReorderInvariance$$' -fuzztime=30s ./internal/conformance
 	$(GO) test -run '^$$' -fuzz='^FuzzDecoderAgreement$$' -fuzztime=30s ./internal/conformance
+	$(GO) test -run '^$$' -fuzz='^FuzzStreamTreeAgreement$$' -fuzztime=30s ./internal/conformance
 
 # Chaos smoke: the seeded fault-injection acceptance tests (~10%
 # transient faults, deterministic schedule) under the race detector —
@@ -72,14 +74,14 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark run for the perf trajectory across PRs: the
-# parser benchmarks folded into the stable internal/perf schema (min of 5
-# runs per benchmark, git SHA + date stamped inside the payload), one
-# BENCH_<yyyymmdd>.json per day.
+# parser, streaming-checker, and archive-cache benchmarks folded into the
+# stable internal/perf schema (min of 5 runs per benchmark, git SHA +
+# date stamped inside the payload), one BENCH_<yyyymmdd>.json per day.
 bench-json:
 	$(GO) run ./cmd/hvbench -record
 
-# Benchmark regression gate: re-run the parser benchmarks and fail if any
-# of them regresses more than 10% ns/op against the checked-in
+# Benchmark regression gate: re-run the tracked benchmarks and fail if
+# any of them regresses more than 10% ns/op against the checked-in
 # BENCH_baseline.json (or vanishes from the run). Refresh the baseline
 # after an intentional perf change with:
 #   go run ./cmd/hvbench -record -out BENCH_baseline.json

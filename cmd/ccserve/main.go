@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	ccserve [-addr :8087] [-metrics :9091]
+//	ccserve [-addr :8087] [-metrics :9091] [-cache-mb 64]
 //	        [-dir ./archive | -domains 2400 -pages 20 -seed 22]
 package main
 
@@ -31,6 +31,7 @@ func main() {
 		addr    = flag.String("addr", ":8087", "listen address")
 		metrics = flag.String("metrics", "", "serve /metrics and /debug/pprof/ on this address (empty = off)")
 		dir     = flag.String("dir", "", "serve an hvgen-written archive directory")
+		cacheMB = flag.Int("cache-mb", 0, "in-memory read cache budget in MiB (0 = off)")
 		domains = flag.Int("domains", 2400, "synthetic: domain universe size")
 		pages   = flag.Int("pages", 20, "synthetic: max pages per domain")
 		seed    = flag.Int64("seed", 22, "synthetic: generator seed")
@@ -54,9 +55,22 @@ func main() {
 			*seed, *domains, *pages)
 	}
 
+	var reg *obs.Registry
 	if *metrics != "" {
-		reg := obs.NewRegistry()
+		reg = obs.NewRegistry()
 		archive = commoncrawl.Instrument(archive, reg)
+	}
+	if *cacheMB > 0 {
+		// Above the instrumented inner archive: reads_total stays the
+		// true backend traffic, cache_* the hit rate.
+		tiered := commoncrawl.NewTiered(archive, int64(*cacheMB)<<20)
+		if reg != nil {
+			tiered.Instrument(reg)
+		}
+		archive = tiered
+		log.Printf("read cache: %d MiB budget", *cacheMB)
+	}
+	if *metrics != "" {
 		srv, err := obs.StartServer(*metrics, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccserve:", err)

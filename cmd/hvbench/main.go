@@ -1,6 +1,7 @@
-// Command hvbench records and gates the parser benchmark trajectory.
+// Command hvbench records and gates the repo's benchmark trajectory:
+// the parser hot path, the streaming checker, and the archive cache.
 //
-// It runs the htmlparse benchmarks through `go test -json -bench`, folds
+// It runs the selected benchmarks through `go test -json -bench`, folds
 // the event stream into the stable schema of internal/perf, and either
 // records the run as a BENCH_<date>.json file or gates it against the
 // checked-in BENCH_baseline.json (or both). The gate fails — non-zero
@@ -36,8 +37,8 @@ func main() {
 		out       = flag.String("out", "", "output path for -record (default BENCH_<yyyymmdd>.json)")
 		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline run to gate against")
 		tolerance = flag.Float64("tolerance", 0.10, "relative ns/op regression allowed before the gate fails")
-		benchRe   = flag.String("bench", "^(BenchmarkTokenize|BenchmarkParse)$", "benchmark selection regexp passed to go test")
-		pkg       = flag.String("pkg", "./internal/htmlparse", "package whose benchmarks to run")
+		benchRe   = flag.String("bench", "^(BenchmarkTokenize|BenchmarkParse|BenchmarkCheckStream|BenchmarkCheckFull|BenchmarkArchiveReadRange)$", "benchmark selection regexp passed to go test")
+		pkg       = flag.String("pkg", "./internal/htmlparse,./internal/core,./internal/commoncrawl", "comma-separated packages whose benchmarks to run")
 		count     = flag.Int("count", 5, "go test -count; the fastest of N runs is kept per benchmark")
 		summary   = flag.String("summary", "", "append the markdown delta table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 		input     = flag.String("input", "", "parse an existing go test -json stream from this file instead of running benchmarks ('-' for stdin)")
@@ -113,7 +114,12 @@ func collect(input, benchRe, pkg string, count int) (*perf.Run, error) {
 		return perf.ParseTestJSON(f)
 	}
 	args := []string{"test", "-json", "-run", "^$",
-		"-bench", benchRe, "-benchmem", fmt.Sprintf("-count=%d", count), pkg}
+		"-bench", benchRe, "-benchmem", fmt.Sprintf("-count=%d", count)}
+	for _, p := range strings.Split(pkg, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			args = append(args, p)
+		}
+	}
 	cmd := exec.Command("go", args...)
 	var stdout bytes.Buffer
 	cmd.Stdout = &stdout

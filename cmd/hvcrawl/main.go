@@ -24,7 +24,7 @@
 //	hvcrawl -out results.jsonl -stats stats.json [-server http://...]
 //	        [-domains 2400 -pages 20 -seed 22] [-workers N] [-snapshots 8]
 //	        [-metrics :9090] [-retries N] [-resume] [-journal path]
-//	        [-max-domain-failures N]
+//	        [-max-domain-failures N] [-stream] [-cache-mb 64]
 package main
 
 import (
@@ -65,6 +65,8 @@ type options struct {
 	maxFail   int
 	journal   string
 	resume    bool
+	stream    bool
+	cacheMB   int
 }
 
 // statsFile is the persisted shape of -stats: the per-snapshot Table 2
@@ -92,6 +94,8 @@ func main() {
 	flag.IntVar(&o.maxFail, "max-domain-failures", 0, "error budget: failed domains tolerated per snapshot (0 = default of 10%, -1 = unlimited)")
 	flag.StringVar(&o.journal, "journal", "", "resume journal path (default: <out>.journal)")
 	flag.BoolVar(&o.resume, "resume", false, "replay the journal and skip already-completed (crawl, domain) pairs")
+	flag.BoolVar(&o.stream, "stream", false, "check pages with the constant-memory streaming rules only (skips tree-required rules)")
+	flag.IntVar(&o.cacheMB, "cache-mb", 0, "in-memory archive read cache budget in MiB (0 = off)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "hvcrawl:", err)
@@ -129,6 +133,13 @@ func run(o options) error {
 		log.Printf("archive: in-process synthetic (seed=%d)", o.seed)
 	}
 	archive = commoncrawl.Instrument(archive, reg)
+	if o.cacheMB > 0 {
+		// The cache sits above the instrumented inner archive, so the
+		// commoncrawl_reads_total counters keep measuring true backend
+		// traffic while the cache_* series measure hit rates.
+		archive = commoncrawl.NewTiered(archive, int64(o.cacheMB)<<20).Instrument(reg)
+		log.Printf("archive cache: %d MiB budget", o.cacheMB)
+	}
 
 	crawls := archive.Crawls()
 	if len(crawls) == 0 {
@@ -175,7 +186,12 @@ func run(o options) error {
 	}
 
 	st := store.New().Instrument(reg)
-	checker := core.NewChecker().Instrument(reg)
+	checker := core.NewChecker()
+	if o.stream {
+		checker = core.NewStreamingChecker()
+		log.Print("checker: streaming rules only (constant-memory path)")
+	}
+	checker = checker.Instrument(reg)
 	pipe := crawler.New(archive, checker, st, crawler.Config{
 		Workers:           o.workers,
 		PagesPerDomain:    o.pages,

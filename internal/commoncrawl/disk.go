@@ -30,9 +30,26 @@ type DiskArchive struct {
 	crawls  []string
 	indexes map[string]*cdx.Index
 
-	mu    sync.Mutex
-	files map[string]*os.File
+	mu      sync.Mutex
+	files   map[string]*fdEntry
+	maxOpen int
+	tick    uint64
 }
+
+// fdEntry is one cached file handle. refs counts in-flight reads so
+// eviction never closes a descriptor mid-pread; stamp orders idle
+// entries for LRU victim selection.
+type fdEntry struct {
+	f     *os.File
+	refs  int
+	stamp uint64
+}
+
+// defaultMaxOpenFDs bounds the handle cache. A crawl touches one
+// segment file per (crawl, shard) at a time, so 64 is generous while
+// staying far under typical rlimit defaults even with several
+// archives open in one process.
+const defaultMaxOpenFDs = 64
 
 // OpenDisk loads the archive layout under root.
 func OpenDisk(root string) (*DiskArchive, error) {
@@ -43,7 +60,8 @@ func OpenDisk(root string) (*DiskArchive, error) {
 	a := &DiskArchive{
 		root:    root,
 		indexes: make(map[string]*cdx.Index),
-		files:   make(map[string]*os.File),
+		files:   make(map[string]*fdEntry),
+		maxOpen: defaultMaxOpenFDs,
 	}
 	for _, e := range entries {
 		if !e.IsDir() {
@@ -71,18 +89,38 @@ func OpenDisk(root string) (*DiskArchive, error) {
 	return a, nil
 }
 
-// Close releases cached file handles.
+// Close releases cached file handles, in-use ones included — it is a
+// shutdown call, and any read still in flight fails with a closed-file
+// error rather than leaking the descriptor.
 func (a *DiskArchive) Close() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	var first error
-	for _, f := range a.files {
-		if err := f.Close(); err != nil && first == nil {
+	for _, e := range a.files {
+		if err := e.f.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
-	a.files = make(map[string]*os.File)
+	a.files = make(map[string]*fdEntry)
 	return first
+}
+
+// SetMaxOpen adjusts the file-handle budget (tests and tuning). Values
+// below 1 are clamped to 1.
+func (a *DiskArchive) SetMaxOpen(n int) {
+	if n < 1 {
+		n = 1
+	}
+	a.mu.Lock()
+	a.maxOpen = n
+	a.mu.Unlock()
+}
+
+// OpenFiles reports how many descriptors the cache currently holds.
+func (a *DiskArchive) OpenFiles() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.files)
 }
 
 // Crawls lists the crawl directories found.
@@ -107,27 +145,80 @@ func (a *DiskArchive) ReadRange(_ context.Context, filename string, offset, leng
 		// weather: never retry it.
 		return nil, resilience.Permanent(fmt.Errorf("commoncrawl: invalid filename %q", filename))
 	}
-	a.mu.Lock()
-	f, ok := a.files[filename]
-	a.mu.Unlock()
-	if !ok {
-		var err error
-		f, err = os.Open(filepath.Join(a.root, filepath.FromSlash(filename)))
-		if err != nil {
-			return nil, err
-		}
-		a.mu.Lock()
-		if prev, raced := a.files[filename]; raced {
-			_ = f.Close()
-			f = prev
-		} else {
-			a.files[filename] = f
-		}
-		a.mu.Unlock()
+	f, release, err := a.openShared(filename)
+	if err != nil {
+		return nil, err
 	}
+	defer release()
 	buf := make([]byte, length)
 	if _, err := f.ReadAt(buf, offset); err != nil {
 		return nil, fmt.Errorf("commoncrawl: read %s@%d+%d: %w", filename, offset, length, err)
 	}
 	return buf, nil
+}
+
+// openShared hands out a cached descriptor with its refcount bumped;
+// the returned release must be called once the read is done. Opening
+// happens outside the lock, with the usual lose-the-race close.
+func (a *DiskArchive) openShared(filename string) (*os.File, func(), error) {
+	a.mu.Lock()
+	if e, ok := a.files[filename]; ok {
+		a.retainLocked(e)
+		a.mu.Unlock()
+		return e.f, func() { a.releaseEntry(e) }, nil
+	}
+	a.mu.Unlock()
+	f, err := os.Open(filepath.Join(a.root, filepath.FromSlash(filename)))
+	if err != nil {
+		return nil, nil, err
+	}
+	a.mu.Lock()
+	if e, raced := a.files[filename]; raced {
+		a.retainLocked(e)
+		a.mu.Unlock()
+		_ = f.Close()
+		return e.f, func() { a.releaseEntry(e) }, nil
+	}
+	a.evictIdleLocked()
+	e := &fdEntry{f: f}
+	a.retainLocked(e)
+	a.files[filename] = e
+	a.mu.Unlock()
+	return f, func() { a.releaseEntry(e) }, nil
+}
+
+func (a *DiskArchive) retainLocked(e *fdEntry) {
+	e.refs++
+	a.tick++
+	e.stamp = a.tick
+}
+
+func (a *DiskArchive) releaseEntry(e *fdEntry) {
+	a.mu.Lock()
+	e.refs--
+	a.mu.Unlock()
+}
+
+// evictIdleLocked closes least-recently-used idle descriptors until
+// the budget has room for one more. Entries with reads in flight are
+// never touched; if every entry is busy the cache simply runs over
+// budget until reads drain. Caller holds a.mu.
+func (a *DiskArchive) evictIdleLocked() {
+	for len(a.files) >= a.maxOpen {
+		var victimKey string
+		var victim *fdEntry
+		for k, e := range a.files {
+			if e.refs > 0 {
+				continue
+			}
+			if victim == nil || e.stamp < victim.stamp {
+				victim, victimKey = e, k
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(a.files, victimKey)
+		_ = victim.f.Close()
+	}
 }

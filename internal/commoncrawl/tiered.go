@@ -1,0 +1,244 @@
+package commoncrawl
+
+import (
+	"context"
+	"sync"
+
+	"github.com/hvscan/hvscan/internal/cdx"
+	"github.com/hvscan/hvscan/internal/obs"
+)
+
+// TieredArchive puts a byte-budgeted in-memory LRU in front of any
+// Archive, with single-flight coalescing so concurrent misses on the
+// same range trigger exactly one backend read. The intended stack is
+//
+//	TieredArchive → instrumentedArchive → DiskArchive or Client
+//
+// so the inner layer's read counters measure true backend traffic and
+// this layer's hit/miss counters measure cache effectiveness.
+//
+// Cached slices are shared between callers and with the backend's own
+// buffers; the contract is the same as DiskArchive's: treat returned
+// bytes as read-only. Every consumer in this repo does (warc decoding
+// reads, htmlparse.Preprocess copies).
+//
+// Errors are never cached: a transient backend fault (timeout, chaos
+// injection) clears on the next call instead of poisoning the key, so
+// the crawler's retry/budget machinery keeps working unchanged.
+type TieredArchive struct {
+	inner  Archive
+	budget int64
+
+	mu       sync.Mutex
+	entries  map[readKey]*cacheEntry
+	flights  map[readKey]*flightCall
+	lruHead  *cacheEntry // most recently used
+	lruTail  *cacheEntry // next eviction victim
+	resident int64
+
+	// Metrics are nil until Instrument is called; every touch goes
+	// through the nil-safe helpers below.
+	hits      *obs.Counter
+	misses    *obs.Counter
+	coalesced *obs.Counter
+	evictions *obs.Counter
+	residentG *obs.Gauge
+}
+
+// readKey identifies one ranged read. Identical triples always denote
+// identical bytes (WARC files are immutable once written), which is
+// what makes both caching and coalescing sound.
+type readKey struct {
+	filename       string
+	offset, length int64
+}
+
+type cacheEntry struct {
+	key        readKey
+	data       []byte
+	prev, next *cacheEntry
+}
+
+// flightCall is one in-progress backend read. Waiters block on done;
+// data/err are published before done closes, so the channel's
+// happens-before edge makes them safe to read without the lock.
+type flightCall struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// DefaultCacheBudget is the NewTiered byte budget when none is given.
+const DefaultCacheBudget = 64 << 20
+
+// NewTiered wraps inner with a cache of at most budget resident bytes
+// (DefaultCacheBudget if budget <= 0). Entries larger than the whole
+// budget are served but never cached.
+func NewTiered(inner Archive, budget int64) *TieredArchive {
+	if budget <= 0 {
+		budget = DefaultCacheBudget
+	}
+	return &TieredArchive{
+		inner:   inner,
+		budget:  budget,
+		entries: make(map[readKey]*cacheEntry),
+		flights: make(map[readKey]*flightCall),
+	}
+}
+
+// Instrument registers the cache metrics on reg and returns the
+// archive for chaining:
+//
+//	commoncrawl_cache_hits_total
+//	commoncrawl_cache_misses_total
+//	commoncrawl_cache_coalesced_total
+//	commoncrawl_cache_evictions_total
+//	commoncrawl_cache_resident_bytes
+func (a *TieredArchive) Instrument(reg *obs.Registry) *TieredArchive {
+	a.hits = reg.Counter("commoncrawl_cache_hits_total")
+	a.misses = reg.Counter("commoncrawl_cache_misses_total")
+	a.coalesced = reg.Counter("commoncrawl_cache_coalesced_total")
+	a.evictions = reg.Counter("commoncrawl_cache_evictions_total")
+	a.residentG = reg.Gauge("commoncrawl_cache_resident_bytes")
+	return a
+}
+
+var _ Archive = (*TieredArchive)(nil)
+
+// Crawls passes through to the inner archive.
+func (a *TieredArchive) Crawls() []string { return a.inner.Crawls() }
+
+// Query passes through to the inner archive. Index queries are cheap
+// relative to ranged reads and already deduplicated by the crawler's
+// per-domain scheduling, so only reads are cached.
+func (a *TieredArchive) Query(ctx context.Context, crawl, domain string, limit int) ([]*cdx.Record, error) {
+	return a.inner.Query(ctx, crawl, domain, limit)
+}
+
+// ReadRange serves from cache, joins an in-flight read, or performs
+// the backend read itself — in that order.
+func (a *TieredArchive) ReadRange(ctx context.Context, filename string, offset, length int64) ([]byte, error) {
+	key := readKey{filename: filename, offset: offset, length: length}
+
+	a.mu.Lock()
+	if e, ok := a.entries[key]; ok {
+		a.moveToFront(e)
+		data := e.data
+		a.mu.Unlock()
+		count(a.hits)
+		return data, nil
+	}
+	if fl, ok := a.flights[key]; ok {
+		a.mu.Unlock()
+		count(a.coalesced)
+		select {
+		case <-fl.done:
+			return fl.data, fl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	fl := &flightCall{done: make(chan struct{})}
+	a.flights[key] = fl
+	a.mu.Unlock()
+
+	count(a.misses)
+	data, err := a.inner.ReadRange(ctx, filename, offset, length)
+	fl.data, fl.err = data, err
+
+	a.mu.Lock()
+	delete(a.flights, key)
+	if err == nil {
+		a.admit(key, data)
+	}
+	a.mu.Unlock()
+	close(fl.done)
+	return data, err
+}
+
+// Resident returns the cached byte total (for tests and debugging).
+func (a *TieredArchive) Resident() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.resident
+}
+
+// Len returns the number of cached entries.
+func (a *TieredArchive) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.entries)
+}
+
+// admit inserts a successful read and evicts from the LRU tail until
+// the budget holds again. Caller holds a.mu.
+func (a *TieredArchive) admit(key readKey, data []byte) {
+	size := int64(len(data))
+	if size > a.budget {
+		return // would evict everything and still not fit
+	}
+	if _, ok := a.entries[key]; ok {
+		return // a racing flight already admitted it
+	}
+	e := &cacheEntry{key: key, data: data}
+	a.entries[key] = e
+	a.pushFront(e)
+	a.resident += size
+	for a.resident > a.budget && a.lruTail != nil {
+		victim := a.lruTail
+		a.unlink(victim)
+		delete(a.entries, victim.key)
+		a.resident -= int64(len(victim.data))
+		count(a.evictions)
+	}
+	gaugeSet(a.residentG, a.resident)
+}
+
+// pushFront links e as most recently used. Caller holds a.mu.
+func (a *TieredArchive) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = a.lruHead
+	if a.lruHead != nil {
+		a.lruHead.prev = e
+	}
+	a.lruHead = e
+	if a.lruTail == nil {
+		a.lruTail = e
+	}
+}
+
+// unlink removes e from the LRU list. Caller holds a.mu.
+func (a *TieredArchive) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		a.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		a.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// moveToFront marks e most recently used. Caller holds a.mu.
+func (a *TieredArchive) moveToFront(e *cacheEntry) {
+	if a.lruHead == e {
+		return
+	}
+	a.unlink(e)
+	a.pushFront(e)
+}
+
+func count(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func gaugeSet(g *obs.Gauge, v int64) {
+	if g != nil {
+		g.Set(v)
+	}
+}

@@ -80,6 +80,10 @@ func (r *Report) OnlyAutoFixable() bool {
 // construct with NewChecker.
 type Checker struct {
 	rules []Rule
+	// needTree records whether any configured rule needs the parse tree.
+	// When false, Check routes through the constant-memory streaming path
+	// and never builds a DOM (the two-phase design of ROADMAP item 5).
+	needTree bool
 	// hits, when instrumented, holds one counter per rule (parallel to
 	// rules); pages counts every document checked. Both stay nil on an
 	// uninstrumented checker, keeping the hot path a nil check.
@@ -87,11 +91,21 @@ type Checker struct {
 	pages *obs.Counter
 }
 
+func newChecker(rs []Rule) *Checker {
+	c := &Checker{rules: rs}
+	for _, r := range rs {
+		if r.TreeRequired || r.Stream == nil {
+			c.needTree = true
+		}
+	}
+	return c
+}
+
 // NewChecker returns a checker over the full catalogue, or over the given
 // subset if rule IDs are passed.
 func NewChecker(ids ...string) *Checker {
 	if len(ids) == 0 {
-		return &Checker{rules: Rules()}
+		return newChecker(Rules())
 	}
 	var rs []Rule
 	for _, id := range ids {
@@ -99,7 +113,7 @@ func NewChecker(ids ...string) *Checker {
 			rs = append(rs, r)
 		}
 	}
-	return &Checker{rules: rs}
+	return newChecker(rs)
 }
 
 // NewStreamingChecker returns a checker restricted to rules decidable from
@@ -112,7 +126,7 @@ func NewStreamingChecker() *Checker {
 			rs = append(rs, r)
 		}
 	}
-	return &Checker{rules: rs}
+	return newChecker(rs)
 }
 
 // Rules returns the checker's rule set.
@@ -150,10 +164,34 @@ func (c *Checker) countHits(rep *Report) {
 	}
 }
 
-// Check parses the document and runs every rule independently over the
-// single instrumented parse. It returns htmlparse.ErrNotUTF8 for documents
-// the pipeline must filter (paper §4.1).
+// runRules is the single report-assembly path shared by the tree and the
+// stream modes: it asks findingsFor for each configured rule's findings
+// (in catalogue order, i indexing c.rules), fills RuleHits, attaches the
+// signals, and records the instrumented counters — so the two modes cannot
+// drift in how a Report is put together.
+func (c *Checker) runRules(url string, sig Signals, findingsFor func(i int, r Rule) []Finding) *Report {
+	rep := &Report{URL: url, RuleHits: make(map[string]int, len(c.rules))}
+	for i, rule := range c.rules {
+		fs := findingsFor(i, rule)
+		if len(fs) > 0 {
+			rep.RuleHits[rule.ID] = len(fs)
+			rep.Findings = append(rep.Findings, fs...)
+		}
+	}
+	rep.Signals = sig
+	c.countHits(rep)
+	return rep
+}
+
+// Check checks the document, building a parse tree only if a configured
+// rule needs one: a checker whose rules are all streaming-capable routes
+// through the constant-memory CheckStream path automatically. It returns
+// htmlparse.ErrNotUTF8 for documents the pipeline must filter (paper
+// §4.1).
 func (c *Checker) Check(html []byte) (*Report, error) {
+	if !c.needTree {
+		return c.CheckStream(html)
+	}
 	res, err := htmlparse.ParseReuse(html)
 	if err != nil {
 		return nil, err
@@ -163,98 +201,117 @@ func (c *Checker) Check(html []byte) (*Report, error) {
 
 // CheckParsed runs the rules over an already parsed page.
 func (c *Checker) CheckParsed(p *Page) *Report {
-	rep := &Report{URL: p.URL, RuleHits: make(map[string]int, len(c.rules))}
-	for _, rule := range c.rules {
-		fs := rule.Check(p)
-		if len(fs) > 0 {
-			rep.RuleHits[rule.ID] = len(fs)
-			rep.Findings = append(rep.Findings, fs...)
-		}
-	}
-	rep.Signals = computeSignals(p)
-	c.countHits(rep)
-	return rep
+	return c.runRules(p.URL, computeSignals(p), func(_ int, r Rule) []Finding {
+		return r.Check(p)
+	})
 }
 
 // CheckStream tokenizes without tree construction and runs the streaming
-// rule subset. It is the cheap path the ablation benchmarks compare
-// against a full parse.
+// rule subset in O(1) token memory: no token slice is accumulated, and
+// each rule holds constant per-document state. Tree-required rules in the
+// checker's set are skipped.
 func (c *Checker) CheckStream(html []byte) (*Report, error) {
-	pre, err := htmlparse.Preprocess(html)
+	ts, err := htmlparse.NewTokenStream(html)
 	if err != nil {
 		return nil, err
 	}
-	z := htmlparse.NewTokenizer(pre.Input)
-	res := &htmlparse.Result{}
+	rep := c.CheckTokenStream(ts)
+	ts.Close()
+	return rep, nil
+}
+
+// CheckTokenStream drives the streaming rules over an open token stream.
+// The report is fully assembled before returning — findings never alias
+// the stream's recycled scratch — so the caller may Close the stream
+// immediately after (CheckStream does; the conformance runner keeps it
+// open long enough to read Hazard).
+func (c *Checker) CheckTokenStream(ts *htmlparse.TokenStream) *Report {
+	streams := make([]RuleStream, len(c.rules))
+	found := make([][]Finding, len(c.rules))
+	emits := make([]func(Finding), len(c.rules))
+	for i, r := range c.rules {
+		if r.Stream == nil {
+			continue
+		}
+		streams[i] = r.Stream()
+		i := i
+		emits[i] = func(f Finding) { found[i] = append(found[i], f) }
+	}
+	var sig Signals
+	// One token variable for the whole loop: its address is passed to
+	// opaque hook funcs, so it escapes — once per document, not per token.
+	var t htmlparse.Token
 	for {
-		t := z.Next()
+		t = ts.Next()
 		if t.Type == htmlparse.EOFToken {
 			break
 		}
-		switch t.Type {
-		case htmlparse.StartTagToken, htmlparse.EndTagToken:
-			res.Tokens = append(res.Tokens, t)
-		}
-	}
-	res.Errors = append(res.Errors, pre.Errors...)
-	res.Errors = append(res.Errors, z.Errors()...)
-	p := &Page{Result: res}
-	rep := &Report{URL: p.URL, RuleHits: make(map[string]int, len(c.rules))}
-	for _, rule := range c.rules {
-		if rule.TreeRequired {
+		if t.Type != htmlparse.StartTagToken && t.Type != htmlparse.EndTagToken {
 			continue
 		}
-		fs := rule.Check(p)
-		if len(fs) > 0 {
-			rep.RuleHits[rule.ID] = len(fs)
-			rep.Findings = append(rep.Findings, fs...)
+		if t.Type == htmlparse.StartTagToken {
+			sig.observe(&t)
+		}
+		for i := range streams {
+			if streams[i].Token != nil {
+				streams[i].Token(&t, emits[i])
+			}
 		}
 	}
-	rep.Signals = computeSignals(p)
-	c.countHits(rep)
-	return rep, nil
+	for _, e := range ts.Errors() {
+		for i := range streams {
+			if streams[i].Error != nil {
+				streams[i].Error(e, emits[i])
+			}
+		}
+	}
+	return c.runRules("", sig, func(i int, _ Rule) []Finding { return found[i] })
 }
 
 func computeSignals(p *Page) Signals {
 	var s Signals
 	for i := range p.Tokens {
-		t := &p.Tokens[i]
-		if t.Type != htmlparse.StartTagToken {
-			continue
-		}
-		switch t.Data {
-		case "math":
-			s.UsesMath = true
-		case "svg":
-			s.UsesSVG = true
-		}
-		hasNonce := false
-		hasScriptStr := false
-		for _, a := range t.Attr {
-			if urlAttributes[a.Name] && strings.ContainsRune(a.RawValue, '\n') {
-				s.NewlineInURL = true
-				if strings.ContainsRune(a.RawValue, '<') {
-					s.NewlineAndLtInURL = true
-				}
-			}
-			if strings.Contains(strings.ToLower(a.RawValue), "<script") {
-				s.ScriptInAttribute = true
-				hasScriptStr = true
-			}
-			if a.Name == "nonce" {
-				hasNonce = true
-			}
-		}
-		if t.Data == "script" && hasNonce && hasScriptStr {
-			s.NonceScriptAffected = true
+		if p.Tokens[i].Type == htmlparse.StartTagToken {
+			s.observe(&p.Tokens[i])
 		}
 	}
-	if p.Doc != nil {
-		if !s.UsesMath {
-			s.UsesMath = p.Doc.Find(func(n *htmlparse.Node) bool {
-				return n.Type == htmlparse.ElementNode && n.Data == "math"
-			}) != nil
-		}
+	if p.Doc != nil && !s.UsesMath {
+		s.UsesMath = p.Doc.Find(func(n *htmlparse.Node) bool {
+			return n.Type == htmlparse.ElementNode && n.Data == "math"
+		}) != nil
 	}
 	return s
+}
+
+// observe folds one start tag into the signals. The streaming checker
+// calls this once per tag as it goes; computeSignals replays the recorded
+// token slice of a full parse through it, so both modes measure signals
+// with the same code.
+func (s *Signals) observe(t *htmlparse.Token) {
+	switch t.Data {
+	case "math":
+		s.UsesMath = true
+	case "svg":
+		s.UsesSVG = true
+	}
+	hasNonce := false
+	hasScriptStr := false
+	for _, a := range t.Attr {
+		if urlAttributes[a.Name] && strings.ContainsRune(a.RawValue, '\n') {
+			s.NewlineInURL = true
+			if strings.ContainsRune(a.RawValue, '<') {
+				s.NewlineAndLtInURL = true
+			}
+		}
+		if strings.Contains(strings.ToLower(a.RawValue), "<script") {
+			s.ScriptInAttribute = true
+			hasScriptStr = true
+		}
+		if a.Name == "nonce" {
+			hasNonce = true
+		}
+	}
+	if t.Data == "script" && hasNonce && hasScriptStr {
+		s.NonceScriptAffected = true
+	}
 }

@@ -62,27 +62,25 @@ var ruleDE3_1 = Rule{
 	ID: "DE3_1", Name: "Non-terminated HTML: dangling markup URL",
 	Doc:   "Classic dangling markup: a URL attribute left unterminated absorbs the following markup, and the browser sends it to the attacker's origin as part of the URL. Recognized by a newline plus '<' inside a URL — exactly what Chromium blocks since 2017 (paper §3.2.2, §4.5).",
 	Group: DataExfiltration, Category: ParsingError,
-	Check: func(p *Page) []Finding {
-		var out []Finding
-		for i := range p.Tokens {
-			t := &p.Tokens[i]
-			if t.Type != htmlparse.StartTagToken {
-				continue
-			}
-			for _, a := range t.Attr {
-				if !urlAttributes[a.Name] {
-					continue
-				}
-				if strings.ContainsRune(a.RawValue, '\n') && strings.ContainsRune(a.RawValue, '<') {
-					out = append(out, Finding{
-						RuleID: "DE3_1", Pos: a.Pos,
-						Evidence: "<" + t.Data + " " + a.Name + "=" + truncate(a.RawValue, 80),
-					})
-				}
-			}
+	Check:  func(p *Page) []Finding { return tokenFindings(p, de31Token) },
+	Stream: tokenStream(de31Token),
+}
+
+func de31Token(t *htmlparse.Token, emit func(Finding)) {
+	if t.Type != htmlparse.StartTagToken {
+		return
+	}
+	for _, a := range t.Attr {
+		if !urlAttributes[a.Name] {
+			continue
 		}
-		return out
-	},
+		if strings.ContainsRune(a.RawValue, '\n') && strings.ContainsRune(a.RawValue, '<') {
+			emit(Finding{
+				RuleID: "DE3_1", Pos: a.Pos,
+				Evidence: "<" + t.Data + " " + a.Name + "=" + truncate(a.RawValue, 80),
+			})
+		}
+	}
 }
 
 // ruleDE3_2 detects the CSP nonce stealing pattern: the literal string
@@ -93,24 +91,22 @@ var ruleDE3_2 = Rule{
 	ID: "DE3_2", Name: "Non-terminated HTML: script-in-attribute (nonce stealing)",
 	Doc:   "CSP nonce stealing: an unterminated attribute absorbs a following <script> tag, so its nonce now authorizes the attacker's script element. Recognized by the literal string '<script' inside an attribute value (paper Figure 2).",
 	Group: DataExfiltration, Category: ParsingError,
-	Check: func(p *Page) []Finding {
-		var out []Finding
-		for i := range p.Tokens {
-			t := &p.Tokens[i]
-			if t.Type != htmlparse.StartTagToken {
-				continue
-			}
-			for _, a := range t.Attr {
-				if strings.Contains(strings.ToLower(a.RawValue), "<script") {
-					out = append(out, Finding{
-						RuleID: "DE3_2", Pos: a.Pos,
-						Evidence: "<" + t.Data + " " + a.Name + "=" + truncate(a.RawValue, 80),
-					})
-				}
-			}
+	Check:  func(p *Page) []Finding { return tokenFindings(p, de32Token) },
+	Stream: tokenStream(de32Token),
+}
+
+func de32Token(t *htmlparse.Token, emit func(Finding)) {
+	if t.Type != htmlparse.StartTagToken {
+		return
+	}
+	for _, a := range t.Attr {
+		if strings.Contains(strings.ToLower(a.RawValue), "<script") {
+			emit(Finding{
+				RuleID: "DE3_2", Pos: a.Pos,
+				Evidence: "<" + t.Data + " " + a.Name + "=" + truncate(a.RawValue, 80),
+			})
 		}
-		return out
-	},
+	}
 }
 
 // ruleDE3_3 detects non-terminated target attributes: the window name is
@@ -121,24 +117,22 @@ var ruleDE3_3 = Rule{
 	ID: "DE3_3", Name: "Non-terminated HTML: unclosed target attribute",
 	Doc:   "Window-name exfiltration: an unterminated target attribute absorbs following content; window names survive cross-origin navigation, so the next click hands the content to the attacker (paper Figure 5).",
 	Group: DataExfiltration, Category: ParsingError,
-	Check: func(p *Page) []Finding {
-		var out []Finding
-		for i := range p.Tokens {
-			t := &p.Tokens[i]
-			if t.Type != htmlparse.StartTagToken || !targetAttributeTags[t.Data] {
-				continue
-			}
-			for _, a := range t.Attr {
-				if a.Name == "target" && strings.ContainsRune(a.RawValue, '\n') {
-					out = append(out, Finding{
-						RuleID: "DE3_3", Pos: a.Pos,
-						Evidence: "<" + t.Data + " target=" + truncate(a.RawValue, 80),
-					})
-				}
-			}
+	Check:  func(p *Page) []Finding { return tokenFindings(p, de33Token) },
+	Stream: tokenStream(de33Token),
+}
+
+func de33Token(t *htmlparse.Token, emit func(Finding)) {
+	if t.Type != htmlparse.StartTagToken || !targetAttributeTags[t.Data] {
+		return
+	}
+	for _, a := range t.Attr {
+		if a.Name == "target" && strings.ContainsRune(a.RawValue, '\n') {
+			emit(Finding{
+				RuleID: "DE3_3", Pos: a.Pos,
+				Evidence: "<" + t.Data + " target=" + truncate(a.RawValue, 80),
+			})
 		}
-		return out
-	},
+	}
 }
 
 // ruleDE4 detects nested form elements. The parser drops the inner form

@@ -119,4 +119,5 @@ var ruleDM3 = Rule{
 	Check: func(p *Page) []Finding {
 		return errorFindings(p, "DM3", htmlparse.ErrDuplicateAttribute)
 	},
+	Stream: errorStream("DM3", htmlparse.ErrDuplicateAttribute),
 }

@@ -19,6 +19,7 @@ var ruleFB1 = Rule{
 	Check: func(p *Page) []Finding {
 		return errorFindings(p, "FB1", htmlparse.ErrUnexpectedSolidusInTag)
 	},
+	Stream: errorStream("FB1", htmlparse.ErrUnexpectedSolidusInTag),
 }
 
 // ruleFB2 detects attributes concatenated without whitespace:
@@ -32,4 +33,5 @@ var ruleFB2 = Rule{
 	Check: func(p *Page) []Finding {
 		return errorFindings(p, "FB2", htmlparse.ErrMissingWhitespaceBetweenAttributes)
 	},
+	Stream: errorStream("FB2", htmlparse.ErrMissingWhitespaceBetweenAttributes),
 }

@@ -1,0 +1,370 @@
+package htmlparse
+
+import (
+	"strings"
+	"sync"
+)
+
+// TokenStream is the pull-based streaming front end to the tokenizer: it
+// yields tokens one at a time with O(1) retained state, never accumulating
+// a token slice, so a checker driving it runs in constant memory per
+// document regardless of input size.
+//
+// The hard part of tokenizing without a tree builder is tokenizer
+// feedback: the spec switches the tokenizer into RCDATA / RAWTEXT / script
+// data states from the *tree construction* stage, and the correct switch
+// depends on namespace context (a <style> inside <svg> is character data,
+// not raw text — the distinction the Figure 1 mXSS abuses). TokenStream
+// therefore disables AutoRaw and mirrors exactly the slice of tree state
+// the tokenizer can observe: a stack of open foreign elements (with their
+// integration-point flags) plus the HTML islands nested inside them, the
+// in-select suppression mode, and the CDATA-permission rule. Everything
+// else about tree construction is irrelevant to token identity.
+//
+// Where the mirror is knowingly approximate (a suppressing insertion mode
+// interacting with a feedback tag, or an end tag the real parser resolves
+// through scope rules), Hazard() reports true; the conformance suite uses
+// that to scope the fuzzing invariant while still requiring exact
+// stream≡tree agreement over the whole checked-in corpus.
+//
+// Contract: the Token returned by Next — including its Attr backing array
+// — is valid only until the next Next call (attribute storage is
+// recycled). Errors() is valid only until Close. Never mutate returned
+// data; value strings may be zero-copy views into the input buffer (those
+// stay valid indefinitely — the buffer is never pooled).
+type TokenStream struct {
+	z   Tokenizer
+	pre *Preprocessed
+
+	stack         []streamNode
+	inSelect      bool
+	rawEnd        string // pending appropriate end tag after a raw-text switch
+	uncertain     bool
+	sawSuppressor bool
+	sawFeedback   bool
+
+	errScratch []ParseError
+	cdata      func() bool
+	fresh      bool
+}
+
+// streamNode is one open element the tokenizer-feedback mirror must track:
+// foreign elements, their integration points, and the HTML elements nested
+// inside integration-point islands. name is the raw lowercase token name
+// (the tree builder's case adjustments never change identity under
+// ASCII-lowercase, which is what end-tag matching uses).
+type streamNode struct {
+	name   string
+	ns     Namespace
+	htmlIP bool
+	textIP bool
+}
+
+// svgHTMLIntegrationLower is svgHTMLIntegration keyed by the raw lowercase
+// token name, before the tree builder's svgTagAdjustments case-fix.
+var svgHTMLIntegrationLower = newStringSet("foreignobject", "desc", "title")
+
+var tokenStreamPool = sync.Pool{New: func() any {
+	ts := &TokenStream{fresh: true}
+	// Bind the CDATA hook once per TokenStream; reset re-installs the same
+	// closure so reuse costs no allocation. Mirrors the tree builder's
+	// rule: <![CDATA[ opens a section only in foreign content.
+	ts.cdata = func() bool {
+		if n := ts.top(); n != nil {
+			return n.ns != NamespaceHTML
+		}
+		return false
+	}
+	return ts
+}}
+
+// NewTokenStream preprocesses b and returns a pooled TokenStream over it.
+// The only error is ErrNotUTF8 (same domain as Parse). Callers must Close
+// the stream to recycle its scratch state.
+func NewTokenStream(b []byte) (*TokenStream, error) {
+	pre, err := Preprocess(b)
+	if err != nil {
+		return nil, err
+	}
+	ts := tokenStreamPool.Get().(*TokenStream)
+	if m := metrics.Load(); m != nil {
+		if ts.fresh {
+			m.poolMisses.Inc()
+		} else {
+			m.poolHits.Inc()
+		}
+	}
+	ts.fresh = false
+	ts.reset(pre)
+	return ts, nil
+}
+
+func (ts *TokenStream) reset(pre *Preprocessed) {
+	z := &ts.z
+	*z = Tokenizer{
+		input:       pre.Input,
+		line:        1,
+		col:         1,
+		state:       stateData,
+		queue:       z.queue[:0],
+		textBuf:     z.textBuf[:0],
+		attrName:    z.attrName[:0],
+		attrValue:   z.attrValue[:0],
+		attrRaw:     z.attrRaw[:0],
+		tmpBuf:      z.tmpBuf[:0],
+		errors:      z.errors[:0],
+		reuseAttrs:  true,
+		attrScratch: z.attrScratch[:0],
+	}
+	z.AllowCDATA = ts.cdata
+	ts.pre = pre
+	ts.stack = ts.stack[:0]
+	ts.inSelect = false
+	ts.rawEnd = ""
+	ts.uncertain = false
+	ts.sawSuppressor = false
+	ts.sawFeedback = false
+	ts.errScratch = ts.errScratch[:0]
+}
+
+// Close recycles the stream's scratch state. The zero-copy strings handed
+// out in tokens remain valid (they view the input buffer, which is not
+// pooled); the error slice and any retained Token.Attr do not.
+func (ts *TokenStream) Close() {
+	ts.pre = nil
+	tokenStreamPool.Put(ts)
+}
+
+// Next returns the next token, driving the tokenizer-feedback mirror as a
+// side effect. After the input is exhausted it returns EOFToken forever.
+func (ts *TokenStream) Next() Token {
+	t := ts.z.Next()
+	switch t.Type {
+	case StartTagToken:
+		ts.observeStart(&t)
+	case EndTagToken:
+		ts.observeEnd(&t)
+	}
+	return t
+}
+
+// Errors returns the preprocessing errors followed by the tokenizer errors
+// recorded so far, in input order within each stage. The slice is scratch:
+// valid only until Close.
+func (ts *TokenStream) Errors() []ParseError {
+	ts.errScratch = append(ts.errScratch[:0], ts.pre.Errors...)
+	ts.errScratch = append(ts.errScratch, ts.z.errors...)
+	return ts.errScratch
+}
+
+// Hazard reports whether the input crossed a construct where the feedback
+// mirror is knowingly approximate, so stream-mode tokens could in
+// principle diverge from tree-mode tokens: an end tag the real parser
+// would resolve through scope rules, or a suppressing insertion mode
+// (select/frameset/template) coexisting with feedback-relevant tags.
+func (ts *TokenStream) Hazard() bool {
+	return ts.uncertain || (ts.sawSuppressor && ts.sawFeedback)
+}
+
+func (ts *TokenStream) top() *streamNode {
+	if len(ts.stack) == 0 {
+		return nil
+	}
+	return &ts.stack[len(ts.stack)-1]
+}
+
+// observeStart mirrors useForeignRules' dispatch for a start tag: decide
+// whether the token is handled by HTML rules or foreign-content rules.
+func (ts *TokenStream) observeStart(t *Token) {
+	if n := ts.top(); n != nil && n.ns != NamespaceHTML {
+		if n.textIP && t.Data != "mglyph" && t.Data != "malignmark" {
+			ts.htmlStart(t)
+			return
+		}
+		if n.ns == NamespaceMathML && n.name == "annotation-xml" && t.Data == "svg" {
+			ts.htmlStart(t)
+			return
+		}
+		if n.htmlIP {
+			ts.htmlStart(t)
+			return
+		}
+		ts.foreignStart(t)
+		return
+	}
+	ts.htmlStart(t)
+}
+
+// htmlStart applies the HTML-side tokenizer feedback for a start tag: raw
+// text switches, foreign-content entries, and the suppression modes whose
+// "ignore the token" behaviour blocks those switches.
+func (ts *TokenStream) htmlStart(t *Token) {
+	if ts.inSelect {
+		// In-select insertion mode ignores almost every start tag; the
+		// exceptions below are the ones with tokenizer-visible effects
+		// (spec 13.2.6.4.16).
+		switch t.Data {
+		case "script":
+			ts.sawFeedback = true
+			ts.rawEnd = t.Data
+			ts.z.StartRawText(t.Data)
+		case "textarea":
+			// Pops the select and reprocesses: the textarea then switches
+			// the tokenizer into RCDATA as usual.
+			ts.inSelect = false
+			ts.sawFeedback = true
+			ts.rawEnd = t.Data
+			ts.z.StartRawText(t.Data)
+		case "select", "input", "keygen":
+			ts.inSelect = false
+		case "template":
+			ts.sawSuppressor = true
+		}
+		return
+	}
+	switch t.Data {
+	case "svg", "math":
+		ts.sawFeedback = true
+		if !t.SelfClosing {
+			ns := NamespaceSVG
+			if t.Data == "math" {
+				ns = NamespaceMathML
+			}
+			ts.stack = append(ts.stack, streamNode{name: t.Data, ns: ns})
+		}
+		return
+	case "select":
+		ts.inSelect = true
+		ts.sawSuppressor = true
+		return
+	case "frameset", "template":
+		ts.sawSuppressor = true
+		return
+	case "html", "head", "body":
+		return
+	}
+	if _, ok := rawTextTags[t.Data]; ok {
+		// The generic raw text / RCDATA algorithms switch unconditionally —
+		// including for a (meaningless) self-closing flag, which the tree
+		// builder ignores on non-void HTML elements.
+		ts.sawFeedback = true
+		ts.rawEnd = t.Data
+		ts.z.StartRawText(t.Data)
+		return
+	}
+	if len(ts.stack) > 0 && !voidElements[t.Data] {
+		// An HTML element inside an integration-point island. Tracking it
+		// keeps end-tag bookkeeping aligned, but HTML scope rules (implied
+		// end tags, adoption agency) can close elements we keep open, so
+		// the mirror is approximate from here on.
+		ts.stack = append(ts.stack, streamNode{name: t.Data, ns: NamespaceHTML})
+		ts.uncertain = true
+	}
+}
+
+// foreignStart mirrors foreignIM for a start tag: breakout elements pop
+// the foreign run and reprocess as HTML; everything else nests, recording
+// integration points.
+func (ts *TokenStream) foreignStart(t *Token) {
+	breakout := breakoutElements[t.Data]
+	if t.Data == "font" {
+		breakout = false
+		for _, a := range t.Attr {
+			switch a.Name {
+			case "color", "face", "size":
+				breakout = true
+			}
+		}
+	}
+	if breakout {
+		ts.popForeignRun()
+		ts.observeStart(t)
+		return
+	}
+	ns := ts.top().ns
+	if t.SelfClosing {
+		return
+	}
+	n := streamNode{name: t.Data, ns: ns}
+	if ns == NamespaceSVG {
+		n.htmlIP = svgHTMLIntegrationLower[t.Data]
+	} else {
+		n.textIP = mathMLTextIntegration[t.Data]
+		if t.Data == "annotation-xml" {
+			for _, a := range t.Attr {
+				if a.Name == "encoding" &&
+					(strings.EqualFold(a.Value, "text/html") ||
+						strings.EqualFold(a.Value, "application/xhtml+xml")) {
+					n.htmlIP = true
+				}
+			}
+		}
+	}
+	ts.stack = append(ts.stack, n)
+}
+
+// popForeignRun mirrors popForeign: pop until the top is an integration
+// point, an HTML island element, or the stack is empty.
+func (ts *TokenStream) popForeignRun() {
+	for len(ts.stack) > 0 {
+		n := ts.top()
+		if n.ns == NamespaceHTML || n.htmlIP || n.textIP {
+			return
+		}
+		ts.stack = ts.stack[:len(ts.stack)-1]
+	}
+}
+
+// observeEnd mirrors the end-tag side: raw-text end tags are pure
+// tokenizer bookkeeping, in-select end tags only toggle the suppression
+// mode, and stack matching follows foreignIM's scan.
+func (ts *TokenStream) observeEnd(t *Token) {
+	if ts.rawEnd != "" {
+		// In a raw-text state the tokenizer emits only the appropriate end
+		// tag, so this must be it; anything else means the mirror lost the
+		// plot.
+		if t.Data != ts.rawEnd {
+			ts.uncertain = true
+		}
+		ts.rawEnd = ""
+		return
+	}
+	if ts.inSelect {
+		switch t.Data {
+		case "select", "table", "caption", "tbody", "tfoot", "thead", "tr", "td", "th":
+			ts.inSelect = false
+		}
+		return
+	}
+	if len(ts.stack) == 0 {
+		return
+	}
+	if ts.top().ns == NamespaceHTML {
+		// Scan the contiguous HTML island run; a miss means the real
+		// parser resolves the tag through scope rules (already flagged
+		// uncertain at push time).
+		for i := len(ts.stack) - 1; i >= 0; i-- {
+			if ts.stack[i].ns != NamespaceHTML {
+				break
+			}
+			if ts.stack[i].name == t.Data {
+				ts.stack = ts.stack[:i]
+				return
+			}
+		}
+		return
+	}
+	// Foreign top: foreignIM scans down the contiguous foreign run for a
+	// case-folded name match and pops through it; a miss hands the tag to
+	// the HTML insertion mode, which may close elements we keep open.
+	for i := len(ts.stack) - 1; i >= 0; i-- {
+		if ts.stack[i].ns == NamespaceHTML {
+			break
+		}
+		if ts.stack[i].name == t.Data {
+			ts.stack = ts.stack[:i]
+			return
+		}
+	}
+	ts.uncertain = true
+}

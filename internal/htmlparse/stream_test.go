@@ -1,0 +1,220 @@
+package htmlparse
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// streamTags drains a TokenStream and returns just the tag tokens,
+// rendered compactly — the observable the feedback mirror controls
+// (whether markup-looking bytes tokenize as tags or as raw text).
+func streamTags(t *testing.T, in string) []string {
+	t.Helper()
+	ts, err := NewTokenStream([]byte(in))
+	if err != nil {
+		t.Fatalf("NewTokenStream(%q): %v", in, err)
+	}
+	defer ts.Close()
+	var out []string
+	for {
+		tok := ts.Next()
+		if tok.Type == EOFToken {
+			return out
+		}
+		switch tok.Type {
+		case StartTagToken:
+			out = append(out, "<"+tok.Data+">")
+		case EndTagToken:
+			out = append(out, "</"+tok.Data+">")
+		}
+	}
+}
+
+func TestTokenStreamFeedback(t *testing.T) {
+	for _, tc := range []struct {
+		name, in string
+		want     []string
+	}{
+		{
+			// HTML script content is script data: no inner tags.
+			"html script raw", "<script><b>x</b></script><i>",
+			[]string{"<script>", "</script>", "<i>"},
+		},
+		{
+			// The same script inside <svg> is a foreign element: its
+			// content tokenizes normally (the Figure 1 mXSS distinction).
+			"svg script not raw", "<svg><script><b>x</b></script></svg>",
+			[]string{"<svg>", "<script>", "<b>", "</b>", "</script>", "</svg>"},
+		},
+		{
+			// SVG <title> is a foreign element, not RCDATA.
+			"svg title not raw", "<svg><title>a<b>c</title></svg>",
+			[]string{"<svg>", "<title>", "<b>", "</title>", "</svg>"},
+		},
+		{
+			// A self-closing flag on an HTML raw-text element is ignored:
+			// the generic RCDATA algorithm still switches, so <b> is text.
+			"self-closing title still raw", "<title/>a<b>c</title><i>",
+			[]string{"<title>", "</title>", "<i>"},
+		},
+		{
+			// A breakout element pops the foreign context; the style after
+			// it is HTML again and switches to RAWTEXT.
+			"breakout restores html feedback", "<svg><p><style><b></style>",
+			[]string{"<svg>", "<p>", "<style>", "</style>"},
+		},
+		{
+			// font with color/face/size breaks out; bare font does not.
+			"font breakout", "<svg><font color=red></font><style><b></style>",
+			[]string{"<svg>", "<font>", "</font>", "<style>", "</style>"},
+		},
+		{
+			"font no breakout", "<svg><font x=1><style><b></style>",
+			[]string{"<svg>", "<font>", "<style>", "<b>", "</style>"},
+		},
+		{
+			// An HTML integration point island: HTML rules (and raw text)
+			// apply inside foreignObject.
+			"foreignObject island raw", "<svg><foreignObject><style><b></style></foreignObject></svg>",
+			[]string{"<svg>", "<foreignobject>", "<style>", "</style>", "</foreignobject>", "</svg>"},
+		},
+		{
+			// A MathML text integration point: <script> under <mi> is HTML.
+			"mathml text ip", "<math><mi><script><b>x</b></script></mi></math>",
+			[]string{"<math>", "<mi>", "<script>", "</script>", "</mi>", "</math>"},
+		},
+		{
+			// annotation-xml with an HTML encoding is an integration point…
+			"annotation-xml html", "<math><annotation-xml encoding='text/HTML'><textarea><p></textarea></annotation-xml></math>",
+			[]string{"<math>", "<annotation-xml>", "<textarea>", "</textarea>", "</annotation-xml>", "</math>"},
+		},
+		{
+			// …and without one its content stays foreign: no RCDATA switch.
+			"annotation-xml foreign", "<math><annotation-xml encoding='x'><textarea><p></textarea></annotation-xml></math>",
+			[]string{"<math>", "<annotation-xml>", "<textarea>", "<p>", "</textarea>", "</annotation-xml>", "</math>"},
+		},
+		{
+			// In-select mode ignores <title>, so no RCDATA switch; the b
+			// start tag inside it tokenizes as a tag.
+			"select suppresses title", "<select><title><b>x</title></select>",
+			[]string{"<select>", "<title>", "<b>", "</title>", "</select>"},
+		},
+		{
+			// <textarea> pops the select and then switches as usual.
+			"select textarea pops", "<select><textarea><p></textarea>",
+			[]string{"<select>", "<textarea>", "</textarea>"},
+		},
+		{
+			// <input> pops the select: the following title is raw again.
+			"select input pops", "<select><input><title><b></title>",
+			[]string{"<select>", "<input>", "<title>", "</title>"},
+		},
+		{
+			// script inside select is processed "as in head": raw.
+			"select script raw", "<select><script><b>x</b></script>",
+			[]string{"<select>", "<script>", "</script>"},
+		},
+		{
+			// noframes stays raw inside frameset (modes.dat behaviour).
+			"frameset noframes raw", "<frameset><noframes><p></noframes></frameset>",
+			[]string{"<frameset>", "<noframes>", "</noframes>", "</frameset>"},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := streamTags(t, tc.in); !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("tags for %q:\n got  %v\n want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTokenStreamCDATA(t *testing.T) {
+	ts, err := NewTokenStream([]byte("<svg><![CDATA[<b>raw</b>]]></svg>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	var text strings.Builder
+	for {
+		tok := ts.Next()
+		if tok.Type == EOFToken {
+			break
+		}
+		if tok.Type == CharacterToken {
+			text.WriteString(tok.Data)
+		}
+		if tok.Type == StartTagToken && tok.Data == "b" {
+			t.Fatal("CDATA content tokenized as markup inside foreign content")
+		}
+	}
+	if got := text.String(); got != "<b>raw</b>" {
+		t.Errorf("CDATA text = %q, want %q", got, "<b>raw</b>")
+	}
+	for _, e := range ts.Errors() {
+		if e.Code == ErrCDATAInHTMLContent {
+			t.Errorf("cdata-in-html-content raised inside foreign content")
+		}
+	}
+}
+
+func TestTokenStreamHazard(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want bool
+	}{
+		{"<p>plain<b>doc</b></p>", false},
+		{"<svg><rect/></svg><title>x</title>", false},
+		// A suppressor alone, with no feedback tag in sight, is exact.
+		{"<select><option>a</select>", false},
+		// Suppressor and feedback tag on the same page: approximate.
+		{"<select><option>a</select><title>x</title>", true},
+		// Stray end tag the real parser resolves through scope rules.
+		{"<p><svg></p><style>x</style>", true},
+		// HTML island under an integration point.
+		{"<svg><foreignObject><div></div></foreignObject>", true},
+	} {
+		ts, err := NewTokenStream([]byte(tc.in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ts.Next().Type != EOFToken {
+		}
+		got := ts.Hazard()
+		ts.Close()
+		if got != tc.want {
+			t.Errorf("Hazard(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestTokenStreamErrorsMatchTree pins the error contract the streaming
+// rules rely on: for tokenizer-stage codes, the stream reports exactly
+// the errors a full parse reports, in the same order.
+func TestTokenStreamErrorsMatchTree(t *testing.T) {
+	in := "<img//src=x/onerror=y><p id=a id=a><a href='u'target=w>"
+	res, err := ParseReuse([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTokenStream([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	for ts.Next().Type != EOFToken {
+	}
+	pick := func(errs []ParseError) []ParseError {
+		var out []ParseError
+		for _, e := range errs {
+			if !e.Code.TreeStage() {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	treeErrs, streamErrs := pick(res.Errors), pick(ts.Errors())
+	if !reflect.DeepEqual(treeErrs, streamErrs) {
+		t.Errorf("tokenizer-stage errors diverge:\n tree   %v\n stream %v", treeErrs, streamErrs)
+	}
+}

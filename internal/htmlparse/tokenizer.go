@@ -167,6 +167,17 @@ type Tokenizer struct {
 	attrPos    Position
 	tmpBuf     []byte
 	emittedEOF bool
+
+	// reuseAttrs makes newTag hand the current tag the recycled attrScratch
+	// backing array instead of allocating a fresh Attr slice per tag. Safe
+	// only for pull-style consumers that do not retain a token past the next
+	// Next() call (the streaming checker); the tree builder keeps tokens, so
+	// it leaves this off. Correctness relies on the step() invariant: one
+	// state-handler dispatch per step and Next() drains the queue before
+	// stepping, so the previously emitted tag is always consumed before a
+	// new tag can recycle its attribute array.
+	reuseAttrs  bool
+	attrScratch []Attribute
 }
 
 // NewTokenizer returns a tokenizer over a preprocessed input stream (see
@@ -398,6 +409,11 @@ func (z *Tokenizer) emit(t Token) {
 			}
 		}
 	}
+	if z.reuseAttrs && t.Attr != nil {
+		// The emitted token owns the scratch array until the consumer moves
+		// past it; reclaim the (possibly grown) backing array for the next tag.
+		z.attrScratch = t.Attr
+	}
 	z.queue = append(z.queue, t)
 }
 
@@ -428,6 +444,9 @@ func (z *Tokenizer) Next() Token {
 
 func (z *Tokenizer) newTag(tt TokenType) {
 	z.cur = Token{Type: tt, Pos: z.position()}
+	if z.reuseAttrs {
+		z.cur.Attr = z.attrScratch[:0]
+	}
 }
 
 func (z *Tokenizer) startNewAttr() {

@@ -1,0 +1,118 @@
+package core
+
+// Scaffolding mirroring the real rule catalogue's shape: a Page over
+// an embedded parse Result, tree-event helpers, and Rule literals in
+// both tree and streaming flavours.
+
+type Node struct{}
+
+type TreeEvent struct{}
+
+type Result struct {
+	Doc    *Node
+	Events []TreeEvent
+	Tokens []int
+}
+
+func (r *Result) EventsByKind(kind int) []TreeEvent { return nil }
+
+type Page struct {
+	*Result
+	URL string
+}
+
+type Finding struct{}
+
+type Rule struct {
+	ID           string
+	TreeRequired bool
+	Check        func(p *Page) []Finding
+	Stream       func() func()
+}
+
+func eventFindings(p *Page, id string, kind int) []Finding {
+	_ = p.EventsByKind(kind)
+	return nil
+}
+
+func tokenHelper(p *Page) []Finding {
+	_ = p.Tokens // token replay is stream-safe
+	return nil
+}
+
+func docHelper(p *Page) []Finding {
+	_ = p.Doc
+	return nil
+}
+
+func indirectDocHelper(p *Page) []Finding {
+	return docHelper(p)
+}
+
+var streamClean = Rule{
+	ID:     "S1",
+	Check:  func(p *Page) []Finding { return tokenHelper(p) },
+	Stream: func() func() { return nil },
+}
+
+var treeMayUseDoc = Rule{
+	ID:           "T1",
+	TreeRequired: true,
+	Check: func(p *Page) []Finding {
+		_ = p.Doc
+		return eventFindings(p, "T1", 0)
+	},
+}
+
+var streamReadsDoc = Rule{
+	ID: "S2",
+	Check: func(p *Page) []Finding {
+		_ = p.Doc // want `rule "S2" is streaming .* reads \.Doc`
+		return nil
+	},
+}
+
+var streamReadsEvents = Rule{
+	ID: "S3",
+	Check: func(p *Page) []Finding {
+		_ = p.Events // want `rule "S3" is streaming .* reads \.Events`
+		return nil
+	},
+}
+
+var streamCallsEventsByKind = Rule{
+	ID: "S4",
+	Check: func(p *Page) []Finding {
+		_ = p.EventsByKind(0) // want `rule "S4" is streaming .* calls EventsByKind`
+		return nil
+	},
+}
+
+var streamCallsEventFindings = Rule{
+	ID: "S5",
+	Check: func(p *Page) []Finding {
+		return eventFindings(p, "S5", 0) // want `rule "S5" is streaming .* eventFindings`
+	},
+}
+
+var streamViaHelper = Rule{
+	ID:    "S6",
+	Check: docHelper, // want `rule "S6" is streaming .* references docHelper`
+}
+
+var streamViaIndirectHelper = Rule{
+	ID: "S7",
+	Check: func(p *Page) []Finding {
+		return indirectDocHelper(p) // want `rule "S7" is streaming .* references indirectDocHelper`
+	},
+}
+
+var explicitFalseStillChecked = Rule{
+	ID:           "S8",
+	TreeRequired: false,
+	Stream: func() func() {
+		p := &Page{}
+		_ = p.Doc // want `rule "S8" is streaming .* its Stream reads \.Doc`
+		return nil
+	},
+}
