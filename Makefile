@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint bench bench-json bench-gate ci chaos fmt-check study report fuzz clean conform conform-update fuzz-smoke
+.PHONY: all build test vet lint bench bench-json bench-gate ci chaos serve-chaos fmt-check study report fuzz clean conform conform-update fuzz-smoke
 
 all: build test
 
@@ -12,6 +12,7 @@ all: build test
 ci: build vet lint fmt-check
 	$(GO) test -race ./...
 	$(MAKE) chaos
+	$(MAKE) serve-chaos
 	$(MAKE) conform
 	$(GO) test -run '^$$' -fuzz='^FuzzParse$$' -fuzztime=15s ./internal/htmlparse
 	$(GO) test -run '^$$' -fuzz='^FuzzClassify$$' -fuzztime=10s ./internal/resilience
@@ -49,6 +50,13 @@ fuzz-smoke:
 # budget compliance, crash-and-resume equivalence, breaker behavior.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestResume|TestBreaker' ./internal/crawler ./internal/commoncrawl
+
+# Serving-layer chaos: the hvserve acceptance suite (overload bursts,
+# slowloris bodies, mid-request disconnects, hostile nesting, graceful
+# drain, goroutine/heap leak sweep) plus the tiered cache's
+# cancellation edge cases, all under the race detector.
+serve-chaos:
+	$(GO) test -race -count=1 -run 'TestServeChaos|TestTiered.*Cancel' ./internal/serve ./internal/commoncrawl
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -14,21 +14,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/hvscan/hvscan/internal/commoncrawl"
 	"github.com/hvscan/hvscan/internal/corpus"
 	"github.com/hvscan/hvscan/internal/obs"
+	"github.com/hvscan/hvscan/internal/serve"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", ":8087", "listen address")
+		drain   = flag.Duration("drain", 15*time.Second, "graceful drain budget on SIGTERM")
 		metrics = flag.String("metrics", "", "serve /metrics and /debug/pprof/ on this address (empty = off)")
 		dir     = flag.String("dir", "", "serve an hvgen-written archive directory")
 		cacheMB = flag.Int("cache-mb", 0, "in-memory read cache budget in MiB (0 = off)")
@@ -80,13 +84,15 @@ func main() {
 		log.Printf("metrics: http://%s/metrics (pprof on /debug/pprof/)", srv.Addr)
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           commoncrawl.NewServer(archive),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-	log.Printf("listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+	// The hardened listener + graceful drain from internal/serve: on
+	// SIGTERM/Ctrl-C in-flight range reads finish (a crawler mid-fetch
+	// sees a complete response, not a reset) before the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := serve.NewHTTPServer(*addr, commoncrawl.NewServer(archive))
+	log.Printf("listening on %s (drain budget %s)", *addr, *drain)
+	if err := serve.Run(ctx, srv, *drain, nil); !serve.IsExpectedClose(err) {
 		log.Fatal(err)
 	}
+	log.Printf("drained cleanly")
 }

@@ -1,5 +1,6 @@
 // Command hvbench records and gates the repo's benchmark trajectory:
-// the parser hot path, the streaming checker, and the archive cache.
+// the parser hot path, the streaming checker, the archive cache, and
+// the serving layer's end-to-end request latency.
 //
 // It runs the selected benchmarks through `go test -json -bench`, folds
 // the event stream into the stable schema of internal/perf, and either
@@ -37,8 +38,8 @@ func main() {
 		out       = flag.String("out", "", "output path for -record (default BENCH_<yyyymmdd>.json)")
 		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline run to gate against")
 		tolerance = flag.Float64("tolerance", 0.10, "relative ns/op regression allowed before the gate fails")
-		benchRe   = flag.String("bench", "^(BenchmarkTokenize|BenchmarkParse|BenchmarkCheckStream|BenchmarkCheckFull|BenchmarkArchiveReadRange)$", "benchmark selection regexp passed to go test")
-		pkg       = flag.String("pkg", "./internal/htmlparse,./internal/core,./internal/commoncrawl", "comma-separated packages whose benchmarks to run")
+		benchRe   = flag.String("bench", "^(BenchmarkTokenize|BenchmarkParse|BenchmarkCheckStream|BenchmarkCheckFull|BenchmarkArchiveReadRange|BenchmarkServeCheck|BenchmarkServeCheckStream)$", "benchmark selection regexp passed to go test")
+		pkg       = flag.String("pkg", "./internal/htmlparse,./internal/core,./internal/commoncrawl,./internal/serve", "comma-separated packages whose benchmarks to run")
 		count     = flag.Int("count", 5, "go test -count; the fastest of N runs is kept per benchmark")
 		summary   = flag.String("summary", "", "append the markdown delta table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 		input     = flag.String("input", "", "parse an existing go test -json stream from this file instead of running benchmarks ('-' for stdin)")

@@ -1,0 +1,222 @@
+package commoncrawl
+
+// Cancellation edge cases of the tiered cache's singleflight path.
+// The serving layer (internal/serve) propagates per-request deadlines
+// into archive reads, which makes two scenarios routine that the batch
+// pipeline never hit: a coalesced *follower* whose request dies while
+// the leader's backend read is still in flight, and a *leader* whose
+// own context dies mid-read. Neither may cache an error, leak the
+// flight slot, or poison the key for the next caller.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hvscan/hvscan/internal/obs"
+)
+
+// ctxBackend is a fakeBackend variant whose blocking read honors the
+// caller's context, the way a real disk/network backend does.
+type ctxBackend struct {
+	fakeBackend
+}
+
+func (b *ctxBackend) ReadRange(ctx context.Context, filename string, offset, length int64) ([]byte, error) {
+	b.mu.Lock()
+	b.reads++
+	b.mu.Unlock()
+	if b.entered != nil {
+		b.entered <- struct{}{}
+	}
+	if b.release != nil {
+		select {
+		case <-b.release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	data := make([]byte, length)
+	for i := range data {
+		data[i] = byte(offset + int64(i))
+	}
+	return data, nil
+}
+
+func (a *TieredArchive) flightCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.flights)
+}
+
+// waitCoalesced blocks until n callers have joined in-flight reads.
+func waitCoalesced(t *testing.T, a *TieredArchive, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.coalesced.Value() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("coalesced = %d, want %d: follower never joined the flight", a.coalesced.Value(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTieredFollowerCanceledMidFlight(t *testing.T) {
+	backend := &fakeBackend{
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	a := NewTiered(backend, 1<<20).Instrument(obs.NewRegistry())
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := a.ReadRange(context.Background(), "f", 0, 64)
+		leaderDone <- err
+	}()
+	<-backend.entered // leader is inside the backend
+
+	fctx, fcancel := context.WithCancel(context.Background())
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := a.ReadRange(fctx, "f", 0, 64)
+		followerDone <- err
+	}()
+	// Wait until the follower has actually joined the flight — the
+	// coalesced counter ticks exactly then. (Polling the flight map
+	// only proves the *leader* registered.)
+	waitCoalesced(t, a, 1)
+	fcancel()
+	select {
+	case err := <-followerDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled follower returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled follower still blocked on the leader's flight")
+	}
+
+	// The leader is unaffected: it completes, and its result is cached.
+	close(backend.release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader failed after follower cancellation: %v", err)
+	}
+	if got := a.Len(); got != 1 {
+		t.Fatalf("cache entries = %d, want 1 (leader's result)", got)
+	}
+	if got := a.flightCount(); got != 0 {
+		t.Fatalf("flight slots leaked: %d", got)
+	}
+	// The canceled follower's retry is a pure cache hit.
+	if _, err := a.ReadRange(context.Background(), "f", 0, 64); err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	if got := backend.readCount(); got != 1 {
+		t.Fatalf("backend reads = %d, want 1 (retry must hit the cache)", got)
+	}
+}
+
+func TestTieredCanceledLeaderCachesNothing(t *testing.T) {
+	backend := &ctxBackend{fakeBackend{
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}}
+	a := NewTiered(backend, 1<<20).Instrument(obs.NewRegistry())
+
+	lctx, lcancel := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := a.ReadRange(lctx, "f", 0, 64)
+		leaderDone <- err
+	}()
+	<-backend.entered
+
+	// A follower joins, with a healthy context of its own.
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := a.ReadRange(context.Background(), "f", 0, 64)
+		followerDone <- err
+	}()
+	waitCoalesced(t, a, 1)
+
+	lcancel()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled leader returned %v, want context.Canceled", err)
+	}
+	// The follower inherited the leader's fate for THIS call — by
+	// design, coalescing shares the outcome — but the error must not
+	// be cached.
+	if err := <-followerDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower returned %v, want the leader's context.Canceled", err)
+	}
+	if got := a.Len(); got != 0 {
+		t.Fatalf("cache entries = %d after a canceled read, want 0", got)
+	}
+	if got := a.flightCount(); got != 0 {
+		t.Fatalf("flight slots leaked: %d", got)
+	}
+
+	// The key is not poisoned: a fresh caller triggers a new backend
+	// read and succeeds.
+	close(backend.release)
+	data, err := a.ReadRange(context.Background(), "f", 0, 64)
+	if err != nil || len(data) != 64 {
+		t.Fatalf("read after canceled leader: len=%d err=%v", len(data), err)
+	}
+	if got := backend.readCount(); got != 2 {
+		t.Fatalf("backend reads = %d, want 2 (one canceled, one clean)", got)
+	}
+	if got := a.Len(); got != 1 {
+		t.Fatalf("clean read not cached: entries = %d", got)
+	}
+}
+
+// TestTieredCancelChurn races many canceled followers against live
+// ones across distinct keys and proves the accounting always returns
+// to zero flights with exactly one backend read and one cache entry
+// per key. Run under -race (make serve-chaos does).
+func TestTieredCancelChurn(t *testing.T) {
+	const rounds = 30
+	backend := &fakeBackend{release: make(chan struct{})}
+	close(backend.release) // never block; contention comes from goroutines
+	a := NewTiered(backend, 8<<20)
+	for r := 0; r < rounds; r++ {
+		file := fmt.Sprintf("f%d", r)
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ctx := context.Background()
+				if i%2 == 1 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithCancel(ctx)
+					cancel() // canceled before (or while) joining
+				}
+				_, err := a.ReadRange(ctx, file, 0, 128)
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Errorf("round %d: unexpected error %v", r, err)
+				}
+			}(i)
+		}
+		wg.Wait()
+		if got := a.flightCount(); got != 0 {
+			t.Fatalf("round %d: flight slots leaked: %d", r, got)
+		}
+	}
+	if got := a.Len(); got != rounds {
+		t.Fatalf("cache entries = %d, want %d (one per key)", got, rounds)
+	}
+	// Every key is now a pure hit.
+	before := backend.readCount()
+	for r := 0; r < rounds; r++ {
+		if _, err := a.ReadRange(context.Background(), fmt.Sprintf("f%d", r), 0, 128); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := backend.readCount(); got != before {
+		t.Fatalf("hits went to the backend: %d -> %d", before, got)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -116,6 +117,14 @@ func NewChecker(ids ...string) *Checker {
 	return newChecker(rs)
 }
 
+// NewCheckerWith returns a checker over an explicit rule list —
+// catalogue rules, custom rules, or a mix. The serving layer's fault
+// tests use it to inject misbehaving rules; embedders use it to run
+// house rules beside the catalogue.
+func NewCheckerWith(rules ...Rule) *Checker {
+	return newChecker(rules)
+}
+
 // NewStreamingChecker returns a checker restricted to rules decidable from
 // the tokenizer alone (no tree construction). Used standalone for cheap
 // scans and by the shared-parse ablation benchmark.
@@ -131,6 +140,12 @@ func NewStreamingChecker() *Checker {
 
 // Rules returns the checker's rule set.
 func (c *Checker) Rules() []Rule { return c.rules }
+
+// NeedsTree reports whether any configured rule requires the parse
+// tree. A false return means Check runs entirely on the constant-
+// memory streaming path; serving layers use this to pick between
+// CheckStreamContext and a depth-capped tree parse.
+func (c *Checker) NeedsTree() bool { return c.needTree }
 
 // Instrument registers per-rule hit counters (core_rule_hits_total,
 // labelled by rule ID) and a checked-pages counter on reg, and returns the
@@ -220,12 +235,44 @@ func (c *Checker) CheckStream(html []byte) (*Report, error) {
 	return rep, nil
 }
 
+// CheckStreamContext is CheckStream bounded by ctx: the token loop
+// polls the context between batches, so a request deadline or a client
+// disconnect interrupts the check mid-document instead of letting a
+// hostile body hold a worker. On cancellation it returns ctx's error
+// and no report.
+func (c *Checker) CheckStreamContext(ctx context.Context, html []byte) (*Report, error) {
+	ts, err := htmlparse.NewTokenStream(html)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := c.checkTokenStream(ctx, ts)
+	ts.Close()
+	return rep, err
+}
+
+// CheckTokenStreamContext is CheckTokenStream bounded by ctx (see
+// CheckStreamContext); the caller still owns closing ts.
+func (c *Checker) CheckTokenStreamContext(ctx context.Context, ts *htmlparse.TokenStream) (*Report, error) {
+	return c.checkTokenStream(ctx, ts)
+}
+
 // CheckTokenStream drives the streaming rules over an open token stream.
 // The report is fully assembled before returning — findings never alias
 // the stream's recycled scratch — so the caller may Close the stream
 // immediately after (CheckStream does; the conformance runner keeps it
 // open long enough to read Hazard).
 func (c *Checker) CheckTokenStream(ts *htmlparse.TokenStream) *Report {
+	rep, _ := c.checkTokenStream(nil, ts)
+	return rep
+}
+
+// cancelStride is how many tokens the streaming checker processes
+// between context polls; mirrors the tree builder's stride.
+const cancelStride = 512
+
+// checkTokenStream is the single streaming implementation; ctx may be
+// nil for the uncancellable path (no polling, no overhead).
+func (c *Checker) checkTokenStream(ctx context.Context, ts *htmlparse.TokenStream) (*Report, error) {
 	streams := make([]RuleStream, len(c.rules))
 	found := make([][]Finding, len(c.rules))
 	emits := make([]func(Finding), len(c.rules))
@@ -241,7 +288,16 @@ func (c *Checker) CheckTokenStream(ts *htmlparse.TokenStream) *Report {
 	// One token variable for the whole loop: its address is passed to
 	// opaque hook funcs, so it escapes — once per document, not per token.
 	var t htmlparse.Token
+	tick := 0
 	for {
+		if ctx != nil {
+			if tick++; tick >= cancelStride {
+				tick = 0
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+		}
 		t = ts.Next()
 		if t.Type == htmlparse.EOFToken {
 			break
@@ -265,7 +321,7 @@ func (c *Checker) CheckTokenStream(ts *htmlparse.TokenStream) *Report {
 			}
 		}
 	}
-	return c.runRules("", sig, func(i int, _ Rule) []Finding { return found[i] })
+	return c.runRules("", sig, func(i int, _ Rule) []Finding { return found[i] }), nil
 }
 
 func computeSignals(p *Page) Signals {

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCheckStreamContextMatchesCheckStream(t *testing.T) {
+	c := NewStreamingChecker()
+	html := []byte("<!DOCTYPE html><p id=a id=b>x</p><img src=\"a\nb<c\">")
+	want, err := c.CheckStream(html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.CheckStreamContext(context.Background(), html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Findings) != len(want.Findings) {
+		t.Fatalf("findings: got %d want %d", len(got.Findings), len(want.Findings))
+	}
+	for i := range got.Findings {
+		if got.Findings[i] != want.Findings[i] {
+			t.Fatalf("finding %d diverged: got %v want %v", i, got.Findings[i], want.Findings[i])
+		}
+	}
+	if got.Signals != want.Signals {
+		t.Fatalf("signals diverged: got %+v want %+v", got.Signals, want.Signals)
+	}
+}
+
+func TestCheckStreamContextCancellation(t *testing.T) {
+	c := NewStreamingChecker()
+	// Enough tags to cross the cancel stride repeatedly.
+	html := []byte(strings.Repeat("<p a=b></p>", 10000))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := c.CheckStreamContext(ctx, html)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Fatal("canceled check returned a report")
+	}
+	// The pooled token stream recycled by the aborted check must be
+	// clean for the next caller.
+	rep, err = c.CheckStreamContext(context.Background(), []byte("<p>ok</p>"))
+	if err != nil || rep == nil {
+		t.Fatalf("check after aborted check: rep=%v err=%v", rep, err)
+	}
+}

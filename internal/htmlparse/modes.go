@@ -7,8 +7,27 @@ import "strings"
 // was consumed; returning false reprocesses it under the (possibly
 // changed) current mode, which is the spec's "reprocess the token".
 
+// cancelStride is how many tokens the tree builder processes between
+// cancellation polls: coarse enough to stay invisible on the hot path,
+// fine enough that a request deadline interrupts a pathological
+// document within microseconds.
+const cancelStride = 512
+
 func (tb *treeBuilder) run() {
 	for !tb.stopped {
+		if tb.cancel != nil {
+			if tb.cancelTick++; tb.cancelTick >= cancelStride {
+				tb.cancelTick = 0
+				if err := tb.cancel(); err != nil {
+					tb.abort = err
+					return
+				}
+			}
+		}
+		if tb.maxDepth > 0 && len(tb.stack) > tb.maxDepth {
+			tb.abort = ErrTreeDepthExceeded
+			return
+		}
 		t := tb.z.Next()
 		if tb.recordTokens {
 			switch t.Type {

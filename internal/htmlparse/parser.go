@@ -21,6 +21,13 @@ type Options struct {
 	// this trace, because tokens that the tree builder drops (for example a
 	// nested form) never reach the DOM.
 	RecordTokens bool
+	// MaxTreeDepth, when positive, aborts the parse with
+	// ErrTreeDepthExceeded once the open-element stack exceeds it.
+	// Online serving sets it so adversarial deeply-nested documents
+	// fail fast instead of growing per-request state with the input;
+	// batch measurement leaves it zero (unlimited). Only honoured by
+	// the context-aware entry points (ParseReuseContext).
+	MaxTreeDepth int
 }
 
 // Result is the complete output of one parse: the DOM, the merged parse

@@ -93,6 +93,21 @@ type treeBuilder struct {
 	// decides how <noscript> parses. Browsers (and therefore the paper's
 	// threat model) have scripting on.
 	scriptingEnabled bool
+
+	// cancel, when non-nil, is polled every cancelStride tokens; a
+	// non-nil return aborts the parse (abort records the cause). An
+	// online service sets it to ctx.Err so a hostile document cannot
+	// hold a worker past its request deadline.
+	cancel     func() error
+	cancelTick int
+	// maxDepth, when positive, aborts the parse as soon as the
+	// open-element stack exceeds it — the guard against adversarial
+	// deeply-nested documents whose stack (and recursion in consumers
+	// walking the tree) would otherwise grow with the input.
+	maxDepth int
+	// abort is the reason run() stopped early; nil for a completed
+	// parse. When set, the partial tree must not be assembled.
+	abort error
 }
 
 func newTreeBuilder(z *Tokenizer) *treeBuilder {

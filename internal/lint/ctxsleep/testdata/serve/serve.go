@@ -1,0 +1,34 @@
+// Package serve mimics the HTTP serving layer: handlers are library
+// code (the package is not main), so waits must ride the request
+// context — a naked sleep in a handler holds a worker slot hostage,
+// and a detached context outlives the client that asked for the work.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	time.Sleep(50 * time.Millisecond) // want `bare time.Sleep ignores cancellation`
+	_ = r.Context()
+}
+
+func backgroundFetch() {
+	ctx := context.Background() // want `context.Background\(\) in library code detaches work`
+	_ = ctx
+}
+
+func boundedRetry(ctx context.Context, attempt func(context.Context) error) error {
+	// Correct shape: the wait is bounded by the caller's ctx via a
+	// timer select, no naked sleep involved.
+	t := time.NewTimer(100 * time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return attempt(ctx)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

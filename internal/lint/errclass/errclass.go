@@ -19,9 +19,12 @@ import (
 	"github.com/hvscan/hvscan/internal/lint/analysis"
 )
 
-// targetSuffixes are the packages whose errors cross the pipeline's
-// retry boundary.
-var targetSuffixes = []string{"internal/commoncrawl", "internal/crawler"}
+// targetSuffixes are the packages whose errors cross a retry boundary:
+// the transport packages feed the pipeline's retry budget, and the
+// serving layer's errors drive HTTP status mapping plus the archive
+// breaker's failure accounting — an unclassified error there turns
+// into a wrong status code or a breaker miscount.
+var targetSuffixes = []string{"internal/commoncrawl", "internal/crawler", "internal/serve"}
 
 // classifiers are the resilience marking functions; wrapping a freshly
 // constructed error in one of them classifies it.
@@ -31,9 +34,10 @@ var classifiers = map[string]bool{"Retryable": true, "Permanent": true, "Fatal":
 // packages.
 var Analyzer = &analysis.Analyzer{
 	Name: "errclass",
-	Doc: "errors constructed in internal/commoncrawl and internal/crawler must " +
-		"carry a resilience class: a mark (resilience.Retryable/Permanent/Fatal), " +
-		"a StatusCoder implementation, or a %w wrap of an already-classified error",
+	Doc: "errors constructed in internal/commoncrawl, internal/crawler, and " +
+		"internal/serve must carry a resilience class: a mark " +
+		"(resilience.Retryable/Permanent/Fatal), a StatusCoder implementation, " +
+		"or a %w wrap of an already-classified error",
 	Run: run,
 }
 

@@ -1,0 +1,25 @@
+// Package serve is a targeted serving-layer package: its errors pick
+// HTTP status codes and feed the archive breaker, so every constructed
+// error must carry a resilience class.
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBodyTooLarge is a package-level sentinel: handlers map it to a
+// status code by identity, so the declaration itself is fine.
+var ErrBodyTooLarge = errors.New("request body exceeds the cap")
+
+func handlerInlineError() error {
+	return errors.New("bad request") // want `errors.New inside a function builds an unclassified error`
+}
+
+func handlerErrorfNoWrap(tenant string) error {
+	return fmt.Errorf("tenant %s throttled", tenant) // want `fmt.Errorf without %w builds an unclassified error`
+}
+
+func handlerErrorfWrapped(err error) error {
+	return fmt.Errorf("reading request body: %w", err)
+}

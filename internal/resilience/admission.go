@@ -1,0 +1,340 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Admission control: the primitives a high-QPS service (cmd/hvserve)
+// and the crawler's future distributed workers use to decide, *before*
+// doing any work, whether a request may proceed. Two layers compose:
+//
+//   - TokenBucket / Buckets: per-tenant rate limiting. A tenant that
+//     exceeds its refill rate is throttled (HTTP 429) without touching
+//     the worker pool, so one noisy client cannot starve the rest.
+//   - AdmissionPool: a global bounded worker pool with a bounded wait
+//     queue and an explicit shed policy. When every worker is busy and
+//     the queue is full, callers are rejected immediately
+//     (ErrOverloaded → HTTP 503) instead of queueing without bound —
+//     overload degrades into fast, cheap rejections, never into queue
+//     collapse.
+//
+// Both shed errors classify as retryable: backing off and retrying is
+// exactly the right client response to 429/503.
+
+// ErrThrottled is returned by Buckets-mediated admission when a
+// tenant's token bucket is empty. Pair it with TokenBucket.RetryAfter
+// for the Retry-After hint.
+var ErrThrottled = errors.New("resilience: tenant rate limit exceeded")
+
+// ErrOverloaded is returned by AdmissionPool when every worker is busy
+// and the wait queue is full (or the queue wait timed out): the
+// service is saturated and the caller should retry after backoff.
+var ErrOverloaded = errors.New("resilience: admission pool overloaded")
+
+// TokenBucket is a classic token-bucket rate limiter: capacity `burst`
+// tokens, refilled continuously at `rate` tokens per second. All
+// methods are safe for concurrent use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64 // current fill, <= burst
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket returns a full bucket refilling at rate tokens/second
+// with the given burst capacity. Non-positive arguments are clamped to
+// minimal sane values (rate 1/s, burst 1).
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	b := &TokenBucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+	b.last = b.now()
+	return b
+}
+
+// WithClock overrides the bucket's clock (tests) and returns the
+// bucket for chaining. Not safe to call after concurrent use started.
+func (b *TokenBucket) WithClock(now func() time.Time) *TokenBucket {
+	b.now = now
+	b.last = now()
+	return b
+}
+
+// refill credits the elapsed time since the last touch. Caller holds
+// b.mu.
+func (b *TokenBucket) refill() {
+	t := b.now()
+	if dt := t.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = t
+}
+
+// Allow consumes one token if available and reports whether it did.
+func (b *TokenBucket) Allow() bool { return b.AllowN(1) }
+
+// AllowN consumes n tokens if all are available and reports whether it
+// did; a partial balance is never consumed.
+func (b *TokenBucket) AllowN(n float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Tokens returns the current fill after crediting elapsed time.
+func (b *TokenBucket) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	return b.tokens
+}
+
+// RetryAfter returns how long until one token will be available — the
+// Retry-After hint to send with a throttled response. Zero means a
+// token is available now.
+func (b *TokenBucket) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	if b.tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// Buckets is a per-tenant TokenBucket set with a hard cap on tracked
+// tenants, so an adversary fabricating tenant IDs cannot grow the map
+// without bound. At the cap, fully refilled (idle) buckets are evicted
+// first; if every bucket is active, the one closest to full is
+// recycled — the tenant that loses its partial debit is by definition
+// the least throttled one, so fairness degrades gracefully.
+type Buckets struct {
+	rate  float64
+	burst float64
+	max   int
+	now   func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*TokenBucket
+}
+
+// DefaultMaxTenants bounds a Buckets map when no cap is given.
+const DefaultMaxTenants = 16384
+
+// NewBuckets returns an empty per-tenant limiter set; every tenant
+// gets rate tokens/second with the given burst. maxTenants <= 0 means
+// DefaultMaxTenants.
+func NewBuckets(rate, burst float64, maxTenants int) *Buckets {
+	if maxTenants <= 0 {
+		maxTenants = DefaultMaxTenants
+	}
+	return &Buckets{
+		rate:  rate,
+		burst: burst,
+		max:   maxTenants,
+		now:   time.Now,
+		m:     make(map[string]*TokenBucket),
+	}
+}
+
+// WithClock overrides the clock used for buckets created from now on
+// (tests) and returns the set for chaining.
+func (s *Buckets) WithClock(now func() time.Time) *Buckets {
+	s.now = now
+	return s
+}
+
+// Get returns the tenant's bucket, creating it (and evicting if at the
+// cap) as needed.
+func (s *Buckets) Get(tenant string) *TokenBucket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.m[tenant]; ok {
+		return b
+	}
+	if len(s.m) >= s.max {
+		s.evictLocked()
+	}
+	b := NewTokenBucket(s.rate, s.burst).WithClock(s.now)
+	s.m[tenant] = b
+	return b
+}
+
+// Allow is the common path: fetch-or-create the tenant's bucket and
+// try to take one token. On refusal it returns ErrThrottled and the
+// Retry-After hint.
+func (s *Buckets) Allow(tenant string) (time.Duration, error) {
+	b := s.Get(tenant)
+	if b.Allow() {
+		return 0, nil
+	}
+	return b.RetryAfter(), ErrThrottled
+}
+
+// Len returns the number of tracked tenants.
+func (s *Buckets) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// evictLocked makes room for one more tenant: drop every fully
+// refilled (idle) bucket, or failing that the single fullest one.
+// Caller holds s.mu.
+func (s *Buckets) evictLocked() {
+	var fullestKey string
+	fullest := -1.0
+	dropped := false
+	for k, b := range s.m {
+		t := b.Tokens()
+		if t >= b.burst {
+			delete(s.m, k)
+			dropped = true
+			continue
+		}
+		if t > fullest {
+			fullest, fullestKey = t, k
+		}
+	}
+	if !dropped && fullestKey != "" {
+		delete(s.m, fullestKey)
+	}
+}
+
+// AdmissionConfig tunes an AdmissionPool. The zero value gives sane
+// defaults.
+type AdmissionConfig struct {
+	// Workers is the number of requests admitted concurrently
+	// (default GOMAXPROCS).
+	Workers int
+	// Queue is how many callers may wait for a worker slot beyond the
+	// concurrent ones (default 2×Workers). Use NoQueue for zero.
+	Queue int
+	// QueueWait bounds how long a queued caller waits before being
+	// shed (default 250ms). A bounded wait keeps queueing from adding
+	// unbounded latency: beyond it, telling the client to retry is
+	// cheaper than holding its connection.
+	QueueWait time.Duration
+}
+
+// NoQueue configures an AdmissionPool with no wait queue: a request
+// either gets a worker immediately or is shed. (The zero Queue value
+// means "default", so an explicit sentinel is needed for zero.)
+const NoQueue = -1
+
+// AdmissionPool is a bounded worker pool with a bounded wait queue and
+// immediate load shedding beyond both. All methods are safe for
+// concurrent use.
+type AdmissionPool struct {
+	workers   chan struct{}
+	queue     chan struct{}
+	queueWait time.Duration
+}
+
+// NewAdmissionPool builds a pool from cfg, applying defaults for zero
+// fields.
+func NewAdmissionPool(cfg AdmissionConfig) *AdmissionPool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.Queue == NoQueue:
+		cfg.Queue = 0
+	case cfg.Queue <= 0:
+		cfg.Queue = 2 * cfg.Workers
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = 250 * time.Millisecond
+	}
+	return &AdmissionPool{
+		workers:   make(chan struct{}, cfg.Workers),
+		queue:     make(chan struct{}, cfg.Queue),
+		queueWait: cfg.QueueWait,
+	}
+}
+
+// Acquire admits the caller or sheds it. On success it returns a
+// release func the caller MUST invoke exactly once (defer it — it must
+// run even if the admitted work panics). On shed it returns
+// ErrOverloaded; if ctx ends while queued it returns ctx.Err().
+//
+// The policy, in order: a free worker slot admits immediately; else a
+// free queue slot waits up to QueueWait for a worker; else shed now.
+// The queue is strictly bounded, so the worst-case latency a caller
+// can observe from admission is QueueWait — overload never builds an
+// invisible backlog.
+func (p *AdmissionPool) Acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case p.workers <- struct{}{}:
+		return p.releaseFunc(), nil
+	default:
+	}
+	select {
+	case p.queue <- struct{}{}:
+		defer func() { <-p.queue }()
+	default:
+		return nil, ErrOverloaded
+	}
+	t := time.NewTimer(p.queueWait)
+	defer t.Stop()
+	select {
+	case p.workers <- struct{}{}:
+		return p.releaseFunc(), nil
+	case <-t.C:
+		return nil, ErrOverloaded
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TryAcquire admits the caller only if a worker slot is free right
+// now; it never queues. Same release contract as Acquire.
+func (p *AdmissionPool) TryAcquire() (release func(), err error) {
+	select {
+	case p.workers <- struct{}{}:
+		return p.releaseFunc(), nil
+	default:
+		return nil, ErrOverloaded
+	}
+}
+
+// releaseFunc returns the one-shot worker-slot release. The sync.Once
+// makes a double release harmless (the slot is freed once), so a
+// defensive caller cannot corrupt the pool's accounting.
+func (p *AdmissionPool) releaseFunc() func() {
+	var once sync.Once
+	return func() { once.Do(func() { <-p.workers }) }
+}
+
+// InFlight returns the number of admitted, unreleased callers.
+func (p *AdmissionPool) InFlight() int { return len(p.workers) }
+
+// Queued returns the number of callers currently waiting for a slot.
+func (p *AdmissionPool) Queued() int { return len(p.queue) }
+
+// Capacity returns the worker and queue bounds.
+func (p *AdmissionPool) Capacity() (workers, queue int) {
+	return cap(p.workers), cap(p.queue)
+}
+
+// RetryAfter is the hint to send with an ErrOverloaded shed: once the
+// bounded queue has timed a caller out, the backlog is at least a
+// QueueWait deep, so asking the client to come back after one wait
+// quantum is honest.
+func (p *AdmissionPool) RetryAfter() time.Duration { return p.queueWait }

@@ -1,0 +1,319 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newFakeClock returns a fakeClock (shared with breaker_test.go) at a
+// fixed epoch for deterministic refill math.
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func TestTokenBucketRefillMath(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(100, 10).WithClock(clk.now)
+
+	// A full bucket admits exactly its burst with no time passing.
+	for i := 0; i < 10; i++ {
+		if !b.Allow() {
+			t.Fatalf("burst request %d refused on a full bucket", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("request 11 admitted past the burst capacity")
+	}
+
+	// 50ms at 100 tokens/s refills exactly 5 tokens.
+	clk.advance(50 * time.Millisecond)
+	if got := b.Tokens(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("after 50ms at 100/s: tokens = %v, want 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		if !b.Allow() {
+			t.Fatalf("refilled token %d refused", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("admitted more than the refilled 5 tokens")
+	}
+
+	// The bucket never overfills past burst, however long it idles.
+	clk.advance(time.Hour)
+	if got := b.Tokens(); got != 10 {
+		t.Fatalf("after an idle hour: tokens = %v, want burst cap 10", got)
+	}
+}
+
+func TestTokenBucketRetryAfter(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(10, 1).WithClock(clk.now)
+	if !b.Allow() {
+		t.Fatal("full bucket refused")
+	}
+	// Empty at 10/s: one token is 100ms away.
+	if got := b.RetryAfter(); got != 100*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 100ms", got)
+	}
+	clk.advance(40 * time.Millisecond)
+	if got := b.RetryAfter(); got != 60*time.Millisecond {
+		t.Fatalf("RetryAfter after 40ms = %v, want 60ms", got)
+	}
+	clk.advance(60 * time.Millisecond)
+	if got := b.RetryAfter(); got != 0 {
+		t.Fatalf("RetryAfter with a token available = %v, want 0", got)
+	}
+}
+
+func TestTokenBucketAllowNAtomicity(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(1, 10).WithClock(clk.now)
+	if b.AllowN(11) {
+		t.Fatal("AllowN above burst admitted")
+	}
+	if got := b.Tokens(); got != 10 {
+		t.Fatalf("refused AllowN consumed a partial balance: tokens = %v, want 10", got)
+	}
+	if !b.AllowN(10) {
+		t.Fatal("AllowN at exact balance refused")
+	}
+}
+
+// TestBucketsFairness: one tenant exhausting its bucket must not eat
+// into another tenant's budget.
+func TestBucketsFairness(t *testing.T) {
+	clk := newFakeClock()
+	s := NewBuckets(1, 5, 0).WithClock(clk.now)
+
+	for i := 0; i < 5; i++ {
+		if _, err := s.Allow("noisy"); err != nil {
+			t.Fatalf("noisy request %d refused inside burst", i)
+		}
+	}
+	if _, err := s.Allow("noisy"); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("noisy tenant past burst: err = %v, want ErrThrottled", err)
+	}
+	// The quiet tenant still has its full, independent burst.
+	for i := 0; i < 5; i++ {
+		if _, err := s.Allow("quiet"); err != nil {
+			t.Fatalf("quiet tenant starved by noisy one at request %d: %v", i, err)
+		}
+	}
+	retry, err := s.Allow("quiet")
+	if !errors.Is(err, ErrThrottled) {
+		t.Fatalf("quiet tenant past burst: err = %v, want ErrThrottled", err)
+	}
+	if retry != time.Second {
+		t.Fatalf("Retry-After at 1 token/s = %v, want 1s", retry)
+	}
+}
+
+// TestBucketsConcurrentSharedRate: hammering one tenant from many
+// goroutines admits exactly burst requests — the balance never goes
+// negative and never double-spends (run with -race).
+func TestBucketsConcurrentSharedRate(t *testing.T) {
+	clk := newFakeClock()
+	s := NewBuckets(1, 50, 0).WithClock(clk.now)
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := s.Allow("shared"); err == nil {
+					admitted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != 50 {
+		t.Fatalf("admitted %d of 800 concurrent requests, want exactly burst=50", got)
+	}
+}
+
+func TestBucketsEvictionCap(t *testing.T) {
+	clk := newFakeClock()
+	s := NewBuckets(100, 2, 4).WithClock(clk.now)
+	// Four active tenants, each with a partial balance.
+	for _, tenant := range []string{"a", "b", "c", "d"} {
+		if _, err := s.Allow(tenant); err != nil {
+			t.Fatalf("tenant %s refused: %v", tenant, err)
+		}
+	}
+	if got := s.Len(); got != 4 {
+		t.Fatalf("tracked tenants = %d, want 4", got)
+	}
+	// A fifth tenant forces an eviction; the map never exceeds the cap.
+	if _, err := s.Allow("e"); err != nil {
+		t.Fatalf("tenant e refused: %v", err)
+	}
+	if got := s.Len(); got > 4 {
+		t.Fatalf("tracked tenants = %d, want <= cap 4", got)
+	}
+	// Once everyone is idle-refilled, new tenants sweep the stale ones.
+	clk.advance(time.Minute)
+	s.Get("f")
+	if got := s.Len(); got > 4 {
+		t.Fatalf("tracked tenants after idle sweep = %d, want <= cap 4", got)
+	}
+}
+
+func TestAdmissionPoolShedsBeyondQueue(t *testing.T) {
+	p := NewAdmissionPool(AdmissionConfig{Workers: 2, Queue: NoQueue})
+	ctx := context.Background()
+
+	r1, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	r2, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if _, err := p.Acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third acquire with no queue: err = %v, want ErrOverloaded", err)
+	}
+	if got := p.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	r1()
+	r3, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	r2()
+	r3()
+	if got := p.InFlight(); got != 0 {
+		t.Fatalf("InFlight after all releases = %d, want 0", got)
+	}
+}
+
+func TestAdmissionPoolQueueWaitTimeout(t *testing.T) {
+	p := NewAdmissionPool(AdmissionConfig{Workers: 1, Queue: 1, QueueWait: 20 * time.Millisecond})
+	release, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	defer release()
+
+	start := time.Now()
+	if _, err := p.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued acquire: err = %v, want ErrOverloaded after QueueWait", err)
+	}
+	if waited := time.Since(start); waited < 15*time.Millisecond {
+		t.Fatalf("queued acquire shed after %v, want >= ~QueueWait", waited)
+	}
+}
+
+func TestAdmissionPoolQueueCancellation(t *testing.T) {
+	p := NewAdmissionPool(AdmissionConfig{Workers: 1, Queue: 1, QueueWait: time.Minute})
+	release, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Acquire(ctx)
+		done <- err
+	}()
+	// Give the goroutine time to enter the queue, then abandon it.
+	for i := 0; i < 1000 && p.Queued() == 0; i++ {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled queue wait: err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled queue waiter never returned")
+	}
+	if got := p.Queued(); got != 0 {
+		t.Fatalf("queue slot leaked by canceled waiter: Queued = %d", got)
+	}
+}
+
+// TestAdmissionPoolNeverExceedsBounds hammers the pool from many
+// goroutines and asserts the concurrency invariant with atomics (-race
+// covers the bookkeeping).
+func TestAdmissionPoolNeverExceedsBounds(t *testing.T) {
+	const workers = 4
+	p := NewAdmissionPool(AdmissionConfig{Workers: workers, Queue: 8, QueueWait: 5 * time.Millisecond})
+	var inflight, peak atomic.Int64
+	var shed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				release, err := p.Acquire(context.Background())
+				if err != nil {
+					shed.Add(1)
+					continue
+				}
+				n := inflight.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				inflight.Add(-1)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent admissions, want <= %d", got, workers)
+	}
+	if p.InFlight() != 0 || p.Queued() != 0 {
+		t.Fatalf("pool not drained: inflight=%d queued=%d", p.InFlight(), p.Queued())
+	}
+	t.Logf("shed %d of 1600 under deliberate overload", shed.Load())
+}
+
+// TestAdmissionPoolDoubleReleaseHarmless: a defensive double release
+// must not free someone else's slot.
+func TestAdmissionPoolDoubleReleaseHarmless(t *testing.T) {
+	p := NewAdmissionPool(AdmissionConfig{Workers: 1, Queue: NoQueue})
+	release, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	release()
+	release() // second call must be a no-op
+	if got := p.InFlight(); got != 0 {
+		t.Fatalf("InFlight after double release = %d, want 0", got)
+	}
+	// The pool still admits exactly one.
+	r1, err := p.TryAcquire()
+	if err != nil {
+		t.Fatalf("acquire after double release: %v", err)
+	}
+	defer r1()
+	if _, err := p.TryAcquire(); !errors.Is(err, ErrOverloaded) {
+		t.Fatal("double release minted an extra worker slot")
+	}
+}
+
+func TestShedErrorsClassifyRetryable(t *testing.T) {
+	for _, err := range []error{ErrThrottled, ErrOverloaded} {
+		if got := Classify(err); got != ClassRetryable {
+			t.Errorf("Classify(%v) = %v, want retryable", err, got)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Half-open behavior under concurrent probes (run with -race): the
+// breaker must admit exactly HalfOpenProbes concurrent calls after the
+// cooldown, keep its in-flight accounting consistent however the probe
+// outcomes interleave, and settle into open or closed — never a state
+// where probes leak and the breaker wedges.
+
+func TestBreakerHalfOpenConcurrentProbesAdmitExactlyN(t *testing.T) {
+	for _, probes := range []int{1, 3} {
+		clk := &fakeClock{t: time.Unix(1000, 0)}
+		b := NewBreaker(BreakerConfig{
+			FailureThreshold: 1,
+			Cooldown:         time.Second,
+			HalfOpenProbes:   probes,
+			Now:              clk.now,
+		})
+		b.Record(Retryable(errDown)) // trip
+		if b.State() != StateOpen {
+			t.Fatalf("probes=%d: state after trip = %v, want open", probes, b.State())
+		}
+		clk.advance(2 * time.Second)
+
+		const callers = 32
+		var admitted atomic.Int64
+		var start, finish sync.WaitGroup
+		start.Add(1)
+		releases := make(chan struct{}, callers)
+		for i := 0; i < callers; i++ {
+			finish.Add(1)
+			go func() {
+				defer finish.Done()
+				start.Wait()
+				if b.Allow() == nil {
+					admitted.Add(1)
+					releases <- struct{}{}
+				}
+			}()
+		}
+		start.Done()
+		finish.Wait()
+		if got := admitted.Load(); got != int64(probes) {
+			t.Fatalf("probes=%d: %d concurrent Allows admitted, want exactly %d", probes, got, probes)
+		}
+		// Every admitted probe must be paired with a Record; settle them
+		// all as successes and the breaker closes.
+		close(releases)
+		for range releases {
+			b.Record(nil)
+		}
+		if got := b.State(); got != StateClosed {
+			t.Fatalf("probes=%d: state after all probes succeed = %v, want closed", probes, got)
+		}
+	}
+}
+
+// TestBreakerHalfOpenMixedProbeOutcomes: with several probes in
+// flight, one retryable failure re-opens the breaker; the remaining
+// probes' late Records must not corrupt the reopened state or the
+// probe count for the next half-open round.
+func TestBreakerHalfOpenMixedProbeOutcomes(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		Cooldown:         time.Second,
+		HalfOpenProbes:   3,
+		Now:              clk.now,
+	})
+	b.Record(Retryable(errDown))
+	clk.advance(2 * time.Second)
+
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("probe %d refused: %v", i, err)
+		}
+	}
+	// First probe fails: breaker re-opens immediately.
+	b.Record(Retryable(errDown))
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	// The two stragglers report success late; the breaker already
+	// decided and must stay open.
+	b.Record(nil)
+	b.Record(nil)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after late straggler Records = %v, want open (late records must not flip a decided breaker)", got)
+	}
+	// Next cooldown: a fresh half-open round still admits exactly 3 —
+	// the stragglers did not eat into the new round's probe budget.
+	clk.advance(2 * time.Second)
+	admitted := 0
+	for i := 0; i < 6; i++ {
+		if b.Allow() == nil {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("second half-open round admitted %d probes, want 3", admitted)
+	}
+}
+
+// TestBreakerHalfOpenConcurrentChurn drives open→half-open→record
+// cycles from many goroutines with the race detector watching the
+// accounting, and asserts the Allow/Record pairing invariant holds: the
+// breaker ends in a terminal state with no stuck probe slots.
+func TestBreakerHalfOpenConcurrentChurn(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 2,
+		Cooldown:         time.Millisecond,
+		HalfOpenProbes:   2,
+		Now:              clk.now,
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := b.Allow(); err != nil {
+					continue
+				}
+				if (g+i)%3 == 0 {
+					b.Record(Retryable(errDown))
+				} else {
+					b.Record(nil)
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			// Churn over. If the breaker wedged half-open with leaked
+			// probe slots, a full cooldown + probe round would refuse
+			// everything; prove it still serves.
+			clk.advance(time.Hour)
+			if err := b.Allow(); err != nil {
+				t.Fatalf("breaker wedged after concurrent churn: %v (state %v)", err, b.State())
+			}
+			b.Record(nil)
+			if got := b.State(); got != StateClosed {
+				t.Fatalf("state after successful post-churn probe = %v, want closed", got)
+			}
+			return
+		default:
+			clk.advance(time.Millisecond)
+		}
+	}
+}

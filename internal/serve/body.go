@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// Hardened request-body reading. Three attacks are covered:
+//
+//   - oversized bodies: http.MaxBytesReader cuts the read off at the
+//     configured cap (→ 413) and tells the server to close the
+//     connection, so a client cannot stream gigabytes at a worker;
+//   - slowloris uploads: a per-chunk read deadline demands *progress*,
+//     not completion — a client trickling one byte per minute is cut
+//     off (→ 408) while a legitimately slow-but-moving upload of any
+//     length is fine;
+//   - allocation churn: bodies land in pooled buffers, so a hot serve
+//     loop recycles instead of growing the heap with request rate.
+var (
+	// ErrBodyTooLarge: the body exceeded the configured cap.
+	ErrBodyTooLarge = errors.New("serve: request body exceeds the configured cap")
+	// ErrBodyStalled: a body read made no progress within the window.
+	ErrBodyStalled = errors.New("serve: request body stalled")
+)
+
+const (
+	// bodyPoolInitialCap sizes fresh pool buffers (the corpus median
+	// page is well under 64 KiB).
+	bodyPoolInitialCap = 64 << 10
+	// bodyPoolMaxRetained is the largest buffer worth keeping pooled;
+	// rare outliers near the 2 MiB cap are returned to the GC rather
+	// than pinned forever.
+	bodyPoolMaxRetained = 4 << 20
+)
+
+var bodyPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, bodyPoolInitialCap)
+	return &b
+}}
+
+// readBody reads r's body into a pooled buffer, enforcing the size cap
+// and the per-chunk progress deadline. The returned release func MUST
+// be called (defer it) once the body — and anything aliasing it — is
+// dead; it is safe to call even on error. On platforms or recorders
+// where read deadlines are unsupported, the progress check degrades
+// gracefully to the server-level timeouts.
+func readBody(w http.ResponseWriter, r *http.Request, maxBytes int64, progress time.Duration) ([]byte, func(), error) {
+	rc := http.NewResponseController(w)
+	src := http.MaxBytesReader(w, r.Body, maxBytes)
+	bp := bodyPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	release := func() {
+		if cap(buf) <= bodyPoolMaxRetained {
+			*bp = buf[:0]
+			bodyPool.Put(bp)
+		}
+	}
+	deadlines := progress > 0
+	for {
+		if deadlines {
+			if derr := rc.SetReadDeadline(time.Now().Add(progress)); derr != nil {
+				deadlines = false
+			}
+		}
+		if len(buf) == cap(buf) {
+			// Grow via append's doubling, then re-expose the spare
+			// capacity: the buffer stays a single contiguous read target.
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := src.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			var mbe *http.MaxBytesError
+			switch {
+			case errors.As(err, &mbe):
+				err = ErrBodyTooLarge
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				err = ErrBodyStalled
+			default:
+				err = fmt.Errorf("serve: reading request body: %w", err)
+			}
+			return nil, release, err
+		}
+	}
+	if deadlines {
+		// Clear the deadline so it cannot fire on the response write.
+		_ = rc.SetReadDeadline(time.Time{})
+	}
+	return buf, release, nil
+}

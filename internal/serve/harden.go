@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server-side hardening shared by every HTTP frontend in the repo
+// (cmd/hvserve, cmd/ccserve): slowloris-resistant timeouts at
+// construction and a graceful SIGTERM drain at teardown. Keeping both
+// here means a new daemon cannot accidentally ship an unbounded
+// listener.
+
+// NewHTTPServer returns an http.Server over h with the hardening
+// baseline applied:
+//
+//   - ReadHeaderTimeout bounds the slowloris window before a handler
+//     even runs (body reads are bounded per-handler, see readBody);
+//   - IdleTimeout reaps parked keep-alive connections;
+//   - MaxHeaderBytes caps header memory per connection.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    64 << 10,
+	}
+}
+
+// Run serves srv until ctx is canceled, then drains gracefully: stop
+// accepting, let in-flight requests finish for up to drainTimeout, and
+// only then hard-close. onDrain (may be nil) runs at the start of the
+// drain — wire it to Server.BeginDrain so readyz flips before the
+// listener closes. A non-positive drainTimeout defaults to 30s.
+func Run(ctx context.Context, srv *http.Server, drainTimeout time.Duration, onDrain func()) error {
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", srv.Addr, err)
+	}
+	return RunListener(ctx, srv, ln, drainTimeout, onDrain)
+}
+
+// RunListener is Run over an existing listener (tests bind :0 and need
+// the resolved address before serving starts). It owns ln.
+func RunListener(ctx context.Context, srv *http.Server, ln net.Listener, drainTimeout time.Duration, onDrain func()) error {
+	if drainTimeout <= 0 {
+		drainTimeout = 30 * time.Second
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// The listener died on its own (port stolen, fd limit): that is
+		// a failure, not a drain.
+		return fmt.Errorf("serve: listener failed: %w", err)
+	case <-ctx.Done():
+	}
+	if onDrain != nil {
+		onDrain()
+	}
+	// ctx is already done; the drain needs its own budget, detached
+	// from the trigger but still carrying its values.
+	sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		_ = srv.Close()
+		return fmt.Errorf("serve: drain incomplete after %s: %w", drainTimeout, err)
+	}
+	return nil
+}
+
+// IsExpectedClose reports whether err is the normal outcome of a
+// triggered shutdown rather than a serving failure — what a main
+// should treat as exit code 0.
+func IsExpectedClose(err error) bool {
+	return err == nil || errors.Is(err, http.ErrServerClosed)
+}

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hvscan/hvscan/internal/corpus"
+	"github.com/hvscan/hvscan/internal/resilience"
+)
+
+// Load generation against a running hvserve, reusing the calibrated
+// synthetic corpus as the body source so the offered documents have
+// realistic size and violation mix — the same pages the batch pipeline
+// measures. Both `hvserve -loadgen` and the chaos acceptance suite
+// drive this; EXPERIMENTS.md's latency-vs-QPS curve is its output.
+
+// errMissingURL: a Load call without a target is a programming error,
+// not a runtime condition — classified fatal so retry loops never
+// chew on it.
+var errMissingURL = errors.New("serve: loadgen needs a target URL")
+
+// LoadConfig tunes one load run.
+type LoadConfig struct {
+	// URL is the check endpoint, e.g. "http://127.0.0.1:8811/v1/check".
+	URL string
+	// QPS is the aggregate offered rate; 0 means closed-loop (each
+	// worker fires as soon as its previous request completes).
+	QPS float64
+	// Concurrency is the worker count (default 8).
+	Concurrency int
+	// Duration bounds the run (default 5s).
+	Duration time.Duration
+	// Seed and Pages pick the corpus bodies (defaults 22 and 64).
+	Seed  int64
+	Pages int
+	// Tenant is the X-Tenant header (default "loadgen").
+	Tenant string
+	// Client overrides the HTTP client (tests inject one bound to an
+	// in-process listener).
+	Client *http.Client
+}
+
+// LoadResult summarizes one load run.
+type LoadResult struct {
+	Requests int
+	// Status counts responses by HTTP status; Shed is the 429+503
+	// subtotal (the server degrading as designed).
+	Status map[int]int
+	Shed   int
+	// Errors counts transport-level failures (refused, reset).
+	Errors    int
+	BytesSent int64
+	Elapsed   time.Duration
+	// AchievedQPS counts completed responses (any status) per second.
+	AchievedQPS              float64
+	Mean, P50, P95, P99, Max time.Duration
+}
+
+// Bodies renders n distinct corpus pages for load generation. Exported
+// so the chaos tests and the CLI share one body source.
+func Bodies(seed int64, n int) [][]byte {
+	if n < 1 {
+		n = 1
+	}
+	g := corpus.New(corpus.Config{Seed: seed, Domains: max(n, 64), MaxPages: 4})
+	snap := corpus.Snapshots[len(corpus.Snapshots)-1]
+	out := make([][]byte, 0, n)
+	for _, d := range g.Universe() {
+		out = append(out, g.PageHTML(d, snap, 0))
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// Load offers traffic at cfg's rate until the duration elapses or ctx
+// ends, and returns the latency/status summary. Pacing is open-loop
+// when QPS is set: the request schedule is fixed in advance and shared
+// by all workers, so a slow server faces mounting concurrency (up to
+// Concurrency) instead of a conveniently self-throttling client — the
+// honest way to measure an overloaded service.
+func Load(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("serve: loadgen: %w", resilience.Fatal(errMissingURL))
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 22
+	}
+	if cfg.Pages <= 0 {
+		cfg.Pages = 64
+	}
+	if cfg.Tenant == "" {
+		cfg.Tenant = "loadgen"
+	}
+	client := cfg.Client
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = cfg.Concurrency
+		client = &http.Client{Transport: tr}
+	}
+	bodies := Bodies(cfg.Seed, cfg.Pages)
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	start := time.Now()
+	var seq atomic.Int64
+	var mu sync.Mutex
+	res := &LoadResult{Status: make(map[int]int)}
+	var lats []time.Duration
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				n := seq.Add(1) - 1
+				if cfg.QPS > 0 {
+					target := start.Add(time.Duration(float64(n) / cfg.QPS * float64(time.Second)))
+					if d := time.Until(target); d > 0 && !resilience.Sleep(ctx, d) {
+						return
+					}
+				}
+				body := bodies[int(n)%len(bodies)]
+				t0 := time.Now()
+				status, err := fire(ctx, client, cfg, body)
+				lat := time.Since(t0)
+				if err != nil {
+					if ctx.Err() != nil {
+						return // the run ended mid-request; not a failure
+					}
+					mu.Lock()
+					res.Errors++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				res.Requests++
+				res.Status[status]++
+				if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+					res.Shed++
+				}
+				res.BytesSent += int64(len(body))
+				lats = append(lats, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > 0 {
+		res.AchievedQPS = float64(res.Requests) / res.Elapsed.Seconds()
+	}
+	summarize(res, lats)
+	return res, nil
+}
+
+// fire sends one request and returns the status code.
+func fire(ctx context.Context, client *http.Client, cfg LoadConfig, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL, bytes.NewReader(body))
+	if err != nil {
+		return 0, fmt.Errorf("serve: loadgen request: %w", err)
+	}
+	req.Header.Set("Content-Type", "text/html; charset=utf-8")
+	req.Header.Set("X-Tenant", cfg.Tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("serve: loadgen send: %w", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func summarize(res *LoadResult, lats []time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	res.Mean = sum / time.Duration(len(lats))
+	res.P50 = pct(lats, 0.50)
+	res.P95 = pct(lats, 0.95)
+	res.P99 = pct(lats, 0.99)
+	res.Max = lats[len(lats)-1]
+}
+
+// pct indexes the q-quantile of a sorted latency slice.
+func pct(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

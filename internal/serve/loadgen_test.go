@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestBodiesDeterministic(t *testing.T) {
+	a := Bodies(22, 8)
+	b := Bodies(22, 8)
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("lengths: %d / %d, want 8", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) == 0 {
+			t.Fatalf("body %d is empty", i)
+		}
+		if string(a[i]) != string(b[i]) {
+			t.Fatalf("body %d differs across identical seeds", i)
+		}
+	}
+	if c := Bodies(23, 8); string(c[0]) == string(a[0]) {
+		t.Fatal("different seeds rendered identical bodies")
+	}
+}
+
+func TestLoadAgainstLiveServer(t *testing.T) {
+	base, _, _ := startChaos(t, Config{TenantRate: -1})
+	res, err := Load(context.Background(), LoadConfig{
+		URL:         base + "/v1/check",
+		QPS:         200,
+		Concurrency: 4,
+		Duration:    time.Second,
+		Pages:       8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("loadgen sent nothing")
+	}
+	if res.Status[http.StatusOK] == 0 {
+		t.Fatalf("no 200s: %+v", res.Status)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("transport errors against a healthy server: %d", res.Errors)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.Max < res.P99 {
+		t.Fatalf("latency summary inconsistent: p50=%s p99=%s max=%s", res.P50, res.P99, res.Max)
+	}
+	if res.AchievedQPS <= 0 {
+		t.Fatal("achieved QPS not computed")
+	}
+}
+
+func TestLoadRequiresURL(t *testing.T) {
+	if _, err := Load(context.Background(), LoadConfig{}); err == nil {
+		t.Fatal("Load without a URL should fail")
+	}
+}
