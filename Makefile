@@ -72,10 +72,12 @@ vet:
 	$(GO) vet ./...
 
 # hvlint: the repo's own analyzers (internal/lint) — parser coverage,
-# error classification, cancellable sleeps, metric naming, rule purity.
+# error classification, cancellable sleeps, metric naming, rule purity,
+# zero-copy view lifetimes, hot-path allocation freedom, and goroutine
+# hygiene. Runs over every library and command package explicitly.
 # Suppress a finding with `//lint:ignore <analyzer> <reason>`.
 lint:
-	$(GO) run ./cmd/hvlint ./...
+	$(GO) run ./cmd/hvlint ./internal/... ./cmd/...
 
 # Regenerates every table/figure as benchmark metrics (paper values inline).
 bench:

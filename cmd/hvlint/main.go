@@ -1,16 +1,21 @@
 // Command hvlint runs the repo's custom analyzers (internal/lint) over
 // the given packages and reports every violation of the project's
 // invariants: spec-error coverage, error classification, cancellable
-// sleeping, metric naming, and rule purity.
+// sleeping, metric naming, rule purity, zero-copy view lifetimes,
+// hot-path allocation freedom, and goroutine hygiene.
 //
 // Usage:
 //
-//	hvlint [-list] [packages]
+//	hvlint [-list] [-json] [-summary file] [packages]
 //
 // Packages default to ./... relative to the current directory. The
 // exit code is 0 when the tree is clean, 1 when diagnostics were
-// reported, and 2 on a load or internal error. Individual findings can
-// be suppressed with a justified directive:
+// reported, and 2 on a load or internal error. With -json, findings
+// are emitted as a single deterministically ordered JSON array (sorted
+// by file, line, analyzer, message) instead of the line-oriented text
+// form. With -summary, a markdown table of the findings is appended to
+// the given file — pass "$GITHUB_STEP_SUMMARY" in CI. Individual
+// findings can be suppressed with a justified directive:
 //
 //	//lint:ignore <analyzer|all> <reason>
 //
@@ -18,18 +23,34 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"github.com/hvscan/hvscan/internal/lint"
 	"github.com/hvscan/hvscan/internal/lint/analysis"
 )
 
+// finding is the JSON wire form of one diagnostic. The field order and
+// names are part of the tool's output contract; downstream consumers
+// (CI annotations, dashboards) key on them.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a sorted JSON array on stdout")
+	summary := flag.String("summary", "", "append a markdown findings table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: hvlint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hvlint [-list] [-json] [-summary file] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
@@ -56,11 +77,79 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hvlint: %v\n", err)
 		os.Exit(2)
 	}
+
+	findings := make([]finding, 0, len(diags))
 	for _, d := range diags {
-		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+		findings = append(findings, finding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "hvlint: %d finding(s)\n", len(diags))
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "hvlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+		}
+	}
+
+	if *summary != "" {
+		if err := appendSummary(*summary, len(analyzers), findings); err != nil {
+			fmt.Fprintf(os.Stderr, "hvlint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "hvlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// appendSummary writes a markdown section for the run — a clean-bill
+// line when the tree passed, a findings table otherwise — so the CI
+// lint job's step summary shows results without opening the log.
+func appendSummary(path string, nAnalyzers int, findings []finding) error {
+	var b strings.Builder
+	b.WriteString("## hvlint\n\n")
+	if len(findings) == 0 {
+		fmt.Fprintf(&b, "Clean: %d analyzers, 0 findings.\n\n", nAnalyzers)
+	} else {
+		fmt.Fprintf(&b, "%d finding(s) across %d analyzers.\n\n", len(findings), nAnalyzers)
+		b.WriteString("| Location | Analyzer | Message |\n|---|---|---|\n")
+		for _, f := range findings {
+			msg := strings.ReplaceAll(f.Message, "|", "\\|")
+			fmt.Fprintf(&b, "| %s:%d | %s | %s |\n", f.File, f.Line, f.Analyzer, msg)
+		}
+		b.WriteString("\n")
+	}
+	fh, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	_, err = fh.WriteString(b.String())
+	return err
 }

@@ -343,6 +343,8 @@ func computeSignals(p *Page) Signals {
 // calls this once per tag as it goes; computeSignals replays the recorded
 // token slice of a full parse through it, so both modes measure signals
 // with the same code.
+//
+//hv:hotpath runs once per start tag on the constant-memory streaming path
 func (s *Signals) observe(t *htmlparse.Token) {
 	switch t.Data {
 	case "math":

@@ -43,7 +43,7 @@ type TokenStream struct {
 	sawSuppressor bool
 	sawFeedback   bool
 
-	errScratch []ParseError
+	errScratch []ParseError //hv:view recycled scratch behind Errors, reclaimed on Close
 	cdata      func() bool
 	fresh      bool
 }
@@ -137,6 +137,8 @@ func (ts *TokenStream) Close() {
 
 // Next returns the next token, driving the tokenizer-feedback mirror as a
 // side effect. After the input is exhausted it returns EOFToken forever.
+//
+//hv:view the Token and its Attr backing are valid only until the next Next call
 func (ts *TokenStream) Next() Token {
 	t := ts.z.Next()
 	switch t.Type {
@@ -151,6 +153,8 @@ func (ts *TokenStream) Next() Token {
 // Errors returns the preprocessing errors followed by the tokenizer errors
 // recorded so far, in input order within each stage. The slice is scratch:
 // valid only until Close.
+//
+//hv:view the slice is errScratch, reclaimed when the stream is closed
 func (ts *TokenStream) Errors() []ParseError {
 	ts.errScratch = append(ts.errScratch[:0], ts.pre.Errors...)
 	ts.errScratch = append(ts.errScratch, ts.z.errors...)

@@ -137,7 +137,7 @@ type Tokenizer struct {
 	queue  []Token
 	qhead  int // queue read index; lets Next reuse the queue's backing array
 
-	textBuf  []byte
+	textBuf  []byte //hv:view recycled text scratch, reset to [:0] between parses
 	textPos  Position
 	haveText bool
 	// Zero-copy text tracking: while a pending character run is exactly one
@@ -151,9 +151,9 @@ type Tokenizer struct {
 
 	cur Token
 
-	attrName  []byte
-	attrValue []byte
-	attrRaw   []byte
+	attrName  []byte //hv:view recycled attribute-name scratch
+	attrValue []byte //hv:view recycled attribute-value scratch
+	attrRaw   []byte //hv:view recycled raw-attribute-value scratch
 	// Zero-copy attribute tracking, same scheme as the text span: while the
 	// in-progress attribute name (or value) is one untransformed input
 	// span, no bytes are copied and finishAttr emits string views instead.
@@ -165,7 +165,7 @@ type Tokenizer struct {
 
 	attrQuote  byte
 	attrPos    Position
-	tmpBuf     []byte
+	tmpBuf     []byte //hv:view recycled character-reference scratch
 	emittedEOF bool
 
 	// reuseAttrs makes newTag hand the current tag the recycled attrScratch
@@ -177,7 +177,7 @@ type Tokenizer struct {
 	// stepping, so the previously emitted tag is always consumed before a
 	// new tag can recycle its attribute array.
 	reuseAttrs  bool
-	attrScratch []Attribute
+	attrScratch []Attribute //hv:view recycled Attr backing array under reuseAttrs
 }
 
 // NewTokenizer returns a tokenizer over a preprocessed input stream (see
@@ -204,6 +204,7 @@ func (z *Tokenizer) position() Position {
 	return Position{Offset: z.pos, Line: z.line, Col: z.col}
 }
 
+//hv:hotpath per-character cursor advance, one call per input rune
 func (z *Tokenizer) next() rune {
 	z.prevPos, z.prevLine, z.prevCol = z.pos, z.line, z.col
 	if z.pos >= len(z.input) {
@@ -221,10 +222,13 @@ func (z *Tokenizer) next() rune {
 }
 
 // back un-consumes the most recently consumed character ("reconsume").
+//
+//hv:hotpath reconsume companion to next
 func (z *Tokenizer) back() {
 	z.pos, z.line, z.col = z.prevPos, z.prevLine, z.prevCol
 }
 
+//hv:hotpath lookahead companion to next
 func (z *Tokenizer) peek() rune {
 	if z.pos >= len(z.input) {
 		return eofRune
@@ -241,6 +245,8 @@ var nlSlice = []byte{'\n'}
 // updating line/col bookkeeping in bulk: one newline count and one rune
 // count per chunk instead of per-character work. It does not touch the
 // one-step reconsume state; callers never back() across a chunk.
+//
+//hv:hotpath bulk cursor bookkeeping behind every chunk scan
 func (z *Tokenizer) advance(chunk []byte) {
 	if nl := bytes.Count(chunk, nlSlice); nl > 0 {
 		z.line += nl
@@ -256,6 +262,8 @@ func (z *Tokenizer) advance(chunk []byte) {
 // content state treats it specially). Pass the same byte twice to scan
 // for a single stop byte. The stop byte itself is left unconsumed for the
 // caller's next() switch.
+//
+//hv:hotpath memchr-style bulk scan, the benchmark-gated fast path
 func (z *Tokenizer) scanUntil(stop1, stop2 byte) []byte {
 	s := z.input[z.pos:]
 	n := len(s)
@@ -284,6 +292,8 @@ func (z *Tokenizer) scanUntil(stop1, stop2 byte) []byte {
 // set. Tables mark every byte a state passes through verbatim; bytes
 // needing a transformation (case folding, NUL replacement), a transition,
 // or a parse error stay unsafe so the per-rune switch handles them.
+//
+//hv:hotpath table-driven bulk scan, the benchmark-gated fast path
 func (z *Tokenizer) scanTable(safe *[256]bool) []byte {
 	s := z.input
 	i := z.pos
@@ -334,6 +344,7 @@ func (z *Tokenizer) parseError(code ErrorCode, detail string) {
 	z.errors = append(z.errors, ParseError{Code: code, Pos: z.position(), Detail: detail})
 }
 
+//hv:hotpath per-rune text accumulation into recycled scratch
 func (z *Tokenizer) appendText(r rune) {
 	if !z.haveText {
 		// The run starts at the character just consumed.
@@ -344,6 +355,7 @@ func (z *Tokenizer) appendText(r rune) {
 	z.textBuf = utf8.AppendRune(z.textBuf, r)
 }
 
+//hv:hotpath text accumulation for decoded character references
 func (z *Tokenizer) appendTextString(s string) {
 	if s == "" {
 		return
@@ -360,6 +372,8 @@ func (z *Tokenizer) appendTextString(s string) {
 // pending character run. A run that starts with a chunk stays a zero-copy
 // span while subsequent chunks extend it contiguously; any per-rune
 // append or discontinuity first materializes the span into textBuf.
+//
+//hv:hotpath chunked text accumulation, zero-copy span fast path
 func (z *Tokenizer) appendTextChunk(off, n, line, col int) {
 	if !z.haveText {
 		z.textPos = Position{Offset: off, Line: line, Col: col}
@@ -375,6 +389,7 @@ func (z *Tokenizer) appendTextChunk(off, n, line, col int) {
 	z.textBuf = append(z.textBuf, z.input[off:off+n]...)
 }
 
+//hv:hotpath span fallback shared by every text append
 func (z *Tokenizer) materializeTextSpan() {
 	if z.spanOK {
 		z.textBuf = append(z.textBuf, z.input[z.spanStart:z.spanEnd]...)
@@ -462,6 +477,8 @@ func (z *Tokenizer) startNewAttr() {
 
 // appendNameChunk adds a bulk-scanned span to the in-progress attribute
 // name, keeping it zero-copy while it is one contiguous untransformed run.
+//
+//hv:hotpath chunked attribute-name accumulation
 func (z *Tokenizer) appendNameChunk(off, n int) {
 	if z.nameSpanOK && z.nameSpanEnd == off {
 		z.nameSpanEnd += n
@@ -475,6 +492,7 @@ func (z *Tokenizer) appendNameChunk(off, n int) {
 	z.attrName = append(z.attrName, z.input[off:off+n]...)
 }
 
+//hv:hotpath span fallback for attribute names
 func (z *Tokenizer) materializeNameSpan() {
 	if z.nameSpanOK {
 		z.attrName = append(z.attrName, z.input[z.nameSpanStart:z.nameSpanEnd]...)
@@ -485,6 +503,8 @@ func (z *Tokenizer) materializeNameSpan() {
 // appendValueChunk is appendNameChunk for the value; a plain byte run
 // contributes identically to the decoded value and the raw source, so one
 // span stands in for both buffers.
+//
+//hv:hotpath chunked attribute-value accumulation
 func (z *Tokenizer) appendValueChunk(off, n int) {
 	if z.valSpanOK && z.valSpanEnd == off {
 		z.valSpanEnd += n
@@ -499,6 +519,7 @@ func (z *Tokenizer) appendValueChunk(off, n int) {
 	z.attrRaw = append(z.attrRaw, z.input[off:off+n]...)
 }
 
+//hv:hotpath span fallback for attribute values
 func (z *Tokenizer) materializeValSpan() {
 	if z.valSpanOK {
 		z.attrValue = append(z.attrValue, z.input[z.valSpanStart:z.valSpanEnd]...)

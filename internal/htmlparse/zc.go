@@ -11,6 +11,8 @@ import "unsafe"
 // string keeps that buffer reachable, so lifetimes stay GC-managed; the
 // trade-off is that a retained token or node pins its whole source page,
 // which suits the measurement pipeline's parse-then-discard shape.
+//
+//hv:view the result aliases b's backing memory byte for byte
 func zcString(b []byte) string {
 	if len(b) == 0 {
 		return ""

@@ -1,0 +1,202 @@
+// Package alloczone enforces //hv:hotpath allocation-free zones: a
+// function marked //hv:hotpath, and every function it transitively
+// calls inside the module (over the statically resolved call graph),
+// may not contain allocating constructs. The tokenizer's per-byte loop
+// earned its zero-allocation benchmark numbers construct by construct;
+// this analyzer keeps a refactor from quietly handing them back.
+//
+// Flagged constructs: string<->[]byte/[]rune conversions, make and new,
+// slice/map composite literals, &T{...} heap composites, closure
+// literals, go statements, fmt calls, and appends that grow a
+// nil-started local (no preallocation). Appends into fields, parameters
+// and capacity-carrying locals are the amortized-reuse pattern and stay
+// legal, as do plain struct literals (stack values).
+//
+// Calls with no static callee (function values, interface methods) are
+// not traversed — the same documented optimism as the rest of hvlint.
+// A justified exception inside a zone takes a //lint:ignore alloczone.
+package alloczone
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "alloczone",
+	Doc: "//hv:hotpath functions and everything they transitively call in-module " +
+		"must not allocate: no string/byte conversions, make/new, slice/map or &T " +
+		"literals, closures, go statements, fmt calls, or growth of nil-started " +
+		"locals by append.",
+	NewRun: func() any { return &state{} },
+	Run:    run,
+}
+
+// state memoizes the hot zone for one driver run: every function key
+// reachable from a //hv:hotpath root, mapped to the root that pulled it
+// in (named in reports so a violation deep in a helper is traceable).
+type state struct {
+	hot map[string]string
+}
+
+func run(pass *analysis.Pass) error {
+	st := pass.State.(*state)
+	if st.hot == nil {
+		st.hot = buildZone(pass.Prog)
+	}
+	for _, f := range pass.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.ObjectOf(fd.Name)
+			if obj == nil {
+				continue
+			}
+			root, hot := st.hot[analysis.ObjKey(obj)]
+			if !hot {
+				continue
+			}
+			checkBody(pass, fd, root)
+		}
+	}
+	return nil
+}
+
+// buildZone is a breadth-first closure over in-module call edges from
+// the //hv:hotpath roots. The whole-program call graph exists before
+// any analyzer runs, so the zone is complete on the first package.
+func buildZone(prog *analysis.Program) map[string]string {
+	hot := make(map[string]string)
+	var queue []string
+	for _, root := range prog.DirectiveKeys("hotpath") {
+		hot[root] = root
+		queue = append(queue, root)
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		for _, e := range prog.Calls(key) {
+			if !e.InModule {
+				continue
+			}
+			if _, seen := hot[e.Callee]; seen {
+				continue
+			}
+			hot[e.Callee] = hot[key]
+			queue = append(queue, e.Callee)
+		}
+	}
+	return hot
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, root string) {
+	flag := func(pos ast.Node, what string) {
+		pass.Reportf(pos.Pos(), "allocating construct in //hv:hotpath zone (via %s): %s", root, what)
+	}
+	nilStarted := nilStartedLocals(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			flag(n, "closure literal allocates its capture environment")
+			return false // the literal runs later; its body is not hot-zone code
+		case *ast.GoStmt:
+			flag(n, "go statement allocates a goroutine")
+			return false
+		case *ast.UnaryExpr:
+			if _, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				flag(n, "&T{...} composite escapes to the heap")
+				return false
+			}
+		case *ast.CompositeLit:
+			switch pass.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				flag(n, "slice literal allocates")
+			case *types.Map:
+				flag(n, "map literal allocates")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, nilStarted, flag)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, nilStarted map[types.Object]bool, flag func(ast.Node, string)) {
+	info := pass.Pkg.Info
+	// Conversions: any crossing between string and byte/rune slices
+	// copies the contents.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if allocatingConversion(tv.Type, info.TypeOf(call.Args[0])) {
+			flag(call, "string/[]byte conversion copies and allocates")
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				flag(call, "make allocates")
+			case "new":
+				flag(call, "new allocates")
+			case "append":
+				if len(call.Args) > 0 {
+					if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && nilStarted[info.ObjectOf(id)] {
+						flag(call, "append grows a nil-started local: preallocate with capacity outside the hot path")
+					}
+				}
+			}
+			return
+		}
+	}
+	if fn := analysis.CalleeOf(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		flag(call, "fmt."+fn.Name()+" allocates and reflects: format off the hot path")
+	}
+}
+
+// allocatingConversion reports whether converting from -> to copies
+// contents: any crossing between string and a byte/rune slice.
+func allocatingConversion(to, from types.Type) bool {
+	if from == nil {
+		return false
+	}
+	return stringish(to) != stringish(from) && (stringish(to) || stringish(from))
+}
+
+func stringish(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// nilStartedLocals collects the function's `var x []T` declarations
+// with no initializer: appends growing those have no preallocated
+// capacity. Parameters and fields are reuse-pattern bases and excluded.
+func nilStartedLocals(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		decl, ok := n.(*ast.GenDecl)
+		if !ok {
+			return true
+		}
+		for _, spec := range decl.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) > 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := pass.ObjectOf(name)
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+package alloczone_test
+
+import (
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/lint/alloczone"
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+)
+
+func TestAllocZone(t *testing.T) {
+	analysis.RunTest(t, "testdata", alloczone.Analyzer)
+}

@@ -1,0 +1,3 @@
+module example.com
+
+go 1.22

@@ -1,0 +1,72 @@
+// Package hot exercises the //hv:hotpath allocation-free zone: the
+// root is marked, a helper is pulled in transitively, and a cross-
+// package callee (util.Grow) is pulled in through the call graph.
+package hot
+
+import (
+	"fmt"
+
+	"example.com/hot/util"
+)
+
+type Tok struct {
+	buf []byte
+	n   int
+}
+
+// Next is the per-byte loop of the fixture.
+//
+//hv:hotpath benchmark-guarded per-byte loop
+func (t *Tok) Next() int {
+	t.helper()
+	util.Grow(t.buf)
+	return t.n
+}
+
+// helper is hot transitively: every allocating construct in it counts.
+func (t *Tok) helper() {
+	_ = string(t.buf)         // want `string/\[\]byte conversion copies and allocates`
+	m := make(map[string]int) // want `make allocates`
+	_ = m
+	p := new(Tok) // want `new allocates`
+	_ = p
+	s := []int{1} // want `slice literal allocates`
+	_ = s
+	mm := map[string]int{} // want `map literal allocates`
+	_ = mm
+	pp := &Tok{} // want `&T\{\.\.\.\} composite escapes to the heap`
+	_ = pp
+	f := func() { t.n++ } // want `closure literal allocates its capture environment`
+	f()
+	go spin()          // want `go statement allocates a goroutine`
+	fmt.Println("hot") // want `fmt.Println allocates and reflects`
+	var acc []int
+	acc = append(acc, t.n) // want `append grows a nil-started local`
+	t.n = len(acc)
+}
+
+func spin() {}
+
+// fill shows the amortized-reuse pattern staying legal: appends into
+// fields and parameters, plain struct values, numeric conversions.
+//
+//hv:hotpath reuse-pattern regression guard
+func (t *Tok) fill(p []byte) int {
+	t.buf = append(t.buf, p...)
+	p = append(p, 0)
+	k := Tok{n: int(byte(len(p)))}
+	return k.n
+}
+
+// slow holds a justified exception.
+//
+//hv:hotpath error exit needs one diagnostic copy
+func (t *Tok) slow() string {
+	//lint:ignore alloczone one-time copy on the error exit, not per byte
+	return string(t.buf)
+}
+
+// cold is outside every zone: it may allocate freely.
+func cold() string {
+	return fmt.Sprintf("%d", len([]byte("cold")))
+}

@@ -1,0 +1,7 @@
+// Package util proves the zone crosses package boundaries: Grow is hot
+// only because hot.Next calls it.
+package util
+
+func Grow(b []byte) string {
+	return string(b) // want `string/\[\]byte conversion copies and allocates`
+}

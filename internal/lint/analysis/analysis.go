@@ -62,6 +62,10 @@ type Pass struct {
 	Fset     *token.FileSet
 	// Pkg is the loaded package: syntax, types, and file lists.
 	Pkg *Package
+	// Prog is the whole-run view: every loaded package, //hv:
+	// directives, the call graph, escape summaries, and the
+	// cross-analyzer fact store.
+	Prog *Program
 	// State is this run's NewRun value (nil without NewRun).
 	State any
 
@@ -94,6 +98,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	collect := func(d Diagnostic) { diags = append(diags, d) }
 
+	prog := BuildProgram(pkgs)
+	diags = append(diags, prog.diags...)
+
 	states := make(map[*Analyzer]any, len(analyzers))
 	for _, a := range analyzers {
 		if a.NewRun != nil {
@@ -106,6 +113,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Analyzer: a,
 				Fset:     pkg.Fset,
 				Pkg:      pkg,
+				Prog:     prog,
 				State:    states[a],
 				report:   collect,
 			}
@@ -124,7 +132,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		})
 	}
 
-	diags, malformed := filterIgnored(pkgs, diags)
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	diags, malformed := filterIgnored(pkgs, diags, names)
 	diags = append(diags, malformed...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallEdge is one statically resolved call: Caller and Callee are
+// ObjKeys, Pos is the call site. Calls through function values,
+// interface methods, builtins and conversions have no static callee and
+// produce no edge — analyzers that need soundness there must treat
+// unresolved calls conservatively themselves.
+type CallEdge struct {
+	Caller   string
+	Callee   string
+	Pos      token.Position
+	InModule bool // callee is defined in one of the loaded target packages
+}
+
+// buildCallGraph walks one package and appends its outgoing edges to
+// the program's adjacency map. The caller of package-scope
+// initialization expressions is keyed "<pkgpath>.init".
+func (prog *Program) buildCallGraph(pkg *Package) {
+	initKey := pkg.ImportPath + ".init"
+	for _, f := range pkg.Syntax {
+		WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := CalleeOf(pkg.Info, call)
+			if fn == nil {
+				return true
+			}
+			caller := initKey
+			if enc := EnclosingFunc(stack); enc != nil {
+				if fd, ok := enc.(*ast.FuncDecl); ok {
+					if obj := pkg.Info.ObjectOf(fd.Name); obj != nil {
+						caller = ObjKey(obj)
+					}
+				} else {
+					// Function literals belong to the function that wrote
+					// them: a closure spawned from f is still f's code.
+					for i := len(stack) - 1; i >= 0; i-- {
+						if fd, ok := stack[i].(*ast.FuncDecl); ok {
+							if obj := pkg.Info.ObjectOf(fd.Name); obj != nil {
+								caller = ObjKey(obj)
+							}
+							break
+						}
+					}
+				}
+			}
+			callee := ObjKey(fn)
+			inModule := fn.Pkg() != nil && prog.byPath[fn.Pkg().Path()] != nil
+			prog.calls[caller] = append(prog.calls[caller], CallEdge{
+				Caller:   caller,
+				Callee:   callee,
+				Pos:      pkg.Fset.Position(call.Pos()),
+				InModule: inModule,
+			})
+			return true
+		})
+	}
+}
+
+// Calls returns the outgoing statically resolved call edges of the
+// function keyed by callerKey, in source order.
+func (prog *Program) Calls(callerKey string) []CallEdge {
+	return prog.calls[callerKey]
+}
+
+// CalleeOf is Pass.Callee without a Pass: it resolves the function or
+// method a call invokes through info, or nil for dynamic calls.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Directive is one parsed //hv: source annotation. The vocabulary ties
+// the zero-copy and allocation contracts to the code they govern:
+//
+//	//hv:hotpath <reason>   on a function: the function (and everything
+//	                        it transitively calls inside the module) is
+//	                        an allocation-free zone, enforced by the
+//	                        alloczone analyzer.
+//	//hv:view <reason>      on a function: its results are zero-copy
+//	                        views whose validity the callee's recycle
+//	                        discipline bounds; callers must copy before
+//	                        retaining. On a struct field: the field is a
+//	                        recycled scratch buffer, and views derived
+//	                        from it must not escape their function
+//	                        except through another //hv:view function.
+//	                        Enforced by the zerocopy analyzer.
+//
+// The reason is mandatory, mirroring //lint:ignore: an annotation that
+// changes what the analyzers enforce must record why it is there.
+type Directive struct {
+	Verb   string // "hotpath" or "view"
+	Reason string
+	Pos    token.Position
+}
+
+const directiveMarker = "//hv:"
+
+// directiveVerbs is the closed vocabulary; anything else after //hv: is
+// reported as a driver finding so a typo cannot silently disable a
+// contract.
+var directiveVerbs = map[string]bool{"hotpath": true, "view": true}
+
+// scanDirectives attaches every //hv: comment of pkg to the function or
+// struct field it annotates (the decl whose doc group or line comment
+// carries it) and reports malformed or unattached directives through
+// report.
+func scanDirectives(pkg *Package, attach func(key string, d Directive), report func(Diagnostic)) {
+	bad := func(pos token.Position, msg string) {
+		report(Diagnostic{Analyzer: "hvlint", Pos: pos, Message: msg})
+	}
+	consumed := make(map[*ast.Comment]bool)
+	takeGroup := func(key string, groups ...*ast.CommentGroup) {
+		for _, g := range groups {
+			if g == nil {
+				continue
+			}
+			for _, c := range g.List {
+				d, ok, problem := parseDirective(pkg.Fset, c)
+				if !ok {
+					continue
+				}
+				consumed[c] = true
+				if problem != "" {
+					bad(d.Pos, problem)
+					continue
+				}
+				attach(key, d)
+			}
+		}
+	}
+
+	for _, f := range pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if obj := pkg.Info.ObjectOf(n.Name); obj != nil {
+					takeGroup(ObjKey(obj), n.Doc)
+				}
+			case *ast.TypeSpec:
+				st, ok := n.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						takeGroup(FieldKey(pkg.ImportPath, n.Name.Name, name.Name), field.Doc, field.Comment)
+					}
+				}
+			}
+			return true
+		})
+		// Anything left is a directive on a line the vocabulary gives no
+		// meaning to (a statement, an import, package scope): report it
+		// rather than silently enforcing nothing.
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if consumed[c] {
+					continue
+				}
+				if d, ok, problem := parseDirective(pkg.Fset, c); ok {
+					if problem != "" {
+						bad(d.Pos, problem)
+					} else {
+						bad(d.Pos, "misplaced //hv:"+d.Verb+" directive: it must annotate a function declaration or a struct field")
+					}
+				}
+			}
+		}
+	}
+}
+
+// parseDirective recognizes one //hv: comment. ok reports whether the
+// comment is a directive at all; problem is non-empty when it is one
+// but malformed.
+func parseDirective(fset *token.FileSet, c *ast.Comment) (d Directive, ok bool, problem string) {
+	rest, found := strings.CutPrefix(c.Text, directiveMarker)
+	if !found {
+		return Directive{}, false, ""
+	}
+	pos := fset.Position(c.Slash)
+	verb, reason, _ := strings.Cut(rest, " ")
+	d = Directive{Verb: strings.TrimSpace(verb), Reason: strings.TrimSpace(reason), Pos: pos}
+	switch {
+	case d.Verb == "":
+		return d, true, "malformed //hv: directive: want \"//hv:<hotpath|view> <reason>\""
+	case !directiveVerbs[d.Verb]:
+		return d, true, "unknown //hv: directive verb " + d.Verb + ": the vocabulary is hotpath, view"
+	case d.Reason == "":
+		return d, true, "//hv:" + d.Verb + " needs a justification: every contract annotation must record why"
+	}
+	return d, true, ""
+}
+
+// ObjKey returns a stable cross-package key for obj. Within one driver
+// run a target package sees its dependencies through export data, so
+// the same function is represented by distinct types.Object values in
+// different passes; keys restore identity. Functions use the
+// go/types full name ("(*pkg.T).M", "pkg.F"); other objects are keyed
+// by package path and name.
+func ObjKey(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.FullName()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// FieldKey returns the key of field fieldName on the named struct type
+// typeName of package pkgPath. Field objects cannot be keyed by ObjKey
+// alone (two structs may both have an "errors" field), so the owning
+// type is part of the key.
+func FieldKey(pkgPath, typeName, fieldName string) string {
+	return pkgPath + "." + typeName + "." + fieldName
+}
+
+// FieldKeyOf resolves the key for the field selected by sel, or "" when
+// sel is not a field selection on a named struct type.
+func (p *Pass) FieldKeyOf(sel *ast.SelectorExpr) string {
+	s, ok := p.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	recv := s.Recv()
+	for {
+		ptr, ok := recv.(*types.Pointer)
+		if !ok {
+			break
+		}
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return ""
+	}
+	return FieldKey(pkg.Path(), named.Obj().Name(), sel.Sel.Name)
+}

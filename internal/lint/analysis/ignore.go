@@ -22,13 +22,20 @@ type ignoreDirective struct {
 	analyzer string
 	reason   string
 	bad      string // non-empty: malformed, with the problem description
+	used     bool   // suppressed at least one finding this run
 }
 
 const ignoreMarker = "//lint:ignore"
 
 // filterIgnored drops diagnostics covered by well-formed directives and
-// returns driver diagnostics for malformed ones.
-func filterIgnored(pkgs []*Package, diags []Diagnostic) (kept, malformed []Diagnostic) {
+// returns driver diagnostics for malformed ones — and, mirroring the
+// conformance skiplist's stale detection, for directives that suppress
+// nothing. A directive that stopped matching any finding is dead
+// documentation at best and a silenced future regression at worst, so
+// it is a hard finding. Staleness is only judged for analyzers that
+// actually ran (analyzerNames): a single-analyzer test run must not
+// condemn a directive aimed at a different analyzer.
+func filterIgnored(pkgs []*Package, diags []Diagnostic, analyzerNames map[string]bool) (kept, malformed []Diagnostic) {
 	seenFile := make(map[string]bool)
 	var directives []ignoreDirective
 	for _, pkg := range pkgs {
@@ -47,8 +54,9 @@ func filterIgnored(pkgs []*Package, diags []Diagnostic) (kept, malformed []Diagn
 		line     int
 		analyzer string
 	}
-	suppress := make(map[key]bool)
-	for _, d := range directives {
+	suppress := make(map[key]*ignoreDirective)
+	for i := range directives {
+		d := &directives[i]
 		if d.bad != "" {
 			malformed = append(malformed, Diagnostic{
 				Analyzer: "hvlint",
@@ -57,14 +65,32 @@ func filterIgnored(pkgs []*Package, diags []Diagnostic) (kept, malformed []Diagn
 			})
 			continue
 		}
-		suppress[key{d.file, d.line, d.analyzer}] = true
+		suppress[key{d.file, d.line, d.analyzer}] = d
 	}
 	for _, d := range diags {
-		if suppress[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
-			suppress[key{d.Pos.Filename, d.Pos.Line, "all"}] {
+		if by := suppress[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; by != nil {
+			by.used = true
+			continue
+		}
+		if by := suppress[key{d.Pos.Filename, d.Pos.Line, "all"}]; by != nil {
+			by.used = true
 			continue
 		}
 		kept = append(kept, d)
+	}
+	for _, d := range directives {
+		if d.bad != "" || d.used {
+			continue
+		}
+		if d.analyzer != "all" && !analyzerNames[d.analyzer] {
+			continue // the targeted analyzer did not run; cannot judge
+		}
+		malformed = append(malformed, Diagnostic{
+			Analyzer: "hvlint",
+			Pos:      token.Position{Filename: d.file, Line: d.declLine, Column: 1},
+			Message: "stale " + ignoreMarker + " " + d.analyzer +
+				" directive: it suppresses nothing — delete it (reason was: " + d.reason + ")",
+		})
 	}
 	return kept, malformed
 }

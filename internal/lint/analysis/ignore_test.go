@@ -50,6 +50,12 @@ func targetNoReason() {}
 
 //lint:ignore
 func targetNoFields() {}
+
+//lint:ignore testcheck predates the helper rename
+func renamedHelper() {}
+
+//lint:ignore othersuite aimed at an analyzer that did not run
+func otherHelper() {}
 `
 
 func TestIgnoreDirectives(t *testing.T) {
@@ -79,6 +85,9 @@ func TestIgnoreDirectives(t *testing.T) {
 		"testcheck: flagged targetNoReason",
 		"hvlint: malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"",
 		"testcheck: flagged targetNoFields",
+		// A directive that suppresses nothing is stale and becomes a
+		// finding itself — but only when its analyzer actually ran.
+		"hvlint: stale //lint:ignore testcheck directive: it suppresses nothing — delete it (reason was: predates the helper rename)",
 	}
 	if len(got) != len(want) {
 		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))

@@ -101,7 +101,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	var out []*Package
 	for _, lp := range listed {
-		if lp.DepOnly || lp.Standard {
+		if lp.DepOnly || lp.Standard || vendored(lp.ImportPath, lp.Dir) {
 			continue
 		}
 		pkg, err := typeCheck(fset, imp, lp)
@@ -111,6 +111,18 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		out = append(out, pkg)
 	}
 	return out, nil
+}
+
+// vendored reports whether a listed package is vendored third-party
+// source. Vendored code is not ours to lint: it is pinned upstream
+// source whose style predates this repo's invariants, so no pattern —
+// not even an explicit ./vendor/... — may drag it into an analysis
+// run. Under -mod=vendor a vendored package keeps its upstream import
+// path, so the on-disk directory is checked as well.
+func vendored(importPath, dir string) bool {
+	return strings.HasPrefix(importPath, "vendor/") ||
+		strings.Contains(importPath, "/vendor/") ||
+		strings.Contains(dir, "/vendor/")
 }
 
 // typeCheck parses and checks one target package from source.

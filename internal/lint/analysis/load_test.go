@@ -1,0 +1,143 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+)
+
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Files excluded by a build constraint never reach the parser or the
+// type-checker — a tagged-out file full of undefined symbols must not
+// fail the load or leak into Syntax.
+func TestLoadExcludesBuildTaggedFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module example.com\n\ngo 1.22\n",
+		"p/p.go": "package p\n\nfunc OK() int { return 1 }\n",
+		"p/tagged.go": "//go:build neverbuilt\n\npackage p\n\n" +
+			"func Broken() { undefinedSymbol() }\n",
+	})
+
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.GoFiles) != 1 || filepath.Base(pkg.GoFiles[0]) != "p.go" {
+		t.Errorf("GoFiles = %v, want just p.go", pkg.GoFiles)
+	}
+	if len(pkg.Syntax) != 1 {
+		t.Errorf("Syntax has %d files, want 1", len(pkg.Syntax))
+	}
+}
+
+// _test.go files are parsed for directive and textual matching but are
+// never type-checked, so a test file with type errors (undefined
+// identifiers) must not fail Load. In-package and external test files
+// both land in TestSyntax, never in Syntax.
+func TestLoadKeepsTestFilesSyntaxOnly(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module example.com\n\ngo 1.22\n",
+		"p/p.go": "package p\n\nfunc OK() int { return 1 }\n",
+		"p/p_test.go": "package p\n\n" +
+			"func helper() { thisIsNotDefined() }\n",
+		"p/x_test.go": "package p_test\n\n" +
+			"func xhelper() { neitherIsThis() }\n",
+	})
+
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.TestGoFiles) != 1 || filepath.Base(pkg.TestGoFiles[0]) != "p_test.go" {
+		t.Errorf("TestGoFiles = %v, want just p_test.go", pkg.TestGoFiles)
+	}
+	if len(pkg.XTestGoFiles) != 1 || filepath.Base(pkg.XTestGoFiles[0]) != "x_test.go" {
+		t.Errorf("XTestGoFiles = %v, want just x_test.go", pkg.XTestGoFiles)
+	}
+	if len(pkg.Syntax) != 1 {
+		t.Errorf("Syntax has %d files, want 1 (test files must stay out)", len(pkg.Syntax))
+	}
+	if len(pkg.TestSyntax) != 2 {
+		t.Errorf("TestSyntax has %d files, want 2", len(pkg.TestSyntax))
+	}
+}
+
+// The zero-copy parser imports unsafe without cgo; the loader must
+// type-check such packages through the importer's built-in handling of
+// the pseudo-package rather than demanding export data for it.
+func TestLoadUnsafeImportWithoutCgo(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module example.com\n\ngo 1.22\n",
+		"p/p.go": "package p\n\nimport \"unsafe\"\n\n" +
+			"func View(b []byte) string {\n" +
+			"\treturn unsafe.String(unsafe.SliceData(b), len(b))\n" +
+			"}\n",
+	})
+
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if pkgs[0].Types == nil || pkgs[0].Types.Path() != "example.com/p" {
+		t.Errorf("package not type-checked: Types = %v", pkgs[0].Types)
+	}
+}
+
+// Vendored source is pinned upstream code, not ours to lint: even when
+// a pattern names a vendored package explicitly, Load must drop it
+// while still returning the first-party packages that import it.
+func TestLoadRejectsVendoredPackages(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module example.com\n\ngo 1.22\n\nrequire example.org/dep v0.0.0\n",
+		"vendor/modules.txt": "# example.org/dep v0.0.0\n" +
+			"## explicit; go 1.22\nexample.org/dep\n",
+		"vendor/example.org/dep/dep.go": "package dep\n\nfunc V() int { return 7 }\n",
+		"p/p.go": "package p\n\nimport \"example.org/dep\"\n\n" +
+			"func Use() int { return dep.V() }\n",
+	})
+
+	pkgs, err := analysis.Load(dir, "./...", "example.org/dep")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var paths []string
+	for _, pkg := range pkgs {
+		paths = append(paths, pkg.ImportPath)
+		if strings.Contains(pkg.Dir, string(filepath.Separator)+"vendor"+string(filepath.Separator)) {
+			t.Errorf("vendored package %s (dir %s) leaked into the analysis set", pkg.ImportPath, pkg.Dir)
+		}
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "example.com/p" {
+		t.Errorf("got packages %v, want just example.com/p", paths)
+	}
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// Program is the whole-run view the driver builds before any analyzer
+// runs: every loaded package, the //hv: directive table, the
+// type-backed call graph, per-function escape/retention summaries, and
+// a cross-package fact store analyzers use to feed conclusions to each
+// other. Packages arrive in dependency order, so by the time an
+// analyzer's Run sees a package, the program-level tables already cover
+// everything it imports.
+type Program struct {
+	Packages []*Package
+
+	byPath     map[string]*Package
+	directives map[string][]Directive
+	calls      map[string][]CallEdge
+	summaries  map[string]*FuncSummary
+	facts      map[factKey]any
+
+	// driver diagnostics produced while building (malformed //hv:
+	// directives), merged into the run's output.
+	diags []Diagnostic
+}
+
+type factKey struct {
+	name string // fact namespace, usually the exporting analyzer's name
+	key  string // ObjKey / FieldKey the fact is about
+}
+
+// BuildProgram assembles the program tables over pkgs. Run calls it;
+// tests that drive analyzers manually may too.
+func BuildProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Packages:   pkgs,
+		byPath:     make(map[string]*Package, len(pkgs)),
+		directives: make(map[string][]Directive),
+		calls:      make(map[string][]CallEdge),
+		summaries:  make(map[string]*FuncSummary),
+		facts:      make(map[factKey]any),
+	}
+	for _, pkg := range pkgs {
+		prog.byPath[pkg.ImportPath] = pkg
+	}
+	collect := func(d Diagnostic) { prog.diags = append(prog.diags, d) }
+	for _, pkg := range pkgs {
+		scanDirectives(pkg, func(key string, d Directive) {
+			prog.directives[key] = append(prog.directives[key], d)
+		}, collect)
+		prog.buildCallGraph(pkg)
+	}
+	// Summaries after directives: the taint engine consults //hv:view
+	// marks, and dependency order makes callee summaries available to
+	// their importers.
+	for _, pkg := range pkgs {
+		prog.summarizePackage(pkg)
+	}
+	return prog
+}
+
+// Package returns the loaded target package with the given import path,
+// or nil when the path is outside the run.
+func (prog *Program) Package(importPath string) *Package {
+	return prog.byPath[importPath]
+}
+
+// HasDirective reports whether the function or field keyed by key
+// carries a //hv:<verb> directive.
+func (prog *Program) HasDirective(key, verb string) bool {
+	for _, d := range prog.directives[key] {
+		if d.Verb == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectivesFor returns every //hv: directive attached to key.
+func (prog *Program) DirectivesFor(key string) []Directive {
+	return prog.directives[key]
+}
+
+// DirectiveKeys returns every key carrying a //hv:<verb> directive, for
+// analyzers that iterate roots (alloczone's hotpath set).
+func (prog *Program) DirectiveKeys(verb string) []string {
+	var out []string
+	for key, ds := range prog.directives {
+		for _, d := range ds {
+			if d.Verb == verb {
+				out = append(out, key)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Summary returns the escape/retention summary of the function keyed by
+// key, or nil when the function is outside the loaded packages (its
+// body was never seen, e.g. standard library).
+func (prog *Program) Summary(key string) *FuncSummary {
+	return prog.summaries[key]
+}
+
+// SummaryOf is Summary through a types.Func.
+func (prog *Program) SummaryOf(fn *types.Func) *FuncSummary {
+	if fn == nil {
+		return nil
+	}
+	return prog.summaries[ObjKey(fn)]
+}
+
+// ExportFact records a conclusion about the object keyed by key under
+// the given namespace, for later passes (of this or another analyzer)
+// to import. Facts written while visiting a package are visible to
+// every package processed after it — the offline stand-in for the
+// x/tools Facts mechanism.
+func (prog *Program) ExportFact(name, key string, value any) {
+	prog.facts[factKey{name, key}] = value
+}
+
+// Fact returns the fact recorded under (name, key), if any.
+func (prog *Program) Fact(name, key string) (any, bool) {
+	v, ok := prog.facts[factKey{name, key}]
+	return v, ok
+}
+
+// IsViewFunc reports whether fn is marked //hv:view.
+func (prog *Program) IsViewFunc(fn *types.Func) bool {
+	return fn != nil && prog.HasDirective(ObjKey(fn), "view")
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncSummary is the per-function escape/retention summary the driver
+// computes for every function it has source for. Parameter indices
+// follow the call convention used throughout the framework: the
+// receiver (when there is one) is index 0 and declared parameters
+// follow.
+//
+// Escapes bit i means calling the function may store parameter i's
+// reference identity (the slice/pointer itself, or an aggregate
+// containing it — not a string copied out of it) somewhere that
+// outlives the call: a package-level variable, a channel, memory
+// reached through a pointer, or a further escaping call. Returns bit i
+// means a result may alias parameter i's memory.
+//
+// Summaries compose across packages: dependency-ordered processing
+// means a function's summary is always computed after the summaries of
+// everything it (statically) calls in other packages, and a fixpoint
+// pass handles recursion inside one package.
+type FuncSummary struct {
+	NumParams int
+	Escapes   Mask
+	Returns   Mask
+}
+
+// summarizePackage computes summaries for every function declared in
+// pkg, iterating to a fixpoint so package-local (including mutual)
+// recursion converges. Dependencies' summaries are already in
+// prog.summaries.
+func (prog *Program) summarizePackage(pkg *Package) {
+	type fnDecl struct {
+		key string
+		fd  *ast.FuncDecl
+	}
+	var fns []fnDecl
+	for _, f := range pkg.Syntax {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			obj := pkg.Info.ObjectOf(fd.Name)
+			if obj == nil {
+				continue
+			}
+			key := ObjKey(obj)
+			fns = append(fns, fnDecl{key, fd})
+			if prog.summaries[key] == nil {
+				prog.summaries[key] = &FuncSummary{NumParams: numParams(fd, pkg.Info)}
+			}
+		}
+	}
+	lookup := func(fn *types.Func) *FuncSummary { return prog.summaries[ObjKey(fn)] }
+	for iter := 0; iter < 8; iter++ {
+		changed := false
+		for _, fn := range fns {
+			fresh := summarizeFunc(pkg.Info, fn.fd, lookup)
+			cur := prog.summaries[fn.key]
+			if fresh.Escapes != cur.Escapes || fresh.Returns != cur.Returns {
+				*cur = fresh
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// summarizeFunc runs the taint engine with the function's own
+// parameters as sources and folds the resulting sinks into a summary.
+func summarizeFunc(info *types.Info, fd *ast.FuncDecl, summaries func(*types.Func) *FuncSummary) FuncSummary {
+	sum := FuncSummary{NumParams: numParams(fd, info)}
+	seeds := make(map[types.Object]Mask)
+	idx := 0
+	seed := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			if len(field.Names) == 0 {
+				idx++ // unnamed receiver/parameter still occupies a slot
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := info.ObjectOf(name); obj != nil && idx < 64 {
+					seeds[obj] = 1 << idx
+				}
+				idx++
+			}
+		}
+	}
+	if fd.Recv != nil {
+		seed(fd.Recv)
+	}
+	seed(fd.Type.Params)
+
+	cfg := &Flow{Info: info, Summaries: summaries}
+	RunFlow(cfg, fd, seeds, func(s Sink) {
+		switch s.Kind {
+		case SinkReturn:
+			sum.Returns |= s.Mask
+		default:
+			sum.Escapes |= s.Mask
+		}
+	})
+	return sum
+}
+
+func numParams(fd *ast.FuncDecl, info *types.Info) int {
+	n := 0
+	if fd.Recv != nil {
+		n = 1
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if len(field.Names) == 0 {
+				n++
+				continue
+			}
+			n += len(field.Names)
+		}
+	}
+	return n
+}

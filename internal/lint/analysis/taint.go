@@ -1,0 +1,578 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared dataflow core behind the escape/retention
+// summaries (summary.go) and the zerocopy analyzer: a per-function
+// taint propagation over bitmasks. The caller decides what the bits
+// mean — parameter indices for summaries, view-source indices for
+// zerocopy — and the engine answers where those values can end up.
+//
+// The propagation rules encode the repo's view contract (DESIGN.md
+// §15): string values are immutable and, when produced by the parser,
+// point into the GC-managed input buffer — so selecting a string field
+// out of a tainted aggregate yields a safe copy of the header, and the
+// taint drops. Slices, pointers, maps and anything containing them
+// share backing memory, so taint follows. Deep copies (string(b),
+// []byte(s), strings/bytes.Clone) clear taint; subslicing, field access
+// on reference-carrying results, composite literals and unsafe
+// reslicing keep it.
+//
+// Dynamic calls (function values, interface methods) are treated
+// optimistically: no taint out, no escape in. The analyzers that build
+// on the engine document that hole; it is the same trade the rest of
+// hvlint makes to stay dependency-free and fast.
+
+// Mask is a taint bitset; the meaning of each bit is the caller's.
+type Mask uint64
+
+// SinkKind classifies where a tainted value escaped to.
+type SinkKind int
+
+const (
+	// SinkGlobal: stored into a package-level variable (directly or
+	// through a field/index/deref chain rooted at one).
+	SinkGlobal SinkKind = iota
+	// SinkChanSend: sent on a channel.
+	SinkChanSend
+	// SinkReturn: returned from the analyzed function.
+	SinkReturn
+	// SinkFieldStore: stored through a pointer or into non-local memory
+	// (a field or element of something the function did not create).
+	SinkFieldStore
+	// SinkArgEscape: passed to a function whose summary says that
+	// parameter escapes.
+	SinkArgEscape
+)
+
+// Sink is one escape event of tainted data.
+type Sink struct {
+	Kind SinkKind
+	Pos  token.Pos
+	Mask Mask
+
+	// Target is the package-level variable (SinkGlobal) or the struct
+	// field object written through (SinkFieldStore, when resolvable).
+	Target types.Object
+	// FieldSel is the selector written through for SinkFieldStore, so
+	// consumers can resolve a FieldKey.
+	FieldSel *ast.SelectorExpr
+	// LHS is the full left-hand side of the store (SinkGlobal and
+	// SinkFieldStore), for consumers that reason about what the store
+	// was rooted at (zerocopy's owner-internal exemption).
+	LHS ast.Expr
+	// Callee and ArgIndex identify the escaping call parameter for
+	// SinkArgEscape (ArgIndex follows the summary convention: receiver
+	// first, then declared parameters).
+	Callee   *types.Func
+	ArgIndex int
+}
+
+// Flow configures one RunFlow invocation.
+type Flow struct {
+	Info *types.Info
+	// SeedExpr, if set, returns extra taint originated by an expression
+	// itself (zerocopy's view sources). It must be pure: the engine
+	// evaluates expressions repeatedly.
+	SeedExpr func(e ast.Expr) Mask
+	// Summaries, if set, resolves callee escape/retention summaries for
+	// cross-function propagation.
+	Summaries func(fn *types.Func) *FuncSummary
+}
+
+type flowState struct {
+	cfg   *Flow
+	fd    *ast.FuncDecl
+	taint map[types.Object]Mask
+}
+
+// FlowResult is the stabilized dataflow of one RunFlow call: MaskOf
+// evaluates any expression of the analyzed function against the final
+// taint state (analyzers use it to classify their sources after the
+// fixpoint).
+type FlowResult struct {
+	fl *flowState
+}
+
+// MaskOf returns the taint carried by e under the final flow state.
+func (r *FlowResult) MaskOf(e ast.Expr) Mask { return r.fl.exprMask(e) }
+
+// RunFlow propagates taint from seeds (and cfg.SeedExpr sources)
+// through fd's body to a fixpoint, then reports every escape of tainted
+// data through sink.
+func RunFlow(cfg *Flow, fd *ast.FuncDecl, seeds map[types.Object]Mask, sink func(Sink)) *FlowResult {
+	fl := &flowState{cfg: cfg, fd: fd, taint: make(map[types.Object]Mask, len(seeds))}
+	for obj, m := range seeds {
+		fl.taint[obj] = m
+	}
+	if fd.Body == nil {
+		return &FlowResult{fl: fl}
+	}
+	// Propagation to fixpoint: each pass can only add bits, and the
+	// lattice is finite, so this terminates; the iteration cap guards
+	// pathological bodies.
+	for i := 0; i < 16; i++ {
+		if !fl.propagate(fd.Body) {
+			break
+		}
+	}
+	if sink != nil {
+		fl.findSinks(sink)
+	}
+	return &FlowResult{fl: fl}
+}
+
+func (fl *flowState) obj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return fl.cfg.Info.ObjectOf(id)
+}
+
+func (fl *flowState) typeOf(e ast.Expr) types.Type { return fl.cfg.Info.TypeOf(e) }
+
+// add records taint on obj, reporting whether anything changed.
+func (fl *flowState) add(obj types.Object, m Mask) bool {
+	if obj == nil || m == 0 || obj.Name() == "_" {
+		return false
+	}
+	old := fl.taint[obj]
+	if old|m == old {
+		return false
+	}
+	fl.taint[obj] = old | m
+	return true
+}
+
+// propagate runs one dataflow pass over the body, returning whether any
+// object gained taint.
+func (fl *flowState) propagate(body ast.Node) bool {
+	changed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				m := fl.assignedMask(n, i)
+				if m == 0 {
+					continue
+				}
+				if obj := fl.obj(lhs); obj != nil {
+					changed = fl.add(obj, m) || changed
+					continue
+				}
+				// Store into a field/element of a local value (s.f = v,
+				// s[i] = v): the aggregate now carries the taint; escape
+				// of the aggregate is caught transitively. Pointer and
+				// non-local roots are sinks, handled in findSinks.
+				if root := fl.obj(rootExpr(lhs)); root != nil && !isPointerish(root.Type()) && !isPackageLevel(root) {
+					changed = fl.add(root, m) || changed
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if m := fl.exprMask(n.X); m != 0 && CarriesReference(fl.typeOf(n.Value)) {
+					changed = fl.add(fl.obj(n.Value), m) || changed
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						if m := fl.exprMask(vs.Values[i]); m != 0 {
+							changed = fl.add(fl.cfg.Info.ObjectOf(name), m) || changed
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// copy(dst, src) moves element memory: shallow for reference
+			// elements, so dst inherits src's taint then.
+			if fl.isBuiltin(n, "copy") && len(n.Args) == 2 {
+				if m := fl.exprMask(n.Args[1]); m != 0 {
+					if t, ok := fl.typeOf(n.Args[0]).Underlying().(*types.Slice); ok && CarriesReference(t.Elem()) {
+						if root := fl.obj(rootExpr(n.Args[0])); root != nil && !isPackageLevel(root) {
+							changed = fl.add(root, m) || changed
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// assignedMask is the taint flowing into the i'th LHS of assign.
+func (fl *flowState) assignedMask(assign *ast.AssignStmt, i int) Mask {
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		// Multi-value call or map/type-assert comma-ok: the engine does
+		// not track which result aliases what, so every LHS gets the
+		// whole mask.
+		return fl.exprMask(assign.Rhs[0])
+	}
+	if i < len(assign.Rhs) {
+		return fl.exprMask(assign.Rhs[i])
+	}
+	return 0
+}
+
+// exprMask computes the taint carried by the value of e.
+func (fl *flowState) exprMask(e ast.Expr) Mask {
+	var m Mask
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := fl.cfg.Info.ObjectOf(e); obj != nil {
+			m = fl.taint[obj]
+		}
+	case *ast.ParenExpr:
+		m = fl.exprMask(e.X)
+	case *ast.StarExpr:
+		m = fl.exprMask(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND || e.Op == token.ARROW {
+			m = fl.exprMask(e.X)
+		}
+	case *ast.SliceExpr:
+		// Subslicing always shares backing memory.
+		m = fl.exprMask(e.X)
+	case *ast.SelectorExpr:
+		// Selecting a field keeps taint only when the result can share
+		// backing memory; string fields are safe copies by the view
+		// contract (they point into the unpooled input buffer).
+		if CarriesReference(fl.typeOf(e)) {
+			m = fl.exprMask(e.X)
+		}
+	case *ast.IndexExpr:
+		// s[i] copies the element; element types carrying references
+		// (Token and its Attr slice) keep the taint, pure-value
+		// elements drop it.
+		if CarriesReference(fl.typeOf(e)) {
+			m = fl.exprMask(e.X)
+		}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			m |= fl.exprMask(el)
+		}
+	case *ast.TypeAssertExpr:
+		m = fl.exprMask(e.X)
+	case *ast.CallExpr:
+		m = fl.callMask(e)
+	}
+	if fl.cfg.SeedExpr != nil {
+		m |= fl.cfg.SeedExpr(e)
+	}
+	return m
+}
+
+// callMask is exprMask for call expressions: conversions, builtins,
+// unsafe reslicing, and summary-driven return aliasing.
+func (fl *flowState) callMask(call *ast.CallExpr) Mask {
+	// Type conversion T(x).
+	if tv, ok := fl.cfg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return fl.conversionMask(tv.Type, call.Args[0])
+	}
+	// unsafe.String/Slice/SliceData/StringData/Add are builtins (not
+	// *types.Func), reached through a selector; they all re-view their
+	// operand's memory.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if b, ok := fl.cfg.Info.ObjectOf(sel.Sel).(*types.Builtin); ok {
+			switch b.Name() {
+			case "String", "Slice", "SliceData", "StringData", "Add":
+				m := Mask(0)
+				for _, a := range call.Args {
+					m |= fl.exprMask(a)
+				}
+				return m
+			}
+			return 0
+		}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := fl.cfg.Info.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				m := Mask(0)
+				if len(call.Args) > 0 {
+					m = fl.exprMask(call.Args[0])
+					// Appended elements are copied; reference-carrying
+					// element types keep their taint inside the result.
+					if st, ok := fl.typeOf(call.Args[0]).Underlying().(*types.Slice); ok && CarriesReference(st.Elem()) {
+						for _, a := range call.Args[1:] {
+							m |= fl.exprMask(a)
+						}
+					}
+				}
+				return m
+			case "min", "max":
+				m := Mask(0)
+				for _, a := range call.Args {
+					m |= fl.exprMask(a)
+				}
+				return m
+			}
+			return 0
+		}
+	}
+	fn := CalleeOf(fl.cfg.Info, call)
+	if fn == nil {
+		return 0 // dynamic call: optimistic, documented above
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "unsafe":
+			// unsafe.String/Slice/SliceData/Pointer all re-view their
+			// operand's memory.
+			m := Mask(0)
+			for _, a := range call.Args {
+				m |= fl.exprMask(a)
+			}
+			return m
+		case "strings", "bytes":
+			if fn.Name() == "Clone" {
+				return 0 // deep copy
+			}
+		}
+	}
+	if fl.cfg.Summaries != nil {
+		if sum := fl.cfg.Summaries(fn); sum != nil && sum.Returns != 0 {
+			m := Mask(0)
+			fl.eachArg(call, fn, func(idx int, arg ast.Expr) {
+				if idx < 64 && sum.Returns&(1<<idx) != 0 {
+					m |= fl.exprMask(arg)
+				}
+			})
+			return m
+		}
+	}
+	return 0
+}
+
+// conversionMask decides whether the conversion T(x) shares memory with
+// x. String/byte/rune crossings copy; everything else (named slice
+// types, unsafe.Pointer round-trips) keeps the backing array.
+func (fl *flowState) conversionMask(to types.Type, x ast.Expr) Mask {
+	from := fl.typeOf(x)
+	if from == nil {
+		return 0
+	}
+	_, fromStr := from.Underlying().(*types.Basic)
+	_, toStr := to.Underlying().(*types.Basic)
+	if fromStr != toStr {
+		return 0 // string(b), []byte(s), []rune(s): copies
+	}
+	return fl.exprMask(x)
+}
+
+// eachArg maps call arguments onto summary parameter indices: receiver
+// (for method calls) is index 0 and declared parameters follow;
+// variadic arguments collapse onto the last parameter.
+func (fl *flowState) eachArg(call *ast.CallExpr, fn *types.Func, visit func(idx int, arg ast.Expr)) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	shift := 0
+	if sig.Recv() != nil {
+		shift = 1
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sl, found := fl.cfg.Info.Selections[sel]; found && sl.Kind() == types.MethodVal {
+				visit(0, sel.X)
+			}
+		}
+	}
+	n := sig.Params().Len()
+	for i, arg := range call.Args {
+		idx := i
+		if idx >= n {
+			idx = n - 1 // variadic tail
+		}
+		if idx < 0 {
+			continue
+		}
+		visit(idx+shift, arg)
+	}
+}
+
+// findSinks walks the body once after the fixpoint and reports every
+// escape of tainted data.
+func (fl *flowState) findSinks(sink func(Sink)) {
+	var walk func(n ast.Node, inLit bool)
+	walk = func(n ast.Node, inLit bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// Returns inside a literal are the literal's, not the
+				// analyzed function's; everything else still counts.
+				walk(n.Body, true)
+				return false
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if m := fl.assignedMask(n, i); m != 0 {
+						fl.storeSink(lhs, m, sink)
+					}
+				}
+			case *ast.SendStmt:
+				if m := fl.exprMask(n.Value); m != 0 {
+					sink(Sink{Kind: SinkChanSend, Pos: n.Arrow, Mask: m})
+				}
+			case *ast.ReturnStmt:
+				if inLit {
+					return true
+				}
+				for _, res := range n.Results {
+					if m := fl.exprMask(res); m != 0 {
+						sink(Sink{Kind: SinkReturn, Pos: res.Pos(), Mask: m})
+					}
+				}
+			case *ast.CallExpr:
+				fl.callSinks(n, sink)
+			}
+			return true
+		})
+	}
+	walk(fl.fd.Body, false)
+}
+
+// storeSink classifies an assignment to lhs carrying mask m.
+func (fl *flowState) storeSink(lhs ast.Expr, m Mask, sink func(Sink)) {
+	if obj := fl.obj(lhs); obj != nil {
+		if isPackageLevel(obj) {
+			sink(Sink{Kind: SinkGlobal, Pos: lhs.Pos(), Mask: m, Target: obj, LHS: lhs})
+		}
+		return
+	}
+	root := rootExpr(lhs)
+	rootObj := fl.obj(root)
+	switch {
+	case rootObj != nil && isPackageLevel(rootObj):
+		sink(Sink{Kind: SinkGlobal, Pos: lhs.Pos(), Mask: m, Target: rootObj, LHS: lhs})
+	case rootObj != nil && !isPointerish(rootObj.Type()):
+		// Store into a local value aggregate: propagation already
+		// tainted the aggregate; not an escape by itself.
+	default:
+		// Through a pointer, a map, or an expression the function did
+		// not create: the written memory may outlive the call.
+		s := Sink{Kind: SinkFieldStore, Pos: lhs.Pos(), Mask: m, LHS: lhs}
+		if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+			s.FieldSel = sel
+			if sl, found := fl.cfg.Info.Selections[sel]; found {
+				s.Target = sl.Obj()
+			}
+		}
+		sink(s)
+	}
+}
+
+// callSinks reports tainted arguments passed to parameters the callee's
+// summary marks as escaping.
+func (fl *flowState) callSinks(call *ast.CallExpr, sink func(Sink)) {
+	if fl.cfg.Summaries == nil {
+		return
+	}
+	fn := CalleeOf(fl.cfg.Info, call)
+	if fn == nil {
+		return
+	}
+	sum := fl.cfg.Summaries(fn)
+	if sum == nil || sum.Escapes == 0 {
+		return
+	}
+	fl.eachArg(call, fn, func(idx int, arg ast.Expr) {
+		if idx >= 64 || sum.Escapes&(1<<idx) == 0 {
+			return
+		}
+		if m := fl.exprMask(arg); m != 0 {
+			sink(Sink{Kind: SinkArgEscape, Pos: arg.Pos(), Mask: m, Callee: fn, ArgIndex: idx})
+		}
+	})
+}
+
+func (fl *flowState) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := fl.cfg.Info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// RootExpr strips selector/index/deref/paren layers down to the base
+// expression being written through: RootExpr of (*z.cur).Attr[i] is z.
+func RootExpr(e ast.Expr) ast.Expr { return rootExpr(e) }
+
+// rootExpr strips selector/index/deref/paren layers down to the base
+// expression being written through.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+func isPackageLevel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func isPointerish(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// CarriesReference reports whether values of type t can share backing
+// memory with the place they were copied from: slices, pointers, maps,
+// channels, funcs, interfaces, or aggregates containing one. Strings
+// are deliberately excluded — under the repo's view contract a string
+// produced by the parser points into the unpooled input buffer, so a
+// copied string header is safe to retain.
+func CarriesReference(t types.Type) bool {
+	return carriesRef(t, make(map[types.Type]bool))
+}
+
+func carriesRef(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Array:
+		return carriesRef(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesRef(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,274 @@
+// Package goroleak checks goroutine hygiene in the long-running layers
+// (internal/serve, internal/resilience, internal/crawler): every go
+// statement must have a statically identifiable exit path. A service
+// that leaks one goroutine per request dies slowly and far from the
+// leak; the chaos harness catches some of those at runtime, this
+// analyzer catches the shape at review time.
+//
+// A spawned body is accepted when it exhibits one of the repo's
+// sanctioned shutdown patterns:
+//
+//   - it observes cancellation: <-ctx.Done() (in a select arm or bare)
+//     or a ctx.Err() loop condition;
+//   - it is joined: it calls Done or Wait on a sync.WaitGroup;
+//   - it drains a bounded stream: for-range over a channel that some
+//     function in the same package closes;
+//   - it is straight-line (no loops) and every channel send targets a
+//     channel made with nonzero capacity in the same package, so the
+//     send cannot block forever (the errc <- srv.Serve(ln) pattern) —
+//     and it performs no bare channel receives.
+//
+// Spawning a function hvlint has no body for (another module, a
+// function value) is flagged: wrap it in a supervised closure. A
+// deliberate exception takes a //lint:ignore goroleak with its reason.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "go statements in internal/serve, internal/resilience and internal/crawler " +
+		"must have a statically identifiable exit path: a ctx.Done()/ctx.Err() check, " +
+		"a WaitGroup join, a close-bounded range, or a loop-free body whose sends are " +
+		"all buffered.",
+	NewRun: func() any { return &state{} },
+	Run:    run,
+}
+
+// scopes are the packages whose goroutines must be hygienic: the ones
+// that run unattended for days.
+var scopes = []string{"internal/serve", "internal/resilience", "internal/crawler"}
+
+type state struct {
+	decls map[string]declRef
+	idx   map[*analysis.Package]*chanIndex
+}
+
+type declRef struct {
+	pkg *analysis.Package
+	fd  *ast.FuncDecl
+}
+
+// chanIndex records, per package, which channel objects are ever
+// closed and which are created with nonzero capacity.
+type chanIndex struct {
+	closed   map[types.Object]bool
+	buffered map[types.Object]bool
+}
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, s := range scopes {
+		if analysis.HasPathSuffix(pass.Pkg.ImportPath, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	st := pass.State.(*state)
+	for _, f := range pass.Pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, st, g)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGo(pass *analysis.Pass, st *state, g *ast.GoStmt) {
+	body, bodyPkg := spawnedBody(pass, st, g.Call)
+	if body == nil {
+		name := "a function value"
+		if fn := analysis.CalleeOf(pass.Pkg.Info, g.Call); fn != nil {
+			name = fn.Name()
+		}
+		pass.Reportf(g.Pos(), "go statement spawns %s, whose body hvlint cannot see: wrap it in a supervised closure with an explicit exit path", name)
+		return
+	}
+	if hasExitPath(st, body, bodyPkg, pass.Pkg) {
+		return
+	}
+	pass.Reportf(g.Pos(), "goroutine has no statically identifiable exit path: add a ctx.Done() select arm or ctx.Err() loop condition, join it with a WaitGroup, range over a channel this package closes, or keep the body loop-free with only buffered sends")
+}
+
+// spawnedBody resolves the code the go statement runs: a literal's
+// body, or the in-module declaration of a named callee.
+func spawnedBody(pass *analysis.Pass, st *state, call *ast.CallExpr) (*ast.BlockStmt, *analysis.Package) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, pass.Pkg
+	}
+	fn := analysis.CalleeOf(pass.Pkg.Info, call)
+	if fn == nil {
+		return nil, nil
+	}
+	if st.decls == nil {
+		st.decls = make(map[string]declRef)
+		for _, pkg := range pass.Prog.Packages {
+			for _, f := range pkg.Syntax {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					if obj := pkg.Info.ObjectOf(fd.Name); obj != nil {
+						st.decls[analysis.ObjKey(obj)] = declRef{pkg, fd}
+					}
+				}
+			}
+		}
+	}
+	ref, ok := st.decls[analysis.ObjKey(fn)]
+	if !ok {
+		return nil, nil
+	}
+	return ref.fd.Body, ref.pkg
+}
+
+// hasExitPath applies the accepted shutdown patterns to body, resolving
+// channel lifecycle facts against both the body's package and the
+// spawning package.
+func hasExitPath(st *state, body *ast.BlockStmt, bodyPkg, spawnPkg *analysis.Package) bool {
+	info := bodyPkg.Info
+	exits := false
+	loops := false
+	sendsUnbuffered := false
+	bareReceive := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := analysis.CalleeOf(info, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "context" && (fn.Name() == "Done" || fn.Name() == "Err"):
+				exits = true
+			case fn.Pkg().Path() == "sync" && (fn.Name() == "Done" || fn.Name() == "Wait"):
+				exits = true
+			}
+		case *ast.ForStmt:
+			loops = true
+		case *ast.RangeStmt:
+			if _, isChan := info.TypeOf(n.X).Underlying().(*types.Chan); isChan {
+				obj := chanObj(info, n.X)
+				if obj != nil && (st.chanIdx(bodyPkg).closed[obj] || st.chanIdx(spawnPkg).closed[obj]) {
+					exits = true
+				} else {
+					loops = true
+				}
+			} else {
+				loops = true
+			}
+		case *ast.SendStmt:
+			obj := chanObj(info, n.Chan)
+			if obj == nil || !(st.chanIdx(bodyPkg).buffered[obj] || st.chanIdx(spawnPkg).buffered[obj]) {
+				sendsUnbuffered = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				// Receiving from ctx.Done() is the cancellation pattern,
+				// counted above; any other bare receive can block forever.
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					if fn := analysis.CalleeOf(info, call); fn != nil && fn.Pkg() != nil &&
+						fn.Pkg().Path() == "context" && fn.Name() == "Done" {
+						return true
+					}
+				}
+				bareReceive = true
+			}
+		}
+		return true
+	})
+	if exits {
+		return true
+	}
+	// Straight-line fallback: a loop-free body terminates unless it
+	// blocks — which only buffered sends and no bare receives rule out.
+	return !loops && !sendsUnbuffered && !bareReceive
+}
+
+// chanIdx lazily scans pkg for close(ch) targets and make(chan, n>0)
+// results, keyed by channel object.
+func (st *state) chanIdx(pkg *analysis.Package) *chanIndex {
+	if st.idx == nil {
+		st.idx = make(map[*analysis.Package]*chanIndex)
+	}
+	if idx := st.idx[pkg]; idx != nil {
+		return idx
+	}
+	idx := &chanIndex{closed: make(map[types.Object]bool), buffered: make(map[types.Object]bool)}
+	st.idx[pkg] = idx
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if b, ok := pkg.Info.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "make" {
+			return
+		}
+		if _, isChan := pkg.Info.TypeOf(call.Args[0]).Underlying().(*types.Chan); !isChan {
+			return
+		}
+		if lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit); ok && lit.Value == "0" {
+			return
+		}
+		if obj := chanObj(pkg.Info, lhs); obj != nil {
+			idx.buffered[obj] = true
+		}
+	}
+	for _, f := range pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+					if b, ok := pkg.Info.ObjectOf(id).(*types.Builtin); ok && b.Name() == "close" {
+						if obj := chanObj(pkg.Info, n.Args[0]); obj != nil {
+							idx.closed[obj] = true
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) {
+						record(lhs, n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						record(name, n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return idx
+}
+
+// chanObj resolves the object a channel expression names: a variable,
+// parameter, or struct field.
+func chanObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(e.Sel)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+	"github.com/hvscan/hvscan/internal/lint/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysis.RunTest(t, "testdata", goroleak.Analyzer)
+}

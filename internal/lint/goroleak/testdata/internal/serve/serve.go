@@ -1,0 +1,153 @@
+// Package serve exercises goroleak's accepted shutdown patterns and
+// the leak shapes it must flag. The package path matters: goroleak only
+// watches the long-running layers.
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	jobs chan int
+}
+
+// accepted: ctx.Done() select arm.
+func watch(ctx context.Context, kick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-kick:
+			}
+		}
+	}()
+}
+
+// accepted: ctx.Err() loop condition.
+func poll(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			work()
+		}
+	}()
+}
+
+// accepted: WaitGroup-joined workers.
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				work()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// accepted: the closer pattern — bounded by the join it performs.
+func closer(wg *sync.WaitGroup, results chan int) {
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+}
+
+// accepted: straight-line body, send on a buffered channel.
+func runListener() chan error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- serveLoop()
+	}()
+	return errc
+}
+
+// accepted: range over a channel this package closes (see drainAll).
+func consume(s *server) {
+	go func() {
+		for range s.jobs {
+			work()
+		}
+	}()
+}
+
+func drainAll(s *server) {
+	close(s.jobs)
+}
+
+// flagged: infinite loop with no cancellation hook.
+func leakSpin() {
+	go func() { // want `goroutine has no statically identifiable exit path`
+		for {
+			work()
+		}
+	}()
+}
+
+// flagged: send on an unbuffered channel can block forever.
+func leakSend(done chan struct{}) {
+	go func() { // want `goroutine has no statically identifiable exit path`
+		work()
+		done <- struct{}{}
+	}()
+}
+
+// flagged: a bare receive is an unbounded wait.
+func leakRecv(done chan struct{}) {
+	go func() { // want `goroutine has no statically identifiable exit path`
+		<-done
+	}()
+}
+
+// flagged: range over a channel nothing in scope ever closes.
+func leakRange(feed chan int) {
+	go func() { // want `goroutine has no statically identifiable exit path`
+		for range feed {
+			work()
+		}
+	}()
+}
+
+// flagged: the spawned body is invisible (a function value).
+func leakDynamic(f func()) {
+	go f() // want `go statement spawns a function value, whose body hvlint cannot see`
+}
+
+// accepted after review: a justified suppression.
+func sanctioned(block chan struct{}) {
+	//lint:ignore goroleak fixture shows an audited exception
+	go func() {
+		<-block
+	}()
+}
+
+// spawning a named in-module function is resolved through the call
+// graph: spinForever's body decides.
+func leakNamed() {
+	go spinForever() // want `goroutine has no statically identifiable exit path`
+}
+
+func spinForever() {
+	for {
+		work()
+	}
+}
+
+// and the named body with an exit passes.
+func okNamed(ctx context.Context) {
+	go tick(ctx)
+}
+
+func tick(ctx context.Context) {
+	for ctx.Err() == nil {
+		work()
+	}
+}
+
+func work() {}
+
+func serveLoop() error { return nil }

@@ -1,0 +1,10 @@
+// Package web is outside goroleak's scope (not serve, resilience or
+// crawler): the same leak shapes pass without comment here.
+package web
+
+func background() {
+	go func() {
+		for {
+		}
+	}()
+}

@@ -2,26 +2,34 @@
 //
 // Each analyzer encodes one invariant the ordinary toolchain cannot
 // check — parser/table coverage, failure classification, cancellable
-// waiting, metric naming, and rule determinism. cmd/hvlint drives the
-// full set; tests exercise each against a golden testdata tree.
+// waiting, metric naming, rule determinism, zero-copy view lifetimes,
+// hot-path allocation freedom, and goroutine hygiene. cmd/hvlint
+// drives the full set; tests exercise each against a golden testdata
+// tree.
 package lint
 
 import (
+	"github.com/hvscan/hvscan/internal/lint/alloczone"
 	"github.com/hvscan/hvscan/internal/lint/analysis"
 	"github.com/hvscan/hvscan/internal/lint/ctxsleep"
 	"github.com/hvscan/hvscan/internal/lint/errclass"
+	"github.com/hvscan/hvscan/internal/lint/goroleak"
 	"github.com/hvscan/hvscan/internal/lint/obsnames"
 	"github.com/hvscan/hvscan/internal/lint/rulepurity"
 	"github.com/hvscan/hvscan/internal/lint/specerrors"
+	"github.com/hvscan/hvscan/internal/lint/zerocopy"
 )
 
 // Analyzers returns the full suite in a stable order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		alloczone.Analyzer,
 		ctxsleep.Analyzer,
 		errclass.Analyzer,
+		goroleak.Analyzer,
 		obsnames.Analyzer,
 		rulepurity.Analyzer,
 		specerrors.Analyzer,
+		zerocopy.Analyzer,
 	}
 }

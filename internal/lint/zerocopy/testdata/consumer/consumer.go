@@ -1,0 +1,17 @@
+// Package consumer exercises the cross-package side of the contract:
+// //hv:view directives and escape summaries recorded while parser was
+// analyzed must still bind when its importer is.
+package consumer
+
+import "example.com/parser"
+
+var last []byte
+
+func drain(st *parser.Stream) {
+	b := st.Bytes()
+	last = b // want `zero-copy view \(result of //hv:view Bytes\) stored in package-level last`
+}
+
+func ok(st *parser.Stream) string {
+	return string(st.Bytes())
+}

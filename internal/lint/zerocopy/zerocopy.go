@@ -1,0 +1,300 @@
+// Package zerocopy enforces the parser's zero-copy view contract
+// (DESIGN.md §15): a value that aliases a parser-owned buffer — an
+// unsafe.String/unsafe.Slice re-view, the result of a //hv:view
+// function, or a subslice of a //hv:view scratch field — must not
+// outlive the buffer it points into.
+//
+// The analyzer distinguishes two severities of view. A *plain* view
+// aliases the per-parse input buffer: GC-managed and never recycled, so
+// retaining one is memory-safe but pins the whole document — storing it
+// in a package-level variable or sending it on a channel is flagged,
+// and a function returning one must be marked //hv:view so callers
+// inherit the contract. A *scratch* view aliases a recycled buffer
+// (one reset with buf[:0] between parses): in addition to the above,
+// it must not be stored through pointers into heap-reachable memory or
+// passed to a call that retains it.
+//
+// The one sanctioned way to move scratch around is inside its owner:
+// the struct that declares a //hv:view field may shuffle that memory
+// between its own fields (that is what recycling is), and stores into
+// another //hv:view field are recycling by definition. Everything else
+// needs an explicit copy — string(b), []byte append into an owned
+// buffer, or strings.Clone.
+package zerocopy
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "zerocopy",
+	Doc: "Views of parser buffers (unsafe.String/unsafe.Slice results, //hv:view " +
+		"functions and scratch fields) must not escape: no package-level stores, no " +
+		"channel sends, no returns from unmarked functions, and recycled scratch " +
+		"must not reach heap memory outside its owner. Copy before retaining.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// source is one view origin inside the analyzed function. Bits above 62
+// are shared by overflow sources; with bit sharing a plain source may
+// inherit a scratch report, never the reverse dropped — conservative in
+// the right direction.
+type source struct {
+	bit      int
+	desc     string
+	scratch  bool
+	call     *ast.CallExpr // view-producing call; nil for field sources
+	ownerKey string        // "pkgpath.Type" for //hv:view field sources
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	srcs, byNode := collectSources(pass, fd)
+	if len(srcs) == 0 {
+		return
+	}
+	cfg := &analysis.Flow{
+		Info: pass.Pkg.Info,
+		SeedExpr: func(e ast.Expr) analysis.Mask {
+			if s, ok := byNode[e]; ok {
+				return analysis.Mask(1) << s.bit
+			}
+			return 0
+		},
+		Summaries: func(fn *types.Func) *analysis.FuncSummary { return pass.Prog.SummaryOf(fn) },
+	}
+	var sinks []analysis.Sink
+	res := analysis.RunFlow(cfg, fd, nil, func(s analysis.Sink) { sinks = append(sinks, s) })
+	resolveClasses(pass, res, srcs)
+
+	selfView := false
+	if obj := pass.ObjectOf(fd.Name); obj != nil {
+		selfView = pass.Prog.HasDirective(analysis.ObjKey(obj), "view")
+	}
+	for _, s := range sinks {
+		reportSink(pass, fd, s, srcs, selfView)
+	}
+}
+
+// collectSources finds every view origin in fd: unsafe.String/Slice
+// calls, calls to //hv:view functions, and selections of //hv:view
+// fields. Field sources are scratch from the start; call sources start
+// plain and are upgraded by resolveClasses when scratch flows into
+// their operands (a view of a view of scratch is still scratch).
+func collectSources(pass *analysis.Pass, fd *ast.FuncDecl) ([]*source, map[ast.Node]*source) {
+	var srcs []*source
+	byNode := make(map[ast.Node]*source)
+	add := func(n ast.Node, s *source) {
+		s.bit = len(srcs)
+		if s.bit > 62 {
+			s.bit = 62 // overflow: shared bit, conservatively merged
+		}
+		srcs = append(srcs, s)
+		byNode[n] = s
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// unsafe.String/Slice are builtins, invisible to CalleeOf.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if b, ok := pass.Pkg.Info.ObjectOf(sel.Sel).(*types.Builtin); ok {
+					if b.Name() == "String" || b.Name() == "Slice" {
+						add(n, &source{desc: "unsafe." + b.Name() + " view", call: n})
+					}
+					return true
+				}
+			}
+			fn := analysis.CalleeOf(pass.Pkg.Info, n)
+			if fn == nil {
+				return true
+			}
+			if pass.Prog.IsViewFunc(fn) {
+				s := &source{desc: "result of //hv:view " + fn.Name(), call: n}
+				// A view method taking no data arguments views its
+				// receiver's internals — recycled scratch by contract.
+				if sig, ok := fn.Type().(*types.Signature); ok &&
+					sig.Recv() != nil && len(n.Args) == 0 {
+					s.scratch = true
+				}
+				add(n, s)
+			}
+		case *ast.SelectorExpr:
+			if fk := pass.FieldKeyOf(n); fk != "" && pass.Prog.HasDirective(fk, "view") {
+				owner := fk
+				if i := strings.LastIndex(fk, "."); i >= 0 {
+					owner = fk[:i]
+				}
+				add(n, &source{
+					desc:     "recycled buffer " + n.Sel.Name,
+					scratch:  true,
+					ownerKey: owner,
+				})
+			}
+		}
+		return true
+	})
+	return srcs, byNode
+}
+
+// resolveClasses upgrades call sources to scratch when, under the final
+// flow, scratch taint reaches any of their operands. Iterates because a
+// chain of view calls propagates class one link per pass; classes only
+// move plain→scratch, so it terminates.
+func resolveClasses(pass *analysis.Pass, res *analysis.FlowResult, srcs []*source) {
+	for iter := 0; iter <= len(srcs); iter++ {
+		changed := false
+		for _, s := range srcs {
+			if s.scratch || s.call == nil {
+				continue
+			}
+			var am analysis.Mask
+			for _, a := range s.call.Args {
+				am |= res.MaskOf(a)
+			}
+			if sel, ok := ast.Unparen(s.call.Fun).(*ast.SelectorExpr); ok {
+				if sl, found := pass.Pkg.Info.Selections[sel]; found && sl.Kind() == types.MethodVal {
+					am |= res.MaskOf(sel.X)
+				}
+			}
+			am &^= analysis.Mask(1) << s.bit
+			if scratchMask(am, srcs) != 0 {
+				s.scratch = true
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// scratchMask returns the subset of m whose bits belong to scratch
+// sources.
+func scratchMask(m analysis.Mask, srcs []*source) analysis.Mask {
+	var out analysis.Mask
+	for _, s := range srcs {
+		if s.scratch && m&(analysis.Mask(1)<<s.bit) != 0 {
+			out |= analysis.Mask(1) << s.bit
+		}
+	}
+	return out
+}
+
+// worstSource picks the source to name in a report: a scratch one when
+// any is present, otherwise the first matching.
+func worstSource(m analysis.Mask, srcs []*source) *source {
+	var first *source
+	for _, s := range srcs {
+		if m&(analysis.Mask(1)<<s.bit) == 0 {
+			continue
+		}
+		if s.scratch {
+			return s
+		}
+		if first == nil {
+			first = s
+		}
+	}
+	return first
+}
+
+func reportSink(pass *analysis.Pass, fd *ast.FuncDecl, s analysis.Sink, srcs []*source, selfView bool) {
+	src := worstSource(s.Mask, srcs)
+	if src == nil {
+		return
+	}
+	scratch := scratchMask(s.Mask, srcs)
+	switch s.Kind {
+	case analysis.SinkGlobal:
+		name := "variable"
+		if s.Target != nil {
+			name = s.Target.Name()
+		}
+		pass.Reportf(s.Pos, "zero-copy view (%s) stored in package-level %s: copy it (string conversion or strings.Clone) before retaining — the view aliases a parser-owned buffer", src.desc, name)
+	case analysis.SinkChanSend:
+		pass.Reportf(s.Pos, "zero-copy view (%s) sent on a channel without a copy: the receiver may outlive the buffer's recycle point", src.desc)
+	case analysis.SinkReturn:
+		if selfView {
+			return
+		}
+		if scratch != 0 {
+			pass.Reportf(s.Pos, "returning a view of recycled scratch (%s) from %s: the buffer is reclaimed on reuse — copy it, or mark %s //hv:view to push the contract to callers", src.desc, fd.Name.Name, fd.Name.Name)
+			return
+		}
+		pass.Reportf(s.Pos, "%s returns a zero-copy view (%s) but is not marked //hv:view: annotate it so callers inherit the no-retention contract", fd.Name.Name, src.desc)
+	case analysis.SinkFieldStore:
+		if scratch == 0 {
+			return // plain views may sit in local heap structures; only retention boundaries matter
+		}
+		if s.FieldSel != nil {
+			if fk := pass.FieldKeyOf(s.FieldSel); fk != "" && pass.Prog.HasDirective(fk, "view") {
+				return // store into another scratch field: recycling, the contract's purpose
+			}
+		}
+		if ownerInternal(pass, s, scratch, srcs) {
+			return
+		}
+		target := "heap-reachable memory"
+		if s.Target != nil {
+			target = "field " + s.Target.Name()
+		}
+		src = worstSource(scratch, srcs)
+		pass.Reportf(s.Pos, "view of recycled scratch (%s) stored into %s: the backing array is reclaimed on reuse — copy before storing", src.desc, target)
+	case analysis.SinkArgEscape:
+		if scratch == 0 {
+			return
+		}
+		src = worstSource(scratch, srcs)
+		callee := "the callee"
+		if s.Callee != nil {
+			callee = s.Callee.Name()
+		}
+		pass.Reportf(s.Pos, "view of recycled scratch (%s) passed to %s, which retains parameter %d: copy before the call", src.desc, callee, s.ArgIndex)
+	}
+}
+
+// ownerInternal reports whether every scratch bit of the store belongs
+// to a //hv:view field of the very type being written through: the
+// owner moving its own scratch between its fields (including the
+// wholesale *z = T{...} reset) is the recycle mechanism itself.
+func ownerInternal(pass *analysis.Pass, s analysis.Sink, scratch analysis.Mask, srcs []*source) bool {
+	if s.LHS == nil {
+		return false
+	}
+	t := pass.TypeOf(analysis.RootExpr(s.LHS))
+	for t != nil {
+		ptr, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	ownerKey := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	for _, src := range srcs {
+		if scratch&(analysis.Mask(1)<<src.bit) == 0 {
+			continue
+		}
+		if src.ownerKey != ownerKey {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package zerocopy_test
+
+import (
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/lint/analysis"
+	"github.com/hvscan/hvscan/internal/lint/zerocopy"
+)
+
+func TestZerocopy(t *testing.T) {
+	analysis.RunTest(t, "testdata", zerocopy.Analyzer)
+}

@@ -381,6 +381,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // header when present (trusted deployments put an API key ID here),
 // else the peer IP — so an unauthenticated flood still only throttles
 // its own source address.
+//
+//hv:hotpath runs before admission, on every request including floods
 func tenantOf(r *http.Request) string {
 	if t := r.Header.Get("X-Tenant"); t != "" {
 		return t
@@ -396,6 +398,8 @@ func tenantOf(r *http.Request) string {
 // hint. Shedding is the service working as designed, not failing — it
 // gets its own counter so overload is visible as a rate, not an error
 // log.
+//
+//hv:hotpath rejections must stay cheaper than the work they refuse
 func (s *Server) shed(w http.ResponseWriter, reason string, status int, msg string, retryAfter time.Duration) {
 	if c, ok := s.shedBy[reason]; ok {
 		c.Inc()
