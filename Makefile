@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint bench bench-json bench-gate ci chaos serve-chaos fmt-check study report fuzz clean conform conform-update fuzz-smoke
+.PHONY: all build test vet lint bench bench-json bench-gate ci chaos serve-chaos fmt-check study report fuzz clean conform conform-update fix-conform fix-conform-update fuzz-smoke
 
 all: build test
 
@@ -14,6 +14,7 @@ ci: build vet lint fmt-check
 	$(MAKE) chaos
 	$(MAKE) serve-chaos
 	$(MAKE) conform
+	$(MAKE) fix-conform
 	$(GO) test -run '^$$' -fuzz='^FuzzParse$$' -fuzztime=15s ./internal/htmlparse
 	$(GO) test -run '^$$' -fuzz='^FuzzClassify$$' -fuzztime=10s ./internal/resilience
 	$(GO) test -run '^$$' -fuzz='^FuzzReadJournal$$' -fuzztime=10s ./internal/store
@@ -34,6 +35,20 @@ conform-update:
 	$(GO) run ./cmd/hvconform -update
 	$(GO) run ./cmd/hvconform
 
+# Repair verification gate: the golden fix corpus (every strategy
+# covered, each case's output re-parsed and re-checked, ≥60 cases), the
+# two repair invariants (fix-idempotence, fix-monotonicity) over their
+# seed corpora, and the 356-case repaired-corpus differential.
+fix-conform:
+	$(GO) run ./cmd/hvfix -corpus internal/autofix/testdata -min 60
+	$(GO) test -count=1 -run 'TestFix|TestRepairedCorpusDifferential' ./internal/conformance
+
+# Regenerate the fix goldens after an intentional engine change, then
+# rerun the gate. Review the diff — every hunk is a behavior change.
+fix-conform-update:
+	$(GO) run ./cmd/hvfix -corpus internal/autofix/testdata -update
+	$(MAKE) fix-conform
+
 # Metamorphic fuzz smoke: 30s per oracle-free invariant (render→reparse
 # fixpoint, truncation stability, attribute-order invariance, decoder
 # agreement, stream≡tree checker equivalence) over the checked-in seed
@@ -44,6 +59,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz='^FuzzAttrReorderInvariance$$' -fuzztime=30s ./internal/conformance
 	$(GO) test -run '^$$' -fuzz='^FuzzDecoderAgreement$$' -fuzztime=30s ./internal/conformance
 	$(GO) test -run '^$$' -fuzz='^FuzzStreamTreeAgreement$$' -fuzztime=30s ./internal/conformance
+	$(GO) test -run '^$$' -fuzz='^FuzzFixIdempotence$$' -fuzztime=30s ./internal/conformance
+	$(GO) test -run '^$$' -fuzz='^FuzzFixMonotonicity$$' -fuzztime=30s ./internal/conformance
 
 # Chaos smoke: the seeded fault-injection acceptance tests (~10%
 # transient faults, deterministic schedule) under the race detector —

@@ -24,7 +24,12 @@
 //	hvcrawl -out results.jsonl -stats stats.json [-server http://...]
 //	        [-domains 2400 -pages 20 -seed 22] [-workers N] [-snapshots 8]
 //	        [-metrics :9090] [-retries N] [-resume] [-journal path]
-//	        [-max-domain-failures N] [-stream] [-cache-mb 64]
+//	        [-max-domain-failures N] [-stream] [-fix] [-cache-mb 64]
+//
+// With -fix every analyzed page is additionally run through the
+// validated repair engine (internal/autofix); per-snapshot repair
+// outcomes and machine-repairability rates are aggregated into the
+// stats file and rendered by `hvreport -experiment fix`.
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/hvscan/hvscan/internal/autofix"
 	"github.com/hvscan/hvscan/internal/commoncrawl"
 	"github.com/hvscan/hvscan/internal/core"
 	"github.com/hvscan/hvscan/internal/corpus"
@@ -66,6 +72,7 @@ type options struct {
 	journal   string
 	resume    bool
 	stream    bool
+	fix       bool
 	cacheMB   int
 }
 
@@ -95,6 +102,7 @@ func main() {
 	flag.StringVar(&o.journal, "journal", "", "resume journal path (default: <out>.journal)")
 	flag.BoolVar(&o.resume, "resume", false, "replay the journal and skip already-completed (crawl, domain) pairs")
 	flag.BoolVar(&o.stream, "stream", false, "check pages with the constant-memory streaming rules only (skips tree-required rules)")
+	flag.BoolVar(&o.fix, "fix", false, "measure machine repairability: run every analyzed page through the validated repair engine and aggregate outcomes per snapshot")
 	flag.IntVar(&o.cacheMB, "cache-mb", 0, "in-memory archive read cache budget in MiB (0 = off)")
 	flag.Parse()
 	if err := run(o); err != nil {
@@ -192,11 +200,16 @@ func run(o options) error {
 		log.Print("checker: streaming rules only (constant-memory path)")
 	}
 	checker = checker.Instrument(reg)
+	if o.fix {
+		autofix.Instrument(reg)
+		log.Print("fix: measuring machine repairability of every analyzed page")
+	}
 	pipe := crawler.New(archive, checker, st, crawler.Config{
 		Workers:           o.workers,
 		PagesPerDomain:    o.pages,
 		Retries:           o.retries,
 		MaxDomainFailures: o.maxFail,
+		Fix:               o.fix,
 		Journal:           jr,
 		Registry:          reg,
 	})
@@ -233,6 +246,9 @@ func run(o options) error {
 		}
 		if stats.DomainsResumed > 0 {
 			extra += fmt.Sprintf(", %d resumed from journal", stats.DomainsResumed)
+		}
+		if rate, violating, ok := stats.Repairability(); ok {
+			extra += fmt.Sprintf(", repairability %.1f%% of %d violating pages", 100*rate, violating)
 		}
 		log.Printf("%s: %d/%d domains analyzed, %d pages (avg %.1f/domain) in %s (%.0f pages/min)%s",
 			crawl, stats.Analyzed, stats.Found, stats.PagesAnalyzed, stats.AvgPages(),

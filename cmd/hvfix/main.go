@@ -1,13 +1,27 @@
-// Command hvfix applies the automatic repairs of paper §4.4 to HTML
-// documents: syntax normalization (FB1/FB2), duplicate-attribute removal
-// (DM3), and meta/base relocation (DM1/DM2).
+// Command hvfix applies the validated repair engine (internal/autofix) to
+// HTML documents: per-rule fix strategies whose edits are verified by
+// re-parsing — the targeted rule must be gone and nothing else may get
+// worse — with unverifiable documents reported Unfixable and left
+// untouched.
 //
-// Usage:
-//
-//	hvfix [-w] [file ...]
+//	hvfix [-w] [-q] [file ...]                      # repair files (or stdin)
+//	hvfix -corpus DIR [-update] [-summary PATH]     # run the golden fix corpus
 //
 // Without -w the repaired document goes to standard output; with -w files
-// are rewritten in place. Applied fixes are listed on standard error.
+// are rewritten in place (only when something changed). Outcomes and
+// applied fixes are reported on standard error.
+//
+// Exit status, file mode:
+//
+//	0  every input verified clean or fixed — no violations remain
+//	1  violations remain in some input (partial repair or unfixable)
+//	2  operational error (unreadable file, invalid encoding)
+//
+// Corpus mode mirrors hvconform: -update regenerates the golden sections
+// from observed engine behavior (review the diff — every hunk is a
+// behavior change), -summary writes a markdown table for CI step
+// summaries, and the run fails if any case diverges, a strategy has no
+// covering case, or the corpus shrinks below -min cases.
 package main
 
 import (
@@ -15,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"github.com/hvscan/hvscan/internal/autofix"
 )
@@ -28,11 +44,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		write = fs.Bool("w", false, "rewrite files in place instead of printing")
-		diff  = fs.Bool("summary", false, "only print the fix summary, not the document")
+		quiet = fs.Bool("q", false, "suppress document output, report fixes only")
+
+		corpus  = fs.String("corpus", "", "run the .fix golden corpus in this directory instead of repairing files")
+		update  = fs.Bool("update", false, "with -corpus: regenerate golden sections from observed engine behavior")
+		summary = fs.String("summary", "", "with -corpus: write a markdown summary to this path ('-' for stdout); append to $GITHUB_STEP_SUMMARY in CI")
+		minCase = fs.Int("min", 60, "with -corpus: fail if fewer cases execute")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *corpus != "" {
+		return runCorpus(*corpus, *update, *summary, *minCase, stdout, stderr)
+	}
+
 	inputs := fs.Args()
 	if len(inputs) == 0 {
 		data, err := io.ReadAll(stdin)
@@ -40,24 +65,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "hvfix: stdin: %v\n", err)
 			return 2
 		}
-		return fixOne("<stdin>", data, false, *diff, stdout, stderr)
+		return fixOne("<stdin>", data, false, *quiet, stdout, stderr)
 	}
 	exit := 0
 	for _, path := range inputs {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(stderr, "hvfix: %v\n", err)
-			exit = 2
+			exit = max(exit, 2)
 			continue
 		}
-		if c := fixOne(path, data, *write, *diff, stdout, stderr); c > exit {
-			exit = c
-		}
+		exit = max(exit, fixOne(path, data, *write, *quiet, stdout, stderr))
 	}
 	return exit
 }
 
-func fixOne(name string, data []byte, write, summaryOnly bool, stdout, stderr io.Writer) int {
+// fixOne repairs one document and reports. Return code follows the
+// outcome contract: 0 clean/fixed, 1 violations remain, 2 operational.
+func fixOne(name string, data []byte, write, quiet bool, stdout, stderr io.Writer) int {
 	res, err := autofix.Repair(data)
 	if err != nil {
 		fmt.Fprintf(stderr, "hvfix: %s: %v\n", name, err)
@@ -66,16 +91,145 @@ func fixOne(name string, data []byte, write, summaryOnly bool, stdout, stderr io
 	for _, f := range res.Applied {
 		fmt.Fprintf(stderr, "%s:%d:%d: fixed %s\n", name, f.Pos.Line, f.Pos.Col, f)
 	}
+	for _, u := range res.Unfixable {
+		fmt.Fprintf(stderr, "%s: unfixable %s\n", name, u)
+	}
+	outcome := res.Outcome()
+	if remaining := res.RemainingIDs(); len(remaining) > 0 {
+		fmt.Fprintf(stderr, "%s: %s; violations remain: %s\n",
+			name, outcome, strings.Join(remaining, " "))
+	} else {
+		fmt.Fprintf(stderr, "%s: %s\n", name, outcome)
+	}
 	switch {
 	case write && name != "<stdin>":
-		if err := os.WriteFile(name, res.Output, 0o644); err != nil {
-			fmt.Fprintf(stderr, "hvfix: %v\n", err)
-			return 2
+		// Only touch the file when the verified output differs.
+		if string(res.Output) != string(data) {
+			if err := os.WriteFile(name, res.Output, 0o644); err != nil {
+				fmt.Fprintf(stderr, "hvfix: %v\n", err)
+				return 2
+			}
 		}
-	case !summaryOnly:
+	case !quiet:
 		if _, err := stdout.Write(res.Output); err != nil {
 			return 2
 		}
 	}
-	return 0
+	switch outcome {
+	case autofix.OutcomeClean, autofix.OutcomeFixed:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// runCorpus executes the golden fix corpus with hvconform-style gates:
+// any divergence fails, every registered strategy must have a covering
+// case, the clean and unfixable outcome classes must be exercised, and
+// the corpus must not shrink below min cases.
+func runCorpus(dir string, update bool, summaryPath string, minCases int, stdout, stderr io.Writer) int {
+	rep, err := autofix.RunFixDir(dir, update)
+	if err != nil {
+		fmt.Fprintln(stderr, "hvfix:", err)
+		return 2
+	}
+	if update {
+		fmt.Fprintln(stdout, "updated golden sections under", dir)
+	}
+	for _, c := range rep.Failures() {
+		fmt.Fprintf(stderr, "FAIL %s\n%s\n", c.ID, indent(c.Detail))
+	}
+	fmt.Fprintf(stdout, "fix corpus: %d cases, %d pass, %d fail (%s)\n",
+		rep.Total(), rep.Total()-len(rep.Failures()), len(rep.Failures()), outcomeCounts(rep))
+
+	exit := 0
+	if n := len(rep.Failures()); n > 0 {
+		fmt.Fprintf(stderr, "hvfix: %d case(s) failed\n", n)
+		exit = 1
+	}
+	var uncovered []string
+	for _, id := range autofix.StrategyRuleIDs() {
+		if rep.AppliedRules[id] == 0 {
+			uncovered = append(uncovered, id)
+		}
+	}
+	if len(uncovered) > 0 {
+		fmt.Fprintf(stderr, "hvfix: coverage gate: no corpus case applies a fix for: %s\n",
+			strings.Join(uncovered, " "))
+		exit = 1
+	}
+	for _, class := range []string{string(autofix.OutcomeClean), string(autofix.OutcomeUnfixable)} {
+		if rep.ByOutcome[class] == 0 {
+			fmt.Fprintf(stderr, "hvfix: coverage gate: no corpus case exercises the %s outcome\n", class)
+			exit = 1
+		}
+	}
+	if rep.Total() < minCases {
+		fmt.Fprintf(stderr, "hvfix: only %d case(s) executed, want at least %d\n", rep.Total(), minCases)
+		exit = 1
+	}
+	if summaryPath != "" {
+		md := renderSummary(rep)
+		if summaryPath == "-" {
+			fmt.Fprint(stdout, md)
+		} else if err := appendFile(summaryPath, md); err != nil {
+			fmt.Fprintln(stderr, "hvfix:", err)
+			return 2
+		}
+	}
+	return exit
+}
+
+func outcomeCounts(rep *autofix.FixCorpusReport) string {
+	classes := autofix.Outcomes()
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		parts = append(parts, fmt.Sprintf("%s %d", c, rep.ByOutcome[c]))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// renderSummary produces the markdown step summary: outcome mix, per-rule
+// fix coverage, and any failures.
+func renderSummary(rep *autofix.FixCorpusReport) string {
+	var b strings.Builder
+	b.WriteString("## Fix corpus\n\n")
+	fmt.Fprintf(&b, "%d cases, %d failing\n\n", rep.Total(), len(rep.Failures()))
+	b.WriteString("| Outcome | Cases |\n|---|---|\n")
+	for _, c := range autofix.Outcomes() {
+		fmt.Fprintf(&b, "| %s | %d |\n", c, rep.ByOutcome[c])
+	}
+	b.WriteString("\n| Rule | Cases applying a fix |\n|---|---|\n")
+	ids := make([]string, 0, len(rep.AppliedRules))
+	for id := range rep.AppliedRules {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "| %s | %d |\n", id, rep.AppliedRules[id])
+	}
+	if fails := rep.Failures(); len(fails) > 0 {
+		b.WriteString("\n### Failures\n\n")
+		for _, c := range fails {
+			fmt.Fprintf(&b, "- `%s`\n", c.ID)
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func appendFile(path, content string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(content); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
 }

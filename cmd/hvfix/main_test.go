@@ -15,6 +15,53 @@ func runFix(t *testing.T, stdin string, args ...string) (code int, stdout, stder
 	return code, out.String(), errb.String()
 }
 
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const (
+	cleanDoc = `<!DOCTYPE html><html><head><title>t</title></head><body><p>x</p></body></html>`
+	fixable  = `<!DOCTYPE html><html><head><title>t</title></head><body><a href="/x"title="t">x</a></body></html>`
+	// partialDoc carries a nonce-stealing DE3_2 pattern no strategy
+	// covers alongside a fixable FB2.
+	partialDoc = `<!DOCTYPE html><html><head><title>t</title></head><body><a href="/x"title="t">x</a><img src="/i.png" alt="x<script n"></body></html>`
+	// unfixableDoc: a manifest URL on <html> precedes any base
+	// placement, so DM2_3 cannot be satisfied.
+	unfixableDoc = `<!DOCTYPE html><html manifest="app.appcache"><head><base href="/b/"><title>t</title></head><body><p>x</p></body></html>`
+)
+
+// TestExitCodes pins the CLI contract: 0 for clean input, 0 for a
+// successful fix (with a report on stderr), 1 when violations remain —
+// partial or unfixable — and 2 for operational errors (separately below).
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name, doc  string
+		wantCode   int
+		wantStderr string
+	}{
+		{"clean", cleanDoc, 0, "clean"},
+		{"fixed", fixable, 0, "fixed"},
+		{"partial", partialDoc, 1, "violations remain"},
+		{"unfixable", unfixableDoc, 1, "unfixable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runFix(t, tc.doc)
+			if code != tc.wantCode {
+				t.Fatalf("exit = %d, want %d\nstderr: %s", code, tc.wantCode, stderr)
+			}
+			if !strings.Contains(stderr, tc.wantStderr) {
+				t.Fatalf("stderr missing %q:\n%s", tc.wantStderr, stderr)
+			}
+		})
+	}
+}
+
 func TestFixStdin(t *testing.T) {
 	code, out, errb := runFix(t, `<!DOCTYPE html><html><head><title>t</title></head><body><img/src="x"/alt="y"></body></html>`)
 	if code != 0 {
@@ -28,10 +75,20 @@ func TestFixStdin(t *testing.T) {
 	}
 }
 
+// TestUnfixableEmitsOriginal: an unfixable document is passed through
+// byte for byte — hvfix never emits unverified output.
+func TestUnfixableEmitsOriginal(t *testing.T) {
+	code, stdout, _ := runFix(t, unfixableDoc)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if stdout != unfixableDoc {
+		t.Fatalf("unfixable output diverged from the input:\n%s", stdout)
+	}
+}
+
 func TestFixInPlace(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "page.html")
-	os.WriteFile(path, []byte(`<!DOCTYPE html><html><head><title>t</title></head><body><div id=a id=b>x</div></body></html>`), 0o644)
+	path := writeTemp(t, "page.html", `<!DOCTYPE html><html><head><title>t</title></head><body><div id=a id=b>x</div></body></html>`)
 	code, out, _ := runFix(t, "", "-w", path)
 	if code != 0 || out != "" {
 		t.Fatalf("code=%d out=%q", code, out)
@@ -45,8 +102,8 @@ func TestFixInPlace(t *testing.T) {
 	}
 }
 
-func TestFixSummaryOnly(t *testing.T) {
-	code, out, errb := runFix(t, `<body><a href="x"title="t">l</a>`, "-summary")
+func TestFixQuiet(t *testing.T) {
+	code, out, errb := runFix(t, fixable, "-q")
 	if code != 0 || out != "" {
 		t.Fatalf("code=%d out=%q", code, out)
 	}
@@ -59,5 +116,42 @@ func TestFixMissingFile(t *testing.T) {
 	code, _, errb := runFix(t, "", filepath.Join(t.TempDir(), "nope.html"))
 	if code != 2 || !strings.Contains(errb, "nope.html") {
 		t.Fatalf("code=%d err=%q", code, errb)
+	}
+}
+
+// TestMixedInputsWorstExit: with several files the worst outcome wins.
+func TestMixedInputsWorstExit(t *testing.T) {
+	a := writeTemp(t, "a.html", cleanDoc)
+	b := writeTemp(t, "b.html", unfixableDoc)
+	code, _, _ := runFix(t, "", "-q", a, b)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
+func TestCorpusMode(t *testing.T) {
+	code, stdout, stderr := runFix(t, "", "-corpus", "../../internal/autofix/testdata", "-summary", "-")
+	if code != 0 {
+		t.Fatalf("corpus run failed (%d):\n%s", code, stderr)
+	}
+	for _, want := range []string{"fix corpus:", "## Fix corpus", "| Outcome | Cases |"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("corpus output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestCorpusModeMinGate(t *testing.T) {
+	dir := t.TempDir()
+	fixture := "#data\n" + cleanDoc + "\n#outcome\nclean\n#applied\n#unfixable\n#remaining\n#output\n" + cleanDoc + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "one.fix"), []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runFix(t, "", "-corpus", dir, "-min", "2")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (min gate)\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "want at least 2") {
+		t.Fatalf("stderr missing min-gate message:\n%s", stderr)
 	}
 }

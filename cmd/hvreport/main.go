@@ -7,8 +7,10 @@
 //	hvreport -store results.jsonl [-stats stats.json] [-experiment all]
 //
 // Experiments: all, table1, table2, fig8, fig9, fig10, fig16..fig21,
-// s4.2, s4.4, s4.5, s5.1, s5.2, s5.3, churn. (s5.1 re-runs the dynamic-content
-// pre-study against the generator, so -seed/-domains select its corpus.)
+// s4.2, s4.4, s4.5, s5.1, s5.2, s5.3, churn, fix. (s5.1 re-runs the
+// dynamic-content pre-study against the generator, so -seed/-domains
+// select its corpus; fix renders the machine-repairability table from an
+// `hvcrawl -fix` stats file.)
 package main
 
 import (
@@ -89,6 +91,11 @@ func run(storePath, statsPath, exp, format string, seed int64, domains int, out 
 		s = report.Section42(a)
 	case "s4.4":
 		s = report.Section44(a)
+	case "fix":
+		if statsPath == "" {
+			return fmt.Errorf("experiment fix needs -stats from an `hvcrawl -fix` run")
+		}
+		s = report.Repairability(stats)
 	case "s4.5":
 		s = report.Section45(a)
 	case "s5.1":

@@ -1,6 +1,9 @@
 // Command hvserve is the online HTML violation checker: POST a
 // document to /v1/check and get its violations, rule hits, and
-// mitigation signals back as JSON. The service is hardened for
+// mitigation signals back as JSON, or POST it to /v1/fix to run the
+// validated repair engine (internal/autofix) and get back the verified
+// repaired document — or the original bytes with an explanation when
+// the repair cannot be verified. The service is hardened for
 // overload (see internal/serve): per-tenant rate limits, a bounded
 // worker pool with explicit load shedding, request size/depth/time
 // caps, slowloris defense, and a graceful SIGTERM drain.
@@ -37,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/hvscan/hvscan/internal/autofix"
 	"github.com/hvscan/hvscan/internal/commoncrawl"
 	"github.com/hvscan/hvscan/internal/core"
 	"github.com/hvscan/hvscan/internal/corpus"
@@ -120,6 +124,9 @@ func main() {
 	}
 
 	srv := serve.New(cfg)
+	// The repair engine's per-rule applied/verified/rejected counters
+	// belong on the same /metrics page as the serve_fix_* series.
+	autofix.Instrument(srv.Registry())
 	if checker == nil {
 		log.Printf("checking with the full catalogue (tree mode)")
 	} else if checker.NeedsTree() {

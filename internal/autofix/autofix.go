@@ -1,16 +1,26 @@
-// Package autofix implements the automatic repair the paper's §4.4 argues
-// for: the FB and DM violation classes can be eliminated without human
-// judgment. FB1/FB2 (and stray syntax generally) are repaired by the
-// serialize-after-parse round trip — "repairing the syntax and leaving the
-// semantics as it is"; DM3 by dropping the duplicate attributes the parser
-// ignores anyway; DM1/DM2 by relocating meta/base elements into the head
-// and deduplicating base. HF and DE violations are out of scope by design:
-// fixing them needs the developer's intent (where should a form submit?
-// which section was an element meant for?).
+// Package autofix implements the validated repair the paper's §4.4 argues
+// for. Each fixable rule family has a registered Strategy that edits the
+// parse tree (or relies on serialization normalizing the syntax), and
+// every repair is verified by re-parsing the serialized output: the
+// targeted rule must be gone and no rule of the full catalogue may have
+// gained findings. Repair runs a bounded fix→recheck convergence loop —
+// serialization can itself surface latent violations (an entity-encoded
+// newline in a URL attribute decodes, renders literally, and only then
+// trips DE3_1) — and a document that does not verify within the bound is
+// reported Unfixable with the original bytes returned untouched. The
+// engine never emits unverified output.
+//
+// The machine-repairable set is the paper's FB/DM classification
+// (FixableRuleIDs) plus two DE families where the intent is recoverable
+// without human judgment: DE3_1 and DE3_3 dangling-markup values are
+// truncated at the first newline, exactly the mitigation Chromium applies
+// at resource-load time. HF and the remaining DE rules stay out of scope:
+// fixing them needs the developer's intent.
 package autofix
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/hvscan/hvscan/internal/core"
 	"github.com/hvscan/hvscan/internal/htmlparse"
@@ -27,16 +37,89 @@ func (f Fix) String() string {
 	return fmt.Sprintf("%s: %s", f.RuleID, f.Description)
 }
 
-// Result is the outcome of Repair.
-type Result struct {
-	// Output is the repaired document.
-	Output []byte
-	// Applied lists the repairs, in document order per class.
-	Applied []Fix
+// Unfixable is one rule the engine could not verifiably repair, with the
+// reason verification failed.
+type Unfixable struct {
+	RuleID string
+	Reason string
 }
 
-// FixableRuleIDs returns the violations Repair eliminates (the paper's
-// auto-fixable classes).
+func (u Unfixable) String() string {
+	return fmt.Sprintf("%s: %s", u.RuleID, u.Reason)
+}
+
+// Outcome classifies a whole-document repair.
+type Outcome string
+
+const (
+	// OutcomeClean: the input had no violations at all; Output is the
+	// input, byte for byte.
+	OutcomeClean Outcome = "clean"
+	// OutcomeFixed: the repair loop ran and the verified output has zero
+	// violations of any catalogue rule.
+	OutcomeFixed Outcome = "fixed"
+	// OutcomePartial: the output verified (no strategy-covered rule
+	// remains, nothing got worse) but violations outside the
+	// machine-repairable set persist and need a human.
+	OutcomePartial Outcome = "partial"
+	// OutcomeUnfixable: verification failed; Output is the original
+	// input and Applied is empty — no unverified bytes are emitted.
+	OutcomeUnfixable Outcome = "unfixable"
+)
+
+// Outcomes lists every Outcome value (metric label domain).
+func Outcomes() []string {
+	return []string{string(OutcomeClean), string(OutcomeFixed),
+		string(OutcomePartial), string(OutcomeUnfixable)}
+}
+
+// Result is the outcome of Repair.
+type Result struct {
+	// Output is the repaired document. On OutcomeUnfixable (and on
+	// OutcomeClean) it is the original input, unchanged.
+	Output []byte
+	// Applied lists the verified repairs, in application order. Empty
+	// when verification failed: fixes from a discarded attempt are not
+	// reported as applied.
+	Applied []Fix
+	// Unfixable lists the rules verification could not clear, with
+	// reasons. Non-empty exactly when the outcome is OutcomeUnfixable.
+	Unfixable []Unfixable
+	// RemainingHits is the per-rule violation count of Output (for
+	// OutcomeUnfixable: of the original input).
+	RemainingHits map[string]int
+	// Rounds is how many fix→recheck rounds ran.
+	Rounds int
+}
+
+// Outcome classifies the result. A repair that ran rounds and ended with
+// zero violations is OutcomeFixed even when Applied is empty: a violating
+// token the tree builder dropped (a nested form, say) leaves nothing for
+// a strategy to edit, yet serialization removes it and verification
+// proves the removal.
+func (r *Result) Outcome() Outcome {
+	switch {
+	case len(r.Unfixable) > 0:
+		return OutcomeUnfixable
+	case totalHits(r.RemainingHits) > 0:
+		return OutcomePartial
+	case r.Rounds == 0:
+		return OutcomeClean
+	default:
+		return OutcomeFixed
+	}
+}
+
+func totalHits(hits map[string]int) int {
+	n := 0
+	for _, v := range hits {
+		n += v
+	}
+	return n
+}
+
+// FixableRuleIDs returns the paper's auto-fixable classification (§4.4):
+// the FB and DM groups, straight from the core catalogue.
 func FixableRuleIDs() []string {
 	var out []string
 	for _, r := range core.Rules() {
@@ -47,117 +130,15 @@ func FixableRuleIDs() []string {
 	return out
 }
 
-// Repair parses the document with the error-tolerant parser, applies the
-// DM-class DOM repairs, and re-serializes — which normalizes away the
-// FB-class syntax errors. The output renders identically (the DOM the
-// browser would build is unchanged except for the relocated metadata,
-// which the parser would have applied head rules to anyway).
-func Repair(input []byte) (*Result, error) {
-	res, err := htmlparse.ParseReuse(input)
-	if err != nil {
-		return nil, err
-	}
-	r := &Result{}
-	r.noteSyntaxFixes(res)
-	r.fixMetadata(res)
-	r.Output = []byte(htmlparse.RenderString(res.Doc))
-	return r, nil
-}
-
-// noteSyntaxFixes records the FB/DM3 errors that serialization repairs.
-func (r *Result) noteSyntaxFixes(res *htmlparse.Result) {
-	for _, e := range res.Errors {
-		switch e.Code {
-		case htmlparse.ErrUnexpectedSolidusInTag:
-			r.Applied = append(r.Applied, Fix{"FB1", "replaced solidus attribute separator with whitespace", e.Pos})
-		case htmlparse.ErrMissingWhitespaceBetweenAttributes:
-			r.Applied = append(r.Applied, Fix{"FB2", "inserted missing whitespace between attributes", e.Pos})
-		case htmlparse.ErrDuplicateAttribute:
-			r.Applied = append(r.Applied, Fix{"DM3", "dropped duplicate attribute " + e.Detail, e.Pos})
+// RemainingIDs returns the rule IDs still violated in the result's
+// output, sorted.
+func (r *Result) RemainingIDs() []string {
+	var out []string
+	for id, n := range r.RemainingHits {
+		if n > 0 {
+			out = append(out, id)
 		}
 	}
-}
-
-// fixMetadata relocates wrongly placed meta[http-equiv] and base elements
-// into the head and deduplicates base elements.
-func (r *Result) fixMetadata(res *htmlparse.Result) {
-	doc := res.Doc
-	head := doc.Find(func(n *htmlparse.Node) bool { return n.IsElement("head") })
-	if head == nil {
-		return
-	}
-	// Collect offenders first: mutating while walking is undefined.
-	var moveToHead []*htmlparse.Node
-	var bases []*htmlparse.Node
-	doc.Walk(func(n *htmlparse.Node) bool {
-		switch {
-		case n.IsElement("base"):
-			bases = append(bases, n)
-		case n.IsElement("meta"):
-			if _, ok := n.LookupAttr("http-equiv"); ok && n.Ancestor("head") == nil {
-				moveToHead = append(moveToHead, n)
-			}
-		}
-		return true
-	})
-	for _, n := range moveToHead {
-		n.Parent.RemoveChild(n)
-		head.AppendChild(n)
-		r.Applied = append(r.Applied, Fix{"DM1", "moved meta[http-equiv] into head", n.Pos})
-	}
-	if len(bases) == 0 {
-		return
-	}
-	// The spec uses the first base element and ignores the rest; the
-	// repair keeps exactly that one, placed before any URL-consuming
-	// element (i.e. as the head's first child).
-	first := bases[0]
-	for _, extra := range bases[1:] {
-		extra.Parent.RemoveChild(extra)
-		r.Applied = append(r.Applied, Fix{"DM2_2", "removed extra base element", extra.Pos})
-	}
-	outsideHead := first.Ancestor("head") == nil
-	afterURL := basePlacedAfterURL(doc, first)
-	if outsideHead || afterURL {
-		first.Parent.RemoveChild(first)
-		head.InsertBefore(first, head.FirstChild)
-		if outsideHead {
-			r.Applied = append(r.Applied, Fix{"DM2_1", "moved base element into head", first.Pos})
-		}
-		if afterURL {
-			r.Applied = append(r.Applied, Fix{"DM2_3", "moved base before URL-consuming elements", first.Pos})
-		}
-	}
-}
-
-// basePlacedAfterURL reports whether an element carrying a URL attribute
-// precedes the base in document order.
-func basePlacedAfterURL(doc, base *htmlparse.Node) bool {
-	urlSeen := false
-	after := false
-	doc.Walk(func(n *htmlparse.Node) bool {
-		if n == base {
-			after = urlSeen
-			return false
-		}
-		if n.Type == htmlparse.ElementNode && !n.IsElement("base") {
-			for _, a := range n.Attr {
-				if isURLAttr(a.Name) && a.Value != "" {
-					urlSeen = true
-					break
-				}
-			}
-		}
-		return true
-	})
-	return after
-}
-
-func isURLAttr(name string) bool {
-	switch name {
-	case "href", "src", "action", "formaction", "data", "poster", "cite",
-		"background", "longdesc", "usemap", "manifest", "ping", "srcset", "icon":
-		return true
-	}
-	return false
+	sort.Strings(out)
+	return out
 }

@@ -1,0 +1,131 @@
+package autofix
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFixCorpus runs the golden fix corpus: every case's outcome, applied
+// list, unfixable list, remaining hits, and output bytes must match the
+// checked-in goldens. Regenerate after an intentional engine change with
+//
+//	go run ./cmd/hvfix -corpus internal/autofix/testdata -update
+//
+// and review the diff — every hunk is a behavior change.
+func TestFixCorpus(t *testing.T) {
+	rep, err := RunFixDir("testdata", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Failures() {
+		t.Errorf("FAIL %s\n%s", c.ID, c.Detail)
+	}
+	if rep.Total() < 60 {
+		t.Errorf("corpus shrank to %d cases, want at least 60", rep.Total())
+	}
+	// Every registered strategy must have at least one covering case that
+	// applies its fix, and the no-op and failure classes must both be
+	// exercised.
+	for _, id := range StrategyRuleIDs() {
+		if rep.AppliedRules[id] == 0 {
+			t.Errorf("no corpus case applies a fix for %s", id)
+		}
+	}
+	for _, class := range []string{string(OutcomeClean), string(OutcomeFixed),
+		string(OutcomePartial), string(OutcomeUnfixable)} {
+		if rep.ByOutcome[class] == 0 {
+			t.Errorf("no corpus case exercises the %s outcome", class)
+		}
+	}
+}
+
+// TestFixCorpusVerification re-proves the engine contract over every
+// corpus case independently of the goldens: a non-unfixable repair's
+// output re-checks clean of every strategy-covered rule and no rule has
+// more findings than the input had; an unfixable repair returns the
+// input untouched with no applied fixes.
+func TestFixCorpusVerification(t *testing.T) {
+	cases := loadAllCases(t)
+	for _, c := range cases {
+		c := c
+		t.Run(c.ID(), func(t *testing.T) {
+			r, err := Repair([]byte(c.Data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := check(t, []byte(c.Data))
+			after := check(t, r.Output)
+			if len(r.Unfixable) > 0 {
+				if string(r.Output) != c.Data {
+					t.Fatal("unfixable repair must return the input untouched")
+				}
+				if len(r.Applied) != 0 {
+					t.Fatalf("unfixable repair reported applied fixes: %v", r.Applied)
+				}
+				return
+			}
+			for _, id := range StrategyRuleIDs() {
+				if after.RuleHits[id] > 0 {
+					t.Errorf("%s survives a verified repair", id)
+				}
+			}
+			for id, n := range after.RuleHits {
+				if n > before.RuleHits[id] {
+					t.Errorf("repair increased %s: %d -> %d", id, before.RuleHits[id], n)
+				}
+			}
+		})
+	}
+}
+
+func loadAllCases(t *testing.T) []FixCase {
+	t.Helper()
+	var out []FixCase
+	for _, f := range []string{"fb", "dm_meta", "dm_base", "dm_attr", "de_dangling", "clean", "partial", "unfixable", "mixed"} {
+		cases, err := ParseFixFile("testdata/" + f + ".fix")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, cases...)
+	}
+	return out
+}
+
+// TestParseFixRoundTrip: FormatFixCase and ParseFix are inverse.
+func TestParseFixRoundTrip(t *testing.T) {
+	c := FixCase{
+		Data:      "<!DOCTYPE html><p id=\"a\" id=\"b\">x\ny</p>",
+		Outcome:   "fixed",
+		Applied:   []string{"DM3 dropped duplicate attribute (id)"},
+		Remaining: []string{"DE1 1"},
+		Output:    "<!DOCTYPE html><html><head></head><body><p id=\"a\">x\ny</p></body></html>",
+	}
+	got, err := ParseFix("t.fix", FormatFixCase(&c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("round trip produced %d cases", len(got))
+	}
+	g := got[0]
+	if g.Data != c.Data || g.Outcome != c.Outcome || g.Output != c.Output {
+		t.Fatalf("round trip mismatch:\n%#v\nvs\n%#v", g, c)
+	}
+	if strings.Join(g.Applied, "|") != strings.Join(c.Applied, "|") ||
+		strings.Join(g.Remaining, "|") != strings.Join(c.Remaining, "|") {
+		t.Fatalf("round trip lost sections:\n%#v", g)
+	}
+}
+
+// TestParseFixErrors: malformed fixtures are rejected with file:line.
+func TestParseFixErrors(t *testing.T) {
+	for _, bad := range []string{
+		"#outcome\nfixed\n",
+		"#data\n#outcome\nclean\n",
+		"stray content\n",
+	} {
+		if _, err := ParseFix("bad.fix", bad); err == nil {
+			t.Errorf("ParseFix accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package autofix
+
+import (
+	"sync/atomic"
+
+	"github.com/hvscan/hvscan/internal/obs"
+)
+
+// fixMetrics carries the repair-engine counters. The package-level atomic
+// pointer mirrors htmlparse's instrumentation: zero overhead when no
+// registry is installed, and Instrument is safe to call concurrently
+// with repairs.
+type fixMetrics struct {
+	// applied counts every fix a strategy recorded, per rule; verified
+	// counts the subset that survived re-parse verification; rejected
+	// counts the subset discarded with the candidate. For every rule,
+	// applied == verified + rejected.
+	applied  map[string]*obs.Counter
+	verified map[string]*obs.Counter
+	rejected map[string]*obs.Counter
+	// pages counts whole-document repairs by outcome.
+	pages map[string]*obs.Counter
+}
+
+var metrics atomic.Pointer[fixMetrics]
+
+// Instrument registers the repair engine's metrics on reg and starts
+// recording: per-rule applied/verified/rejected fix counts and per-outcome
+// page counts.
+func Instrument(reg *obs.Registry) {
+	ids := StrategyRuleIDs()
+	m := &fixMetrics{
+		applied:  reg.CounterVec("autofix_fixes_applied_total", "rule", ids...),
+		verified: reg.CounterVec("autofix_fixes_verified_total", "rule", ids...),
+		rejected: reg.CounterVec("autofix_fixes_rejected_total", "rule", ids...),
+		pages:    reg.CounterVec("autofix_pages_total", "outcome", Outcomes()...),
+	}
+	metrics.Store(m)
+}
+
+// observeRepair records one finished repair. attempted is every fix any
+// round recorded, whether or not the final candidate verified.
+func observeRepair(r *Result, attempted []Fix) {
+	m := metrics.Load()
+	if m == nil {
+		return
+	}
+	if c := m.pages[string(r.Outcome())]; c != nil {
+		c.Inc()
+	}
+	settled := m.verified
+	if len(r.Unfixable) > 0 {
+		settled = m.rejected
+	}
+	for _, f := range attempted {
+		if c := m.applied[f.RuleID]; c != nil {
+			c.Inc()
+		}
+		if c := settled[f.RuleID]; c != nil {
+			c.Inc()
+		}
+	}
+}

@@ -52,15 +52,24 @@ func RenderParseFixpoint(input []byte) (skipped bool, err error) {
 // rawTextHazard reports whether a parse hit one of the constructs whose
 // serialization is not round-trippable by design (the caveat documented
 // in htmlparse/serialize.go): a plaintext element, a script whose
-// content re-enters the comment-like double-escaped state, or an
-// implied p/br created by a stray end tag while foreign content is open.
+// content re-enters the comment-like double-escaped state, an element
+// nested inside a same-named ancestor that a straight-line re-parse
+// would split apart (an a/nobr/button within another — only reachable
+// by foster parenting around a table, whose formatting marker shields
+// the outer element from the adoption agency), or an implied p/br
+// created by a stray end tag while foreign content is open.
 func rawTextHazard(res *htmlparse.Result) bool {
 	if res.Doc.Find(func(n *htmlparse.Node) bool {
 		if n.Type != htmlparse.ElementNode || n.Namespace != htmlparse.NamespaceHTML {
 			return false
 		}
-		if n.Data == "plaintext" {
+		switch n.Data {
+		case "plaintext":
 			return true
+		case "a", "nobr", "button":
+			if n.Ancestor(n.Data) != nil {
+				return true
+			}
 		}
 		return n.Data == "script" && strings.Contains(n.Text(), "<!--")
 	}) != nil {

@@ -24,6 +24,16 @@ var targetAttributeTags = map[string]bool{
 	"a": true, "area": true, "base": true, "form": true,
 }
 
+// URLAttribute reports whether name is an attribute whose value the
+// platform treats as a URL (the DE3_1/DM2_3 attribute set). Exported so
+// the repair engine's DE3_1 strategy matches the rule predicate exactly
+// instead of drifting on a private copy of the list.
+func URLAttribute(name string) bool { return urlAttributes[name] }
+
+// TargetAttributeTag reports whether tag is an element whose target
+// attribute names a browsing context (the DE3_3 element set).
+func TargetAttributeTag(tag string) bool { return targetAttributeTags[tag] }
+
 // ruleDE1 detects textarea elements that were never terminated: the parser
 // closes them at EOF, so everything following the injection point —
 // including markup containing secrets — becomes the textarea's value and

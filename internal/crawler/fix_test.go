@@ -1,0 +1,99 @@
+package crawler
+
+import (
+	"context"
+	"testing"
+
+	"github.com/hvscan/hvscan/internal/core"
+	"github.com/hvscan/hvscan/internal/store"
+)
+
+// TestPipelineFixMode runs one synthetic snapshot with Fix enabled and
+// checks the repairability accounting: every analyzed page gets exactly
+// one outcome, violating pages with fixes get verified Applied entries,
+// the per-outcome metrics match the stats, and a journal replay
+// reconstructs the same fix aggregate without re-crawling.
+func TestPipelineFixMode(t *testing.T) {
+	arch := testArchive(120, 4)
+	st := store.New()
+	dir := t.TempDir()
+	jr, _, err := store.OpenJournal(dir + "/fix.journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(arch, core.NewChecker(), st, Config{
+		Workers: 4, PagesPerDomain: 4, Fix: true, Journal: jr,
+	})
+	domains := arch.Generator().Universe()
+	crawl := arch.Crawls()[0]
+	stats, err := p.RunSnapshot(context.Background(), crawl, domains)
+	if err != nil {
+		t.Fatalf("RunSnapshot: %v", err)
+	}
+	if stats.PagesAnalyzed == 0 {
+		t.Fatal("nothing analyzed")
+	}
+
+	outcomes := 0
+	for _, n := range stats.FixOutcomes {
+		outcomes += n
+	}
+	if outcomes != stats.PagesAnalyzed {
+		t.Fatalf("fix outcomes cover %d pages, %d analyzed (%v)",
+			outcomes, stats.PagesAnalyzed, stats.FixOutcomes)
+	}
+	if stats.FixOutcomes["fixed"] == 0 {
+		t.Fatalf("synthetic corpus produced no verifiably fixed pages: %v", stats.FixOutcomes)
+	}
+	if len(stats.FixesApplied) == 0 {
+		t.Fatal("no fixes recorded despite fixed pages")
+	}
+	rate, violating, ok := stats.Repairability()
+	if !ok || violating == 0 {
+		t.Fatalf("Repairability() = %v, %d, %v", rate, violating, ok)
+	}
+	if rate <= 0 || rate > 1 {
+		t.Fatalf("repairability rate %v out of range", rate)
+	}
+
+	// The per-outcome counters mirror the stats aggregate.
+	for outcome, n := range stats.FixOutcomes {
+		if got := p.Metrics().FixPages[outcome].Value(); got != uint64(n) {
+			t.Errorf("metric fix pages %s = %d, stats say %d", outcome, got, n)
+		}
+	}
+	if c := p.Metrics().Stage("fix").Count(); c != uint64(stats.PagesAnalyzed) {
+		t.Errorf("fix stage observed %d pages, %d analyzed", c, stats.PagesAnalyzed)
+	}
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay: a resumed run must rebuild the same fix aggregate from the
+	// journal alone.
+	jr2, _, err := store.OpenJournal(dir + "/fix.journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr2.Close()
+	p2 := New(arch, core.NewChecker(), store.New(), Config{
+		Workers: 4, PagesPerDomain: 4, Fix: true, Journal: jr2,
+	})
+	stats2, err := p2.RunSnapshot(context.Background(), crawl, domains)
+	if err != nil {
+		t.Fatalf("resumed RunSnapshot: %v", err)
+	}
+	if stats2.DomainsResumed == 0 {
+		t.Fatal("nothing replayed from journal")
+	}
+	for outcome, n := range stats.FixOutcomes {
+		if stats2.FixOutcomes[outcome] != n {
+			t.Errorf("replayed outcome %s = %d, want %d", outcome, stats2.FixOutcomes[outcome], n)
+		}
+	}
+	for rule, n := range stats.FixesApplied {
+		if stats2.FixesApplied[rule] != n {
+			t.Errorf("replayed fixes for %s = %d, want %d", rule, stats2.FixesApplied[rule], n)
+		}
+	}
+}

@@ -5,13 +5,15 @@ import (
 	"strings"
 	"time"
 
+	"github.com/hvscan/hvscan/internal/autofix"
 	"github.com/hvscan/hvscan/internal/obs"
 	"github.com/hvscan/hvscan/internal/resilience"
 )
 
 // Stage names, in pipeline order (Figure 6): index query, WARC fetch,
-// parse+check, store. Exported so tests and dashboards can iterate them.
-var Stages = []string{"query", "fetch", "check", "store"}
+// parse+check, repair (the -fix measurement mode; idle otherwise),
+// store. Exported so tests and dashboards can iterate them.
+var Stages = []string{"query", "fetch", "check", "fix", "store"}
 
 // Metrics is the pipeline's instrumentation: one latency histogram per
 // stage, byte counters, retry/error counters, and in-flight gauges, all
@@ -60,6 +62,10 @@ type Metrics struct {
 	BytesFetched *obs.Counter
 	DocBytes     *obs.Histogram
 
+	// FixPages counts -fix mode pages by repair outcome (clean, fixed,
+	// partial, unfixable); all zero when the mode is off.
+	FixPages map[string]*obs.Counter
+
 	// skipped counts filtered pages by reason (see skipReasons).
 	skipped map[string]*obs.Counter
 }
@@ -77,6 +83,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		reg:          reg,
 		stageSeconds: reg.HistogramVec("crawler_stage_seconds", "stage", obs.DurationBuckets, Stages...),
 		skipped:      reg.CounterVec("crawler_pages_skipped_total", "reason", skipReasons...),
+		FixPages:     reg.CounterVec("crawler_fix_pages_total", "outcome", autofix.Outcomes()...),
 
 		QueryErrors: reg.Counter(`crawler_stage_errors_total{stage="query"}`),
 		FetchErrors: reg.Counter(`crawler_stage_errors_total{stage="fetch"}`),

@@ -30,6 +30,7 @@ import (
 	"time"
 	"unicode/utf8"
 
+	"github.com/hvscan/hvscan/internal/autofix"
 	"github.com/hvscan/hvscan/internal/cdx"
 	"github.com/hvscan/hvscan/internal/commoncrawl"
 	"github.com/hvscan/hvscan/internal/core"
@@ -94,6 +95,12 @@ type Config struct {
 	// (default 2 MiB — Common Crawl itself truncates records at 1 MiB, so
 	// anything bigger is either truncated junk or a decompression bomb).
 	MaxDocumentBytes int
+	// Fix enables the machine-repairability measurement mode: every
+	// analyzed page additionally runs through the validated repair
+	// engine (internal/autofix) and its outcome — clean, fixed, partial
+	// or unfixable — is aggregated per domain and per snapshot. The
+	// repaired bytes are measured, not persisted.
+	Fix bool
 	// Journal, if set, records every completed (crawl, domain) pair and
 	// is consulted before measuring: already-journaled pairs are
 	// replayed into the stats and store instead of re-crawled. This is
@@ -343,6 +350,7 @@ func (p *Pipeline) RunSnapshot(ctx context.Context, crawl string, domains []stri
 			// fault are real measurements (see FailedDomain).
 			stats.PagesFound += dr.PagesFound
 			stats.PagesAnalyzed += dr.PagesAnalyzed
+			stats.AbsorbFix(dr)
 			fd := store.FailedDomain{
 				Domain: dr.Domain, Class: o.class.String(), Err: truncErr(o.err),
 				PagesFound: dr.PagesFound, PagesAnalyzed: dr.PagesAnalyzed,
@@ -373,6 +381,7 @@ func (p *Pipeline) RunSnapshot(ctx context.Context, crawl string, domains []stri
 		}
 		stats.PagesFound += dr.PagesFound
 		stats.PagesAnalyzed += dr.PagesAnalyzed
+		stats.AbsorbFix(dr)
 		if jerr := p.journal(store.JournalEntry{Crawl: crawl, Domain: dr.Domain, Result: dr}); jerr != nil && failErr == nil {
 			failErr = jerr
 			cancel()
@@ -417,6 +426,7 @@ func (p *Pipeline) replay(e store.JournalEntry, stats *SnapshotStats) {
 			fd.PagesFound, fd.PagesAnalyzed = dr.PagesFound, dr.PagesAnalyzed
 			stats.PagesFound += dr.PagesFound
 			stats.PagesAnalyzed += dr.PagesAnalyzed
+			stats.AbsorbFix(dr)
 		}
 		stats.Failed = append(stats.Failed, fd)
 		return
@@ -433,6 +443,7 @@ func (p *Pipeline) replay(e store.JournalEntry, stats *SnapshotStats) {
 	}
 	stats.PagesFound += dr.PagesFound
 	stats.PagesAnalyzed += dr.PagesAnalyzed
+	stats.AbsorbFix(dr)
 }
 
 // truncErr caps an error message for the stats ledger (a recovered
@@ -561,8 +572,48 @@ func (p *Pipeline) measureDomain(ctx context.Context, crawl, domain string, rank
 			}
 		}
 		addSignals(dr.Signals, rep.Signals)
+		if p.cfg.Fix {
+			t0 = time.Now()
+			p.fixPage(cap.Body, dr)
+			m.observeStage("fix", t0)
+		}
 	}
 	return dr, nil
+}
+
+// fixPage runs the validated repair engine over one analyzed page and
+// folds the outcome into the domain aggregate. Like checkPage, a panic
+// on adversarial HTML costs one page — it is recorded as unfixable,
+// never crashes the run.
+func (p *Pipeline) fixPage(body []byte, dr *store.DomainResult) {
+	outcome, applied := repairOutcome(body)
+	if dr.FixOutcomes == nil {
+		dr.FixOutcomes = make(map[string]int)
+	}
+	dr.FixOutcomes[outcome]++
+	p.metrics.FixPages[outcome].Inc()
+	for _, f := range applied {
+		if dr.FixesApplied == nil {
+			dr.FixesApplied = make(map[string]int)
+		}
+		dr.FixesApplied[f.RuleID]++
+	}
+}
+
+// repairOutcome classifies one page's machine repairability. An
+// operational repair error or a recovered panic counts as unfixable:
+// either way no verified repair exists for the page.
+func repairOutcome(body []byte) (outcome string, applied []autofix.Fix) {
+	defer func() {
+		if recover() != nil {
+			outcome, applied = string(autofix.OutcomeUnfixable), nil
+		}
+	}()
+	r, err := autofix.Repair(body)
+	if err != nil {
+		return string(autofix.OutcomeUnfixable), nil
+	}
+	return string(r.Outcome()), r.Applied
 }
 
 // maxPageFailures caps the per-domain failure sample kept in the store;

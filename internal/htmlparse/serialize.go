@@ -11,13 +11,18 @@ import (
 // DOM the error-tolerant parser already produced, but with valid syntax.
 //
 // Round-trip caveat (shared with browsers; the spec's serialization
-// section carries the same warning): three constructs serialize correctly
+// section carries the same warning): four constructs serialize correctly
 // but do not re-parse to the same tree —
 //
 //   - a <script> whose text contains an unbalanced "<!--" re-parses in the
 //     script-data double-escaped state and can swallow its own end tag,
 //   - <plaintext> content never terminates, so the serialized end tags
 //     after it become content on re-parse,
+//   - foster parenting can nest an a/nobr/button inside a same-named
+//     ancestor (e.g. <a><table><a>: the table's marker in the active
+//     formatting list shields the outer a from the adoption agency), but
+//     serialization drops the table detour, so the re-parse splits the
+//     pair,
 //   - a stray </p> or </br> inside SVG/MathML content makes the parser
 //     insert an implied element *inside* the foreign subtree, but on
 //     re-parse the now-explicit <p>/<br> start tag is a foreign-content

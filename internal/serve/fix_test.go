@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// Documents with a known repair verdict, mirroring the engine's own
+// corpus: a missing-whitespace fix (FB1), a clean page, an unverifiable
+// manifest+base interaction, and a strategy-free DE3_2 remainder.
+const (
+	fixableHTML   = `<!DOCTYPE html><html><head><title>t</title></head><body><a href="/x"title="t">x</a></body></html>`
+	cleanHTML     = `<!DOCTYPE html><html><head><title>t</title></head><body><p>x</p></body></html>`
+	unfixableHTML = `<!DOCTYPE html><html manifest="app.appcache"><head><base href="/b/"><title>t</title></head><body>x</body></html>`
+	partialHTML   = `<!DOCTYPE html><html><head><title>t</title></head><body><img src="/i.png" alt="x<script n"></body></html>`
+)
+
+func postFix(t *testing.T, h http.Handler, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/fix", strings.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decodeFix(t *testing.T, w *httptest.ResponseRecorder) *FixResponse {
+	t.Helper()
+	var resp FixResponse
+	if err := json.NewDecoder(w.Body).Decode(&resp); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return &resp
+}
+
+func TestFixEndpointRepairsDocument(t *testing.T) {
+	s := New(Config{})
+	w := postFix(t, s, fixableHTML, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	resp := decodeFix(t, w)
+	if resp.Outcome != "fixed" {
+		t.Fatalf("outcome = %q, want fixed", resp.Outcome)
+	}
+	if len(resp.Applied) == 0 {
+		t.Fatal("fixed outcome with empty applied list")
+	}
+	if !strings.Contains(resp.HTML, `href="/x" title="t"`) {
+		t.Fatalf("repaired HTML missing the separated attributes: %s", resp.HTML)
+	}
+	if len(resp.RemainingHits) != 0 {
+		t.Fatalf("fixed outcome with remaining hits %v", resp.RemainingHits)
+	}
+	if resp.Rounds < 1 {
+		t.Fatalf("fixed outcome after %d rounds", resp.Rounds)
+	}
+	if resp.Bytes != len(resp.HTML) {
+		t.Fatalf("bytes = %d, html length %d", resp.Bytes, len(resp.HTML))
+	}
+	// The repaired document must itself check clean.
+	cw := post(t, s, resp.HTML, nil)
+	if cw.Code != http.StatusOK {
+		t.Fatalf("re-check status = %d", cw.Code)
+	}
+	if cr := decodeCheck(t, cw); len(cr.Violations) != 0 {
+		t.Fatalf("repaired document still violates: %v", cr.Violations)
+	}
+	if got := s.fixReqs["fixed"].Value(); got != 1 {
+		t.Fatalf("serve_fix_requests_total{outcome=fixed} = %d, want 1", got)
+	}
+	if got := s.fixLatency.Count(); got != 1 {
+		t.Fatalf("serve_fix_seconds count = %d, want 1", got)
+	}
+}
+
+func TestFixEndpointCleanNoOp(t *testing.T) {
+	s := New(Config{})
+	w := postFix(t, s, cleanHTML, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	resp := decodeFix(t, w)
+	if resp.Outcome != "clean" {
+		t.Fatalf("outcome = %q, want clean", resp.Outcome)
+	}
+	if resp.HTML != cleanHTML {
+		t.Fatalf("clean outcome altered the document: %s", resp.HTML)
+	}
+	if len(resp.Applied) != 0 || resp.Rounds != 0 {
+		t.Fatalf("clean outcome with applied=%v rounds=%d", resp.Applied, resp.Rounds)
+	}
+	if got := s.fixReqs["clean"].Value(); got != 1 {
+		t.Fatalf("serve_fix_requests_total{outcome=clean} = %d, want 1", got)
+	}
+}
+
+func TestFixEndpointUnfixableReturnsOriginal(t *testing.T) {
+	s := New(Config{})
+	w := postFix(t, s, unfixableHTML, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	resp := decodeFix(t, w)
+	if resp.Outcome != "unfixable" {
+		t.Fatalf("outcome = %q, want unfixable", resp.Outcome)
+	}
+	// The verification contract: never emit unverified output.
+	if resp.HTML != unfixableHTML {
+		t.Fatalf("unfixable outcome did not return the input byte for byte:\n%s", resp.HTML)
+	}
+	if len(resp.Unfixable) == 0 {
+		t.Fatal("unfixable outcome without a reason list")
+	}
+	if len(resp.Applied) != 0 {
+		t.Fatalf("unfixable outcome with applied fixes %v", resp.Applied)
+	}
+	if got := s.fixReqs["unfixable"].Value(); got != 1 {
+		t.Fatalf("serve_fix_requests_total{outcome=unfixable} = %d, want 1", got)
+	}
+}
+
+func TestFixEndpointPartialKeepsRemainder(t *testing.T) {
+	s := New(Config{})
+	w := postFix(t, s, partialHTML, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	resp := decodeFix(t, w)
+	if resp.Outcome != "partial" {
+		t.Fatalf("outcome = %q, want partial", resp.Outcome)
+	}
+	if resp.RemainingHits["DE3_2"] == 0 {
+		t.Fatalf("partial outcome without the DE3_2 remainder: %v", resp.RemainingHits)
+	}
+	if got := s.fixReqs["partial"].Value(); got != 1 {
+		t.Fatalf("serve_fix_requests_total{outcome=partial} = %d, want 1", got)
+	}
+}
+
+func TestFixEndpointNotUTF8(t *testing.T) {
+	s := New(Config{})
+	w := postFix(t, s, "<p>\xff\xfe broken</p>", nil)
+	if w.Code != http.StatusUnsupportedMediaType {
+		t.Fatalf("status = %d, want 415; body %s", w.Code, w.Body)
+	}
+	if got := s.fixReqs["error"].Value(); got != 1 {
+		t.Fatalf("serve_fix_requests_total{outcome=error} = %d, want 1", got)
+	}
+}
+
+func TestFixEndpointDepthCap(t *testing.T) {
+	s := New(Config{MaxTreeDepth: 64})
+	w := postFix(t, s, strings.Repeat("<div>", 5000), nil)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422; body %s", w.Code, w.Body)
+	}
+	if got := s.fixReqs["error"].Value(); got != 1 {
+		t.Fatalf("serve_fix_requests_total{outcome=error} = %d, want 1", got)
+	}
+	// The aborted parse must not poison the pooled parser.
+	if w := postFix(t, s, cleanHTML, nil); w.Code != http.StatusOK {
+		t.Fatalf("shallow doc after deep abort: status %d", w.Code)
+	}
+}
+
+func TestFixEndpointShedsWhileDraining(t *testing.T) {
+	s := New(Config{})
+	s.BeginDrain()
+	w := postFix(t, s, fixableHTML, nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("shed without a Retry-After header")
+	}
+	if got := s.fixReqs["error"].Value(); got != 1 {
+		t.Fatalf("serve_fix_requests_total{outcome=error} = %d, want 1", got)
+	}
+}
+
+func TestFixEndpointTenantThrottled(t *testing.T) {
+	s := New(Config{TenantRate: 0.001, TenantBurst: 1})
+	hdr := map[string]string{"X-Tenant": "a"}
+	if w := postFix(t, s, cleanHTML, hdr); w.Code != http.StatusOK {
+		t.Fatalf("first request: status %d", w.Code)
+	}
+	w := postFix(t, s, cleanHTML, hdr)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", w.Code)
+	}
+}

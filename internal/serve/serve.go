@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/hvscan/hvscan/internal/autofix"
 	"github.com/hvscan/hvscan/internal/commoncrawl"
 	"github.com/hvscan/hvscan/internal/core"
 	"github.com/hvscan/hvscan/internal/htmlparse"
@@ -114,13 +115,15 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 
-	reqs      map[string]*obs.Counter // by status class
-	shedBy    map[string]*obs.Counter // by shed reason
-	latency   *obs.Histogram
-	inflight  *obs.Gauge
-	bodySize  *obs.Histogram
-	panics    *obs.Counter
-	drainHint time.Duration
+	reqs       map[string]*obs.Counter // by status class
+	shedBy     map[string]*obs.Counter // by shed reason
+	latency    *obs.Histogram
+	inflight   *obs.Gauge
+	bodySize   *obs.Histogram
+	panics     *obs.Counter
+	fixReqs    map[string]*obs.Counter // by repair outcome
+	fixLatency *obs.Histogram
+	drainHint  time.Duration
 }
 
 // Metric names are part of the measurement contract (obsnames lint).
@@ -131,7 +134,14 @@ const (
 	metricInflight       = "serve_inflight_requests"
 	metricBodyBytes      = "serve_body_bytes"
 	metricPanicsTotal    = "serve_panics_total"
+	metricFixTotal       = "serve_fix_requests_total"
+	metricFixSeconds     = "serve_fix_seconds"
 )
+
+// fixOutcomes are the label values of serve_fix_requests_total: the
+// repair engine's outcomes plus "error" for requests that never reached
+// a verdict (bad encoding, depth cap, deadline, panic).
+func fixOutcomes() []string { return append(autofix.Outcomes(), "error") }
 
 // statusClasses are the fixed label values of serve_requests_total.
 // "other" absorbs anything unmapped, including requests whose client
@@ -157,24 +167,27 @@ func New(cfg Config) *Server {
 		checker = core.NewChecker().Instrument(reg)
 	}
 	s := &Server{
-		cfg:       cfg,
-		checker:   checker,
-		reg:       reg,
-		pool:      resilience.NewAdmissionPool(cfg.Admission),
-		breaker:   resilience.NewBreaker(cfg.Breaker),
-		reqs:      reg.CounterVec(metricRequestsTotal, "code", statusClasses...),
-		shedBy:    reg.CounterVec(metricShedTotal, "reason", shedReasons...),
-		latency:   reg.Histogram(metricRequestSeconds, obs.DurationBuckets),
-		inflight:  reg.Gauge(metricInflight),
-		bodySize:  reg.Histogram(metricBodyBytes, obs.SizeBuckets),
-		panics:    reg.Counter(metricPanicsTotal),
-		drainHint: time.Second,
+		cfg:        cfg,
+		checker:    checker,
+		reg:        reg,
+		pool:       resilience.NewAdmissionPool(cfg.Admission),
+		breaker:    resilience.NewBreaker(cfg.Breaker),
+		reqs:       reg.CounterVec(metricRequestsTotal, "code", statusClasses...),
+		shedBy:     reg.CounterVec(metricShedTotal, "reason", shedReasons...),
+		latency:    reg.Histogram(metricRequestSeconds, obs.DurationBuckets),
+		inflight:   reg.Gauge(metricInflight),
+		bodySize:   reg.Histogram(metricBodyBytes, obs.SizeBuckets),
+		panics:     reg.Counter(metricPanicsTotal),
+		fixReqs:    reg.CounterVec(metricFixTotal, "outcome", fixOutcomes()...),
+		fixLatency: reg.Histogram(metricFixSeconds, obs.DurationBuckets),
+		drainHint:  time.Second,
 	}
 	if cfg.TenantRate > 0 {
 		s.tenants = resilience.NewBuckets(cfg.TenantRate, cfg.TenantBurst, cfg.MaxTenants)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
+	s.mux.HandleFunc("POST /v1/fix", s.handleFix)
 	s.mux.HandleFunc("GET /v1/archive-check", s.handleArchiveCheck)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -236,26 +249,24 @@ type ErrorResponse struct {
 // per-request recover; the request fails 500 but the process lives.
 var errCheckPanicked = errors.New("serve: internal panic while checking the document")
 
-// handleCheck is the admission pipeline described in the package
-// comment. Order matters: each gate is cheaper than the next, so a
-// rejected request costs as little as possible.
-func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	sw := &statusWriter{ResponseWriter: w}
-	defer func() {
-		s.latency.ObserveSince(start)
-		s.countStatus(sw.status)
-	}()
-
+// admitAndRead runs the shared admission prelude of the document
+// endpoints: drain gate → per-tenant token bucket → bounded worker pool
+// → capped, progress-deadlined body read. Order matters: each gate is
+// cheaper than the next, so a rejected request costs as little as
+// possible. ok is false when the request was already answered; cleanup
+// (pool release, in-flight gauge, body buffer return) must be deferred
+// either way.
+func (s *Server) admitAndRead(sw *statusWriter, r *http.Request) (body []byte, cleanup func(), ok bool) {
+	cleanup = func() {}
 	if s.draining.Load() {
 		sw.Header().Set("Connection", "close")
 		s.shed(sw, "drain", http.StatusServiceUnavailable, "server is draining", s.drainHint)
-		return
+		return nil, cleanup, false
 	}
 	if s.tenants != nil {
 		if ra, err := s.tenants.Allow(tenantOf(r)); err != nil {
 			s.shed(sw, "tenant", http.StatusTooManyRequests, "tenant rate limit exceeded", ra)
-			return
+			return nil, cleanup, false
 		}
 	}
 	release, err := s.pool.Acquire(r.Context())
@@ -264,14 +275,15 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 			s.shed(sw, "pool", http.StatusServiceUnavailable, "server overloaded", s.pool.RetryAfter())
 		}
 		// Otherwise the client went away while queued: nothing to write.
-		return
+		return nil, cleanup, false
 	}
-	defer release()
 	s.inflight.Inc()
-	defer s.inflight.Dec()
-
 	body, putBody, err := readBody(sw, r, s.cfg.MaxBodyBytes, s.cfg.BodyProgressTimeout)
-	defer putBody()
+	cleanup = func() {
+		putBody()
+		s.inflight.Dec()
+		release()
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrBodyTooLarge):
@@ -282,10 +294,27 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		default:
 			writeError(sw, http.StatusBadRequest, "unreadable request body", 0)
 		}
-		return
+		return nil, cleanup, false
 	}
 	s.bodySize.Observe(float64(len(body)))
+	return body, cleanup, true
+}
 
+// handleCheck runs the admission pipeline described in the package
+// comment, then the deadline-bounded, panic-isolated check.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	defer func() {
+		s.latency.ObserveSince(start)
+		s.countStatus(sw.status)
+	}()
+
+	body, cleanup, ok := s.admitAndRead(sw, r)
+	defer cleanup()
+	if !ok {
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	rep, mode, err := s.check(ctx, body)
@@ -338,6 +367,101 @@ func (s *Server) check(ctx context.Context, body []byte) (rep *core.Report, mode
 		return nil, "tree", err
 	}
 	return s.checker.CheckParsed(&core.Page{Result: res}), "tree", nil
+}
+
+// AppliedFix is one verified repair action in a FixResponse.
+type AppliedFix struct {
+	Rule        string `json:"rule"`
+	Description string `json:"description"`
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+}
+
+// UnfixableRule explains why a rule's violations could not be repaired.
+type UnfixableRule struct {
+	Rule   string `json:"rule"`
+	Reason string `json:"reason"`
+}
+
+// FixResponse is the body of a successful POST /v1/fix. HTML always
+// carries bytes that are safe to serve: the verified repaired document,
+// or the original input byte for byte when the outcome is unfixable —
+// the engine never emits unverified output.
+type FixResponse struct {
+	// Outcome is clean, fixed, partial, or unfixable.
+	Outcome string `json:"outcome"`
+	// Bytes is the returned document's size.
+	Bytes int `json:"bytes"`
+	// HTML is the repaired document (the input, when clean or unfixable).
+	HTML string `json:"html"`
+	// Applied lists every verified fix; empty for clean and unfixable.
+	Applied []AppliedFix `json:"applied,omitempty"`
+	// Unfixable lists the rules whose repair failed verification.
+	Unfixable []UnfixableRule `json:"unfixable,omitempty"`
+	// RemainingHits are the violations still present in HTML, by rule.
+	RemainingHits map[string]int `json:"remaining_hits,omitempty"`
+	// Rounds is how many fix→recheck rounds the repair took.
+	Rounds int `json:"rounds"`
+}
+
+// handleFix is POST /v1/fix: the same admission pipeline as /v1/check,
+// then the validated repair engine under the request deadline. Every
+// request lands in serve_fix_requests_total by outcome.
+func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	outcome := ""
+	defer func() {
+		s.fixLatency.ObserveSince(start)
+		s.latency.ObserveSince(start)
+		s.countStatus(sw.status)
+		if outcome == "" {
+			outcome = "error"
+		}
+		s.fixReqs[outcome].Inc()
+	}()
+
+	body, cleanup, ok := s.admitAndRead(sw, r)
+	defer cleanup()
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	res, err := s.repair(ctx, body)
+	if err != nil {
+		s.writeCheckError(sw, r, err)
+		return
+	}
+	outcome = string(res.Outcome())
+	resp := &FixResponse{
+		Outcome:       outcome,
+		Bytes:         len(res.Output),
+		HTML:          string(res.Output),
+		RemainingHits: res.RemainingHits,
+		Rounds:        res.Rounds,
+	}
+	for _, f := range res.Applied {
+		resp.Applied = append(resp.Applied, AppliedFix{
+			Rule: f.RuleID, Description: f.Description, Line: f.Pos.Line, Col: f.Pos.Col,
+		})
+	}
+	for _, u := range res.Unfixable {
+		resp.Unfixable = append(resp.Unfixable, UnfixableRule{Rule: u.RuleID, Reason: u.Reason})
+	}
+	writeJSON(sw, http.StatusOK, resp)
+}
+
+// repair runs the repair engine with the same panic isolation as check:
+// a panic costs this request, never the process.
+func (s *Server) repair(ctx context.Context, body []byte) (res *autofix.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Inc()
+			res, err = nil, errCheckPanicked
+		}
+	}()
+	return autofix.RepairContext(ctx, body, autofix.Options{MaxTreeDepth: s.cfg.MaxTreeDepth})
 }
 
 func checkResponseOf(rep *core.Report, mode string, size int) *CheckResponse {

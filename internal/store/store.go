@@ -39,6 +39,13 @@ type DomainResult struct {
 	Violations map[string]int `json:"violations,omitempty"`
 	// Signals maps signal name to the number of pages showing it.
 	Signals map[string]int `json:"signals,omitempty"`
+	// FixOutcomes maps repair outcome (clean/fixed/partial/unfixable)
+	// to the number of pages, populated when the crawl runs in -fix
+	// measurement mode.
+	FixOutcomes map[string]int `json:"fix_outcomes,omitempty"`
+	// FixesApplied maps rule ID to the number of verified fixes the
+	// repair engine applied across the domain's pages in -fix mode.
+	FixesApplied map[string]int `json:"fixes_applied,omitempty"`
 }
 
 // Analyzed reports whether the domain produced at least one analyzable page.
@@ -90,6 +97,12 @@ type CrawlStats struct {
 	// Failed records each failed domain: what broke, how it classified,
 	// and how much partial work completed before the fault.
 	Failed []FailedDomain `json:",omitempty"`
+
+	// FixOutcomes and FixesApplied aggregate the -fix measurement mode
+	// across the snapshot's pages: repair outcome -> pages, and rule ID
+	// -> verified fixes applied. Empty unless the run repaired pages.
+	FixOutcomes  map[string]int `json:",omitempty"`
+	FixesApplied map[string]int `json:",omitempty"`
 }
 
 // FailedDomain is one entry of the snapshot's failure ledger.
@@ -110,6 +123,44 @@ func (s CrawlStats) AvgPages() float64 {
 		return 0
 	}
 	return float64(s.PagesAnalyzed) / float64(s.Analyzed)
+}
+
+// AbsorbFix folds one domain's -fix measurements into the snapshot
+// aggregate. It is the fix-mode counterpart of the PagesFound /
+// PagesAnalyzed accumulation and is applied on the live, failed-partial
+// and journal-replay paths alike.
+func (s *CrawlStats) AbsorbFix(d *DomainResult) {
+	if len(d.FixOutcomes) > 0 && s.FixOutcomes == nil {
+		s.FixOutcomes = make(map[string]int)
+	}
+	for outcome, n := range d.FixOutcomes {
+		s.FixOutcomes[outcome] += n
+	}
+	if len(d.FixesApplied) > 0 && s.FixesApplied == nil {
+		s.FixesApplied = make(map[string]int)
+	}
+	for rule, n := range d.FixesApplied {
+		s.FixesApplied[rule] += n
+	}
+}
+
+// Repairability is the snapshot's machine-repairability rate: of the
+// pages that violated at least one rule (every fix outcome but clean),
+// the fraction a verified repair drove to zero violations. The bool is
+// false when the snapshot carries no -fix measurements.
+func (s CrawlStats) Repairability() (rate float64, violating int, ok bool) {
+	if len(s.FixOutcomes) == 0 {
+		return 0, 0, false
+	}
+	for outcome, n := range s.FixOutcomes {
+		if outcome != "clean" {
+			violating += n
+		}
+	}
+	if violating == 0 {
+		return 0, 0, true
+	}
+	return float64(s.FixOutcomes["fixed"]) / float64(violating), violating, true
 }
 
 // Store is a concurrency-safe collection of domain results keyed by
